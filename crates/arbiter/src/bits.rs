@@ -1,0 +1,316 @@
+//! A compact fixed-width bitset used for request and grant vectors.
+//!
+//! Allocator design points in this workspace go up to `P*V = 160` bits per
+//! request vector (flattened butterfly, `P = 10`, `V = 16`), so a single
+//! machine word is not enough. `Bits` stores an arbitrary fixed number of
+//! bits in a small `Vec<u64>` and keeps all unused high bits at zero, which
+//! lets the word-level operations (union, intersection, popcount) stay
+//! branch-free.
+
+/// Fixed-width bit vector. The width is set at construction and never changes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero bit vector of width `len`.
+    pub fn new(len: usize) -> Self {
+        Bits {
+            len,
+            words: vec![0u64; len.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Creates an all-ones bit vector of width `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bits::new(len);
+        for w in &mut b.words {
+            *w = u64::MAX;
+        }
+        b.mask_tail();
+        b
+    }
+
+    /// Builds a bit vector from an iterator of bit positions to set.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut b = Bits::new(len);
+        for i in indices {
+            b.set(i, true);
+        }
+        b
+    }
+
+    /// Number of bits in the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has width zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`. Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Writes bit `i`. Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, s) = (i / 64, i % 64);
+        if v {
+            self.words[w] |= 1 << s;
+        } else {
+            self.words[w] &= !(1 << s);
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if exactly one bit is set.
+    pub fn is_one_hot(&self) -> bool {
+        self.count_ones() == 1
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Index of the lowest set bit at position `from` or above, if any.
+    pub fn first_set_from(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let start_word = from / 64;
+        let mut w = self.words[start_word] & (u64::MAX << (from % 64));
+        let mut wi = start_word;
+        loop {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            w = self.words[wi];
+        }
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter_set(&self) -> SetBitsIter<'_> {
+        SetBitsIter {
+            bits: self,
+            word_idx: 0,
+            cur: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// In-place union with `other`. Panics on width mismatch.
+    pub fn union_with(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "Bits width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`. Panics on width mismatch.
+    pub fn intersect_with(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "Bits width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place set difference (`self & !other`). Panics on width mismatch.
+    pub fn subtract(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "Bits width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// True if `self` and `other` share any set bit.
+    pub fn intersects(&self, other: &Bits) -> bool {
+        assert_eq!(self.len, other.len, "Bits width mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every set bit of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &Bits) -> bool {
+        assert_eq!(self.len, other.len, "Bits width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        } else if self.len == 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last = 0;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Bits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bits[{}]{{", self.len)?;
+        let mut first = true;
+        for i in self.iter_set() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bits`].
+pub struct SetBitsIter<'a> {
+    bits: &'a Bits,
+    word_idx: usize,
+    cur: u64,
+}
+
+impl Iterator for SetBitsIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bits.words.len() {
+                return None;
+            }
+            self.cur = self.bits.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let b = Bits::new(100);
+        assert_eq!(b.len(), 100);
+        assert!(b.is_zero());
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.is_one_hot());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bits::new(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            b.set(i, true);
+            assert!(b.get(i), "bit {i}");
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn ones_respects_width() {
+        let b = Bits::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        let b = Bits::ones(64);
+        assert_eq!(b.count_ones(), 64);
+        let b = Bits::ones(1);
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn first_set_and_from() {
+        let b = Bits::from_indices(150, [5, 70, 149]);
+        assert_eq!(b.first_set(), Some(5));
+        assert_eq!(b.first_set_from(0), Some(5));
+        assert_eq!(b.first_set_from(5), Some(5));
+        assert_eq!(b.first_set_from(6), Some(70));
+        assert_eq!(b.first_set_from(71), Some(149));
+        assert_eq!(b.first_set_from(150), None);
+        assert_eq!(Bits::new(10).first_set(), None);
+    }
+
+    #[test]
+    fn iter_set_matches_manual() {
+        let idx = [0usize, 3, 63, 64, 100, 127];
+        let b = Bits::from_indices(128, idx);
+        let got: Vec<usize> = b.iter_set().collect();
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Bits::from_indices(96, [1, 10, 80]);
+        let b = Bits::from_indices(96, [10, 80, 90]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter_set().collect::<Vec<_>>(), vec![1, 10, 80, 90]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter_set().collect::<Vec<_>>(), vec![10, 80]);
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter_set().collect::<Vec<_>>(), vec![1]);
+        assert!(a.intersects(&b));
+        assert!(i.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn one_hot() {
+        assert!(Bits::from_indices(70, [69]).is_one_hot());
+        assert!(!Bits::from_indices(70, [1, 69]).is_one_hot());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_get_panics() {
+        Bits::new(8).get(8);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fixed-priority arbiter.
+
+use crate::{Arbiter, Bits};
+
+/// Static-priority arbiter: the lowest-indexed requester at or above a
+/// configurable `base` position wins, without wraparound reordering over
+/// time. With `base = 0` this is the classic priority encoder.
+///
+/// This is the building block the round-robin arbiter's RTL is made of (two
+/// fixed-priority passes over a masked and an unmasked request vector), and
+/// it is also useful as a deliberately unfair baseline in tests.
+#[derive(Clone, Debug)]
+pub struct FixedPriorityArbiter {
+    n: usize,
+    base: usize,
+}
+
+impl FixedPriorityArbiter {
+    /// Creates an `n`-input fixed-priority arbiter with highest priority at
+    /// index 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one input");
+        FixedPriorityArbiter { n, base: 0 }
+    }
+
+    /// Creates an `n`-input arbiter whose highest-priority input is `base`;
+    /// priority decreases cyclically from there.
+    pub fn with_base(n: usize, base: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one input");
+        assert!(base < n, "base {base} out of range {n}");
+        FixedPriorityArbiter { n, base }
+    }
+
+    /// The current highest-priority input index.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Selects the first set bit at or cyclically after `base`.
+    pub fn select_from(requests: &Bits, base: usize) -> Option<usize> {
+        requests
+            .first_set_from(base)
+            .or_else(|| requests.first_set())
+    }
+}
+
+impl Arbiter for FixedPriorityArbiter {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn arbitrate(&self, requests: &Bits) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request width mismatch");
+        Self::select_from(requests, self.base)
+    }
+
+    fn update(&mut self, _winner: usize) {
+        // Fixed priority: state never changes.
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_index_wins() {
+        let arb = FixedPriorityArbiter::new(8);
+        let r = Bits::from_indices(8, [3, 5, 7]);
+        assert_eq!(arb.arbitrate(&r), Some(3));
+    }
+
+    #[test]
+    fn base_shifts_priority_with_wraparound() {
+        let arb = FixedPriorityArbiter::with_base(8, 6);
+        let r = Bits::from_indices(8, [3, 5]);
+        // Nothing at 6 or 7, wraps to 3.
+        assert_eq!(arb.arbitrate(&r), Some(3));
+        let r = Bits::from_indices(8, [3, 7]);
+        assert_eq!(arb.arbitrate(&r), Some(7));
+    }
+
+    #[test]
+    fn update_is_noop() {
+        let mut arb = FixedPriorityArbiter::new(4);
+        let r = Bits::ones(4);
+        assert_eq!(arb.arbitrate(&r), Some(0));
+        arb.update(0);
+        assert_eq!(arb.arbitrate(&r), Some(0));
+    }
+
+    #[test]
+    fn starves_low_priority_inputs() {
+        // Documents the (intentional) unfairness: with 0 always requesting,
+        // input 1 never wins.
+        let mut arb = FixedPriorityArbiter::new(2);
+        let r = Bits::ones(2);
+        for _ in 0..10 {
+            let w = arb.arbitrate(&r).unwrap();
+            assert_eq!(w, 0);
+            arb.update(w);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Two-level tree arbiter for large input counts.
+
+use crate::{Arbiter, ArbiterKind, Bits};
+
+/// Two-level tree arbiter: `G` leaf arbiters over groups of `g` inputs plus a
+/// `G`-input root arbiter selecting among groups with active requests.
+///
+/// This is the structure §4.1 of the paper prescribes for the large
+/// `P*V`-input arbiters at the output stage of a VC allocator: "a stage of
+/// `P` `V`-input arbiters in parallel with a single `P`-input arbiter that
+/// selects among them". Delay grows with `log` of the group size plus `log`
+/// of the group count instead of `log(P*V)` through one monolithic arbiter
+/// with a long priority chain.
+///
+/// Fairness is hierarchical: the root is fair among groups and each leaf is
+/// fair within its group, which is weaker than flat least-recently-served
+/// fairness but starvation-free as long as the component arbiters are.
+pub struct TreeArbiter {
+    n: usize,
+    group_size: usize,
+    leaves: Vec<Box<dyn Arbiter + Send>>,
+    root: Box<dyn Arbiter + Send>,
+}
+
+impl TreeArbiter {
+    /// Creates a tree arbiter over `num_groups * group_size` inputs, with all
+    /// component arbiters of the given kind.
+    pub fn new(num_groups: usize, group_size: usize, kind: ArbiterKind) -> Self {
+        assert!(num_groups > 0 && group_size > 0);
+        TreeArbiter {
+            n: num_groups * group_size,
+            group_size,
+            leaves: (0..num_groups).map(|_| kind.build(group_size)).collect(),
+            root: kind.build(num_groups),
+        }
+    }
+
+    /// Number of leaf groups.
+    pub fn num_groups(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Inputs per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    fn group_requests(&self, requests: &Bits, group: usize) -> Bits {
+        let mut b = Bits::new(self.group_size);
+        for i in 0..self.group_size {
+            if requests.get(group * self.group_size + i) {
+                b.set(i, true);
+            }
+        }
+        b
+    }
+}
+
+impl Arbiter for TreeArbiter {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn arbitrate(&self, requests: &Bits) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request width mismatch");
+        let mut group_active = Bits::new(self.leaves.len());
+        for g in 0..self.leaves.len() {
+            if !self.group_requests(requests, g).is_zero() {
+                group_active.set(g, true);
+            }
+        }
+        let g = self.root.arbitrate(&group_active)?;
+        let local = self.leaves[g]
+            .arbitrate(&self.group_requests(requests, g))
+            .expect("root granted a group with no requests");
+        Some(g * self.group_size + local)
+    }
+
+    fn update(&mut self, winner: usize) {
+        assert!(winner < self.n, "winner {winner} out of range {}", self.n);
+        let g = winner / self.group_size;
+        self.root.update(g);
+        self.leaves[g].update(winner % self.group_size);
+    }
+
+    fn reset(&mut self) {
+        self.root.reset();
+        for l in &mut self.leaves {
+            l.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_requesters_only() {
+        let arb = TreeArbiter::new(4, 4, ArbiterKind::RoundRobin);
+        for idx in [0usize, 5, 9, 15] {
+            let r = Bits::from_indices(16, [idx]);
+            assert_eq!(arb.arbitrate(&r), Some(idx));
+        }
+        assert_eq!(arb.arbitrate(&Bits::new(16)), None);
+    }
+
+    #[test]
+    fn hierarchical_rotation_serves_all_groups() {
+        let mut arb = TreeArbiter::new(3, 2, ArbiterKind::RoundRobin);
+        let all = Bits::ones(6);
+        let mut group_counts = [0usize; 3];
+        for _ in 0..12 {
+            let w = arb.arbitrate(&all).unwrap();
+            group_counts[w / 2] += 1;
+            arb.update(w);
+        }
+        assert_eq!(group_counts, [4, 4, 4]);
+    }
+
+    #[test]
+    fn no_starvation_with_persistent_requests() {
+        let mut arb = TreeArbiter::new(4, 4, ArbiterKind::Matrix);
+        let r = Bits::from_indices(16, [1, 6, 11, 12, 15]);
+        let mut served = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let w = arb.arbitrate(&r).unwrap();
+            served.insert(w);
+            arb.update(w);
+        }
+        assert_eq!(served.len(), 5, "some persistent requester starved");
+    }
+
+    #[test]
+    fn update_only_touches_winning_group() {
+        let mut arb = TreeArbiter::new(2, 2, ArbiterKind::RoundRobin);
+        // Serve input 0 (group 0); group 1's leaf pointer must be unchanged,
+        // so within group 1 input 2 still has priority over input 3.
+        arb.update(0);
+        let r = Bits::from_indices(4, [2, 3]);
+        assert_eq!(arb.arbitrate(&r), Some(2));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the bitset and arbiter invariants.
+
+use noc_arbiter::{Arbiter, ArbiterKind, Bits, TreeArbiter};
+use proptest::prelude::*;
+
+fn bits_strategy(max_len: usize) -> impl Strategy<Value = Bits> {
+    (1usize..=max_len).prop_flat_map(|len| {
+        proptest::collection::vec(proptest::bool::ANY, len).prop_map(move |v| {
+            Bits::from_indices(
+                len,
+                v.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn count_ones_matches_iter(b in bits_strategy(200)) {
+        prop_assert_eq!(b.count_ones(), b.iter_set().count());
+        prop_assert_eq!(b.is_zero(), b.count_ones() == 0);
+        prop_assert_eq!(b.is_one_hot(), b.count_ones() == 1);
+    }
+
+    #[test]
+    fn first_set_from_agrees_with_scan(b in bits_strategy(150), from in 0usize..160) {
+        let expect = b.iter_set().find(|&i| i >= from.min(b.len()));
+        let got = if from >= b.len() { None } else { b.first_set_from(from) };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn union_intersection_de_morgan(a in bits_strategy(100)) {
+        // A ∪ A = A, A ∩ A = A, A \ A = ∅.
+        let mut u = a.clone();
+        u.union_with(&a);
+        prop_assert_eq!(&u, &a);
+        let mut i = a.clone();
+        i.intersect_with(&a);
+        prop_assert_eq!(&i, &a);
+        let mut d = a.clone();
+        d.subtract(&a);
+        prop_assert!(d.is_zero());
+    }
+
+    #[test]
+    fn arbiters_grant_valid_requester_or_none(
+        b in bits_strategy(40),
+        commits in proptest::collection::vec(proptest::bool::ANY, 0..20)
+    ) {
+        for kind in [ArbiterKind::FixedPriority, ArbiterKind::RoundRobin, ArbiterKind::Matrix] {
+            let mut arb = kind.build(b.len());
+            // Random committed history first.
+            for (k, c) in commits.iter().enumerate() {
+                if *c {
+                    arb.update(k % b.len());
+                }
+            }
+            match arb.arbitrate(&b) {
+                Some(w) => prop_assert!(b.get(w), "{kind:?}"),
+                None => prop_assert!(b.is_zero(), "{kind:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_serves_all_within_n_rounds(n in 2usize..24) {
+        let mut arb = noc_arbiter::RoundRobinArbiter::new(n);
+        let all = Bits::ones(n);
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let w = arb.arbitrate(&all).unwrap();
+            seen[w] = true;
+            arb.update(w);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tree_arbiter_valid_for_any_group_shape(
+        groups in 1usize..6,
+        group_size in 1usize..6,
+        pattern in proptest::collection::vec(proptest::bool::ANY, 36)
+    ) {
+        let n = groups * group_size;
+        let mut arb = TreeArbiter::new(groups, group_size, ArbiterKind::RoundRobin);
+        let b = Bits::from_indices(n, (0..n).filter(|&i| pattern[i]));
+        match arb.arbitrate(&b) {
+            Some(w) => {
+                prop_assert!(b.get(w));
+                arb.update(w);
+            }
+            None => prop_assert!(b.is_zero()),
+        }
+    }
+}

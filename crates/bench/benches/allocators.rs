@@ -1,0 +1,47 @@
+//! Criterion benchmarks: allocation throughput of the core architectures.
+//!
+//! These measure the *software model's* speed (allocations per second),
+//! complementing the hardware cost model in `noc-hw` that measures the
+//! *silicon* cost of the same architectures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_core::{AllocatorKind, BitMatrix};
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(n: usize, density: f64, seed: u64) -> BitMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut m = BitMatrix::new(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            if rng.gen_bool(density) {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate");
+    group.sample_size(20);
+    for kind in [
+        AllocatorKind::SepIfRr,
+        AllocatorKind::SepOfRr,
+        AllocatorKind::Wavefront,
+        AllocatorKind::MaxSize,
+    ] {
+        for n in [10usize, 40, 160] {
+            let reqs = random_matrix(n, 0.2, 42);
+            let mut alloc = kind.build(n, n);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace('/', "_"), n),
+                &n,
+                |b, _| b.iter(|| alloc.allocate(&reqs).count_ones()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

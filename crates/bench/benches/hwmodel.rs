@@ -1,0 +1,43 @@
+//! Criterion benchmarks: synthesis-flow speed of the hardware cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_core::{AllocatorKind, VcAllocSpec};
+use noc_hw::builders::vc_alloc::vc_allocator_netlist;
+use noc_hw::Synthesizer;
+
+fn bench_hwmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for (label, spec, kind, sparse) in [
+        (
+            "mesh_2x1x2_sep_if_sparse",
+            VcAllocSpec::mesh(2),
+            AllocatorKind::SepIfRr,
+            true,
+        ),
+        (
+            "mesh_2x1x2_wf_sparse",
+            VcAllocSpec::mesh(2),
+            AllocatorKind::Wavefront,
+            true,
+        ),
+        (
+            "fbfly_2x2x1_sep_if_sparse",
+            VcAllocSpec::fbfly(1),
+            AllocatorKind::SepIfRr,
+            true,
+        ),
+    ] {
+        let synth = Synthesizer::default();
+        group.bench_function(BenchmarkId::new("vca", label), |b| {
+            b.iter(|| {
+                let nl = vc_allocator_netlist(&spec, kind, sparse);
+                synth.run(nl).map(|r| r.delay_ns).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hwmodel);
+criterion_main!(benches);

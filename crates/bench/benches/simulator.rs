@@ -1,0 +1,31 @@
+//! Criterion benchmarks: network-simulation cycle rate for the paper's two
+//! topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_sim::{Network, SimConfig, TopologyKind};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cycles");
+    group.sample_size(10);
+    for (label, topo, vcs) in [
+        ("mesh_2x1x1", TopologyKind::Mesh8x8, 1),
+        ("mesh_2x1x4", TopologyKind::Mesh8x8, 4),
+        ("fbfly_2x2x4", TopologyKind::FlattenedButterfly4x4, 4),
+    ] {
+        let cfg = SimConfig {
+            injection_rate: 0.2,
+            ..SimConfig::paper_baseline(topo, vcs)
+        };
+        group.bench_with_input(BenchmarkId::new("run_500", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut net = Network::new(cfg.clone());
+                net.run(500);
+                net.total_flits_injected()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

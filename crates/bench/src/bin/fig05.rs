@@ -1,0 +1,43 @@
+//! Figure 5: VC allocator area vs delay for all six design points, dense
+//! (un-optimized) and sparse (§4.2) variants, plus the §4.3.1 savings
+//! headline.
+
+use noc_bench::figures::{sparse_savings, vc_cost_data};
+use noc_bench::DESIGN_POINTS;
+
+fn main() {
+    let mut all = Vec::new();
+    for point in &DESIGN_POINTS {
+        println!(
+            "--- Figure 5({}): {} — area (um^2) vs delay (ns) ---",
+            point.tag,
+            point.label()
+        );
+        println!(
+            "{:<10} {:>10} {:>12} {:>10} {:>12}",
+            "variant", "dense_ns", "dense_um2", "sparse_ns", "sparse_um2"
+        );
+        let data = vc_cost_data(point);
+        for p in &data {
+            let (dd, da) = match &p.dense {
+                Ok(r) => (format!("{:.3}", r.delay_ns), format!("{:.0}", r.area_um2)),
+                Err(_) => ("OOM".into(), "OOM".into()),
+            };
+            let (sd, sa) = match &p.sparse {
+                Ok(r) => (format!("{:.3}", r.delay_ns), format!("{:.0}", r.area_um2)),
+                Err(_) => ("OOM".into(), "OOM".into()),
+            };
+            println!(
+                "{:<10} {:>10} {:>12} {:>10} {:>12}",
+                p.variant, dd, da, sd, sa
+            );
+        }
+        println!();
+        all.push(data);
+    }
+    let (d, a, p) = sparse_savings(&all);
+    println!(
+        "sparse VC allocation savings across synthesizable points (paper: up to 41% / 90% / 83%):"
+    );
+    println!("  delay: up to {d:.0}%   area: up to {a:.0}%   power: up to {p:.0}%");
+}

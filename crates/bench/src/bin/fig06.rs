@@ -1,0 +1,33 @@
+//! Figure 6: VC allocator power vs delay for all six design points.
+
+use noc_bench::figures::vc_cost_data;
+use noc_bench::DESIGN_POINTS;
+
+fn main() {
+    for point in &DESIGN_POINTS {
+        println!(
+            "--- Figure 6({}): {} — power (mW) vs delay (ns) ---",
+            point.tag,
+            point.label()
+        );
+        println!(
+            "{:<10} {:>10} {:>11} {:>10} {:>11}",
+            "variant", "dense_ns", "dense_mW", "sparse_ns", "sparse_mW"
+        );
+        for p in vc_cost_data(point) {
+            let (dd, dp) = match &p.dense {
+                Ok(r) => (format!("{:.3}", r.delay_ns), format!("{:.2}", r.power_mw)),
+                Err(_) => ("OOM".into(), "OOM".into()),
+            };
+            let (sd, sp) = match &p.sparse {
+                Ok(r) => (format!("{:.3}", r.delay_ns), format!("{:.2}", r.power_mw)),
+                Err(_) => ("OOM".into(), "OOM".into()),
+            };
+            println!(
+                "{:<10} {:>10} {:>11} {:>10} {:>11}",
+                p.variant, dd, dp, sd, sp
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 7: VC allocator matching quality vs request rate for the three
+//! architectures on all six design points.
+//!
+//! `NOC_TRIALS` overrides the request matrices per rate point (paper:
+//! 10000; default here 3000 for single-core runtime).
+
+use noc_bench::figures::{quality_rates, vc_quality_data};
+use noc_bench::{env_usize, DESIGN_POINTS};
+
+fn main() {
+    let trials = env_usize("NOC_TRIALS", 3000);
+    let rates = quality_rates();
+    println!("trials per point: {trials} (paper: 10000)\n");
+    for point in &DESIGN_POINTS {
+        println!(
+            "--- Figure 7({}): {} — matching quality ---",
+            point.tag,
+            point.label()
+        );
+        print!("{:<8}", "rate");
+        for r in &rates {
+            print!(" {r:>6.2}");
+        }
+        println!();
+        for curve in vc_quality_data(point, trials) {
+            print!("{:<8}", curve.label);
+            for p in &curve.points {
+                print!(" {:>6.3}", p.quality());
+            }
+            println!();
+        }
+        println!();
+    }
+}

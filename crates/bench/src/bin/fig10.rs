@@ -1,0 +1,37 @@
+//! Figure 10: switch allocator area vs delay — five architectures × three
+//! speculation schemes per design point, plus the §5.3.1 delay headline.
+
+use noc_bench::figures::{pessimistic_delay_saving, sw_cost_data};
+use noc_bench::DESIGN_POINTS;
+
+fn main() {
+    let mut all = Vec::new();
+    for point in &DESIGN_POINTS {
+        println!(
+            "--- Figure 10({}): {} — area (um^2) vs delay (ns) ---",
+            point.tag,
+            point.label()
+        );
+        println!(
+            "{:<10} {:>24} {:>24} {:>24}",
+            "variant", "nonspec ns/um2", "pessimistic ns/um2", "conventional ns/um2"
+        );
+        let data = sw_cost_data(point);
+        for p in &data {
+            print!("{:<10}", p.variant);
+            for m in &p.modes {
+                match m {
+                    Ok(r) => print!(" {:>11.3} {:>12.0}", r.delay_ns, r.area_um2),
+                    Err(_) => print!(" {:>11} {:>12}", "OOM", "OOM"),
+                }
+            }
+            println!();
+        }
+        println!();
+        all.push(data);
+    }
+    println!(
+        "pessimistic vs conventional speculation delay saving: up to {:.0}% (paper: up to 23%)",
+        pessimistic_delay_saving(&all)
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 11: switch allocator power vs delay.
+
+use noc_bench::figures::sw_cost_data;
+use noc_bench::DESIGN_POINTS;
+
+fn main() {
+    for point in &DESIGN_POINTS {
+        println!(
+            "--- Figure 11({}): {} — power (mW) vs delay (ns) ---",
+            point.tag,
+            point.label()
+        );
+        println!(
+            "{:<10} {:>22} {:>22} {:>22}",
+            "variant", "nonspec ns/mW", "pessimistic ns/mW", "conventional ns/mW"
+        );
+        for p in sw_cost_data(point) {
+            print!("{:<10}", p.variant);
+            for m in &p.modes {
+                match m {
+                    Ok(r) => print!(" {:>11.3} {:>10.2}", r.delay_ns, r.power_mw),
+                    Err(_) => print!(" {:>11} {:>10}", "OOM", "OOM"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 12: switch allocator matching quality vs request rate.
+
+use noc_bench::figures::{quality_rates, sw_quality_data};
+use noc_bench::{env_usize, DESIGN_POINTS};
+
+fn main() {
+    let trials = env_usize("NOC_TRIALS", 3000);
+    let rates = quality_rates();
+    println!("trials per point: {trials} (paper: 10000)\n");
+    for point in &DESIGN_POINTS {
+        println!(
+            "--- Figure 12({}): {} — matching quality ---",
+            point.tag,
+            point.label()
+        );
+        print!("{:<8}", "rate");
+        for r in &rates {
+            print!(" {r:>6.2}");
+        }
+        println!();
+        for curve in sw_quality_data(point, trials) {
+            print!("{:<8}", curve.label);
+            for p in &curve.points {
+                print!(" {:>6.3}", p.quality());
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,239 @@
+//! Request and grant matrices for allocation.
+
+use noc_arbiter::Bits;
+
+/// A boolean requester × resource matrix.
+///
+/// Rows are requesters, columns are resources; a set entry `(r, c)` means
+/// requester `r` wants resource `c` (in a request matrix) or has been granted
+/// it (in a grant matrix). Rows are stored as [`Bits`] so the separable
+/// allocators can hand whole rows/columns to arbiters without copying bit by
+/// bit.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<Bits>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        BitMatrix {
+            rows: (0..rows).map(|_| Bits::new(cols)).collect(),
+            cols,
+        }
+    }
+
+    /// Builds a matrix from `(row, col)` entries.
+    pub fn from_entries(
+        rows: usize,
+        cols: usize,
+        entries: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        let mut m = BitMatrix::new(rows, cols);
+        for (r, c) in entries {
+            m.set(r, c, true);
+        }
+        m
+    }
+
+    /// Number of requester rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of resource columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.rows[r].get(c)
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        self.rows[r].set(c, v);
+    }
+
+    /// Borrow row `r` as a bit vector over resources.
+    #[inline]
+    pub fn row(&self, r: usize) -> &Bits {
+        &self.rows[r]
+    }
+
+    /// Mutable access to row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut Bits {
+        &mut self.rows[r]
+    }
+
+    /// Materializes column `c` as a bit vector over requesters.
+    pub fn col(&self, c: usize) -> Bits {
+        let mut b = Bits::new(self.rows.len());
+        for (r, row) in self.rows.iter().enumerate() {
+            if row.get(c) {
+                b.set(r, true);
+            }
+        }
+        b
+    }
+
+    /// Total number of set entries.
+    pub fn count_ones(&self) -> usize {
+        self.rows.iter().map(Bits::count_ones).sum()
+    }
+
+    /// True if no entry is set.
+    pub fn is_zero(&self) -> bool {
+        self.rows.iter().all(Bits::is_zero)
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        for r in &mut self.rows {
+            r.clear();
+        }
+    }
+
+    /// Iterator over set `(row, col)` entries in row-major order.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| row.iter_set().map(move |c| (r, c)))
+    }
+
+    /// True if every set entry of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &BitMatrix) -> bool {
+        assert_eq!(self.num_rows(), other.num_rows());
+        assert_eq!(self.num_cols(), other.num_cols());
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .all(|(a, b)| a.is_subset_of(b))
+    }
+
+    /// True if `self` is a *matching*: a subset of `requests` with at most
+    /// one set entry per row and per column (the three conditions of §2).
+    pub fn is_matching_for(&self, requests: &BitMatrix) -> bool {
+        if !self.is_subset_of(requests) {
+            return false;
+        }
+        if self.rows.iter().any(|r| r.count_ones() > 1) {
+            return false;
+        }
+        let mut col_used = Bits::new(self.cols);
+        for row in &self.rows {
+            if let Some(c) = row.first_set() {
+                if col_used.get(c) {
+                    return false;
+                }
+                col_used.set(c, true);
+            }
+        }
+        true
+    }
+
+    /// True if `self` is a *maximal* matching for `requests`: no further
+    /// request could be granted without revoking an existing grant.
+    pub fn is_maximal_for(&self, requests: &BitMatrix) -> bool {
+        if !self.is_matching_for(requests) {
+            return false;
+        }
+        let mut col_used = Bits::new(self.cols);
+        for row in &self.rows {
+            if let Some(c) = row.first_set() {
+                col_used.set(c, true);
+            }
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            if row.is_zero() {
+                // Unmatched requester: every resource it wants must be taken.
+                for c in requests.row(r).iter_set() {
+                    if !col_used.get(c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows.len(), self.cols)?;
+        for row in &self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{}", if row.get(c) { '1' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_get() {
+        let mut m = BitMatrix::new(3, 5);
+        m.set(0, 4, true);
+        m.set(2, 0, true);
+        assert!(m.get(0, 4));
+        assert!(!m.get(1, 2));
+        assert_eq!(m.count_ones(), 2);
+        assert_eq!(m.iter_set().collect::<Vec<_>>(), vec![(0, 4), (2, 0)]);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let m = BitMatrix::from_entries(4, 3, [(0, 1), (2, 1), (3, 0)]);
+        assert_eq!(m.col(1).iter_set().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(m.col(2).is_zero());
+    }
+
+    #[test]
+    fn matching_validity() {
+        let req = BitMatrix::from_entries(3, 3, [(0, 0), (0, 1), (1, 0), (2, 2)]);
+        // Valid matching.
+        let g = BitMatrix::from_entries(3, 3, [(0, 1), (1, 0), (2, 2)]);
+        assert!(g.is_matching_for(&req));
+        assert!(g.is_maximal_for(&req));
+        // Grant without request.
+        let g = BitMatrix::from_entries(3, 3, [(1, 1)]);
+        assert!(!g.is_matching_for(&req));
+        // Two grants in one row.
+        let g = BitMatrix::from_entries(3, 3, [(0, 0), (0, 1)]);
+        assert!(!g.is_matching_for(&req));
+        // Two grants in one column.
+        let g = BitMatrix::from_entries(3, 3, [(0, 0), (1, 0)]);
+        assert!(!g.is_matching_for(&req));
+    }
+
+    #[test]
+    fn maximality_detection() {
+        let req = BitMatrix::from_entries(2, 2, [(0, 0), (0, 1), (1, 0)]);
+        // Granting (0,0) blocks requester 1 entirely but leaves col 1 free
+        // while requester 0 could have used it -> (0,0) alone is maximal?
+        // Requester 0 is matched, requester 1 wants only col 0 (taken), so
+        // yes: maximal but not maximum.
+        let g = BitMatrix::from_entries(2, 2, [(0, 0)]);
+        assert!(g.is_maximal_for(&req));
+        // Empty grant is not maximal when requests exist.
+        let g = BitMatrix::new(2, 2);
+        assert!(!g.is_maximal_for(&req));
+        // Maximum matching.
+        let g = BitMatrix::from_entries(2, 2, [(0, 1), (1, 0)]);
+        assert!(g.is_maximal_for(&req));
+    }
+}

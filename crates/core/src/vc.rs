@@ -1,0 +1,922 @@
+//! VC allocators (§4): dense and sparse implementations.
+//!
+//! The VC allocator matches `P*V` input VCs (requesters) to `P*V` output VCs
+//! (resources), subject to the constraint that all output VCs requested by a
+//! given input VC live at the single output port selected by the routing
+//! function. §4.2's *sparse VC allocation* additionally exploits the static
+//! structure of VC usage — the decomposition `V = M × R × C` into message
+//! classes, resource classes and class banks — to shrink the allocator.
+
+use crate::{Allocator, AllocatorKind, BitMatrix};
+
+/// Describes how a router's VCs decompose into message classes (`M`),
+/// resource classes (`R`) and VCs per class (`C`), with `V = M*R*C`
+/// (§4.2), plus the legal resource-class transition relation.
+///
+/// VC index encoding: `vc = (msg * R + res) * C + bank`.
+///
+/// ```
+/// use noc_core::VcAllocSpec;
+///
+/// // The paper's Figure 4 configuration: 96 of 256 transitions legal.
+/// let spec = VcAllocSpec::fbfly(4);
+/// assert_eq!(spec.total_vcs(), 16);
+/// assert_eq!(spec.legal_transition_count(), 96);
+/// assert_eq!(spec.label(), "2x2x4");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcAllocSpec {
+    ports: usize,
+    msg_classes: usize,
+    resource_classes: usize,
+    vcs_per_class: usize,
+    /// `rc_succ[from][to]`: packets in resource class `from` may acquire a
+    /// VC of resource class `to` at the next hop.
+    rc_succ: Vec<Vec<bool>>,
+}
+
+impl VcAllocSpec {
+    /// Creates a spec with an explicit resource-class transition relation.
+    ///
+    /// Panics unless `rc_succ` is `R × R` and every class has at least one
+    /// successor (otherwise packets in it could never move).
+    pub fn new(
+        ports: usize,
+        msg_classes: usize,
+        resource_classes: usize,
+        vcs_per_class: usize,
+        rc_succ: Vec<Vec<bool>>,
+    ) -> Self {
+        assert!(ports > 0 && msg_classes > 0 && resource_classes > 0 && vcs_per_class > 0);
+        assert_eq!(rc_succ.len(), resource_classes);
+        for (from, row) in rc_succ.iter().enumerate() {
+            assert_eq!(row.len(), resource_classes);
+            assert!(
+                row.iter().any(|&b| b),
+                "resource class {from} has no successor"
+            );
+        }
+        VcAllocSpec {
+            ports,
+            msg_classes,
+            resource_classes,
+            vcs_per_class,
+            rc_succ,
+        }
+    }
+
+    /// The paper's mesh design points: `M = 2` (request/reply), `R = 1`
+    /// (dimension-order routing needs no resource classes), `C` VCs per
+    /// class, on a `P = 5` router unless overridden.
+    pub fn mesh(vcs_per_class: usize) -> Self {
+        VcAllocSpec::new(5, 2, 1, vcs_per_class, vec![vec![true]])
+    }
+
+    /// The paper's flattened-butterfly design points: `M = 2`, `R = 2`
+    /// (UGAL's non-minimal phase-1 class and minimal phase-2 class), `C` VCs
+    /// per class, `P = 10`.
+    ///
+    /// Transition relation (Figure 4): non-minimal may stay non-minimal or
+    /// drop to minimal (at the intermediate router); minimal must stay
+    /// minimal. Class 0 is non-minimal, class 1 minimal.
+    pub fn fbfly(vcs_per_class: usize) -> Self {
+        VcAllocSpec::new(
+            10,
+            2,
+            2,
+            vcs_per_class,
+            vec![vec![true, true], vec![false, true]],
+        )
+    }
+
+    /// Torus design points (§4.2's dateline example): `M = 2`, `R = 2`
+    /// (pre-/post-dateline), `C` VCs per class, `P = 5`.
+    ///
+    /// With dimension-order routing and a per-dimension dateline, packets
+    /// move pre→post when they cross the wraparound edge and post→pre when
+    /// they change dimensions, so — unlike the one-way fbfly relation —
+    /// all four resource-class transitions must be supported in hardware.
+    /// Sparse VC allocation then saves only the message-class split; the
+    /// §4.2 resource-class restriction applies to networks whose class
+    /// order is acyclic along every route (single rings, two-phase
+    /// routing), not to multi-dimension datelines.
+    pub fn torus(vcs_per_class: usize) -> Self {
+        VcAllocSpec::new(
+            5,
+            2,
+            2,
+            vcs_per_class,
+            vec![vec![true, true], vec![true, true]],
+        )
+    }
+
+    /// Same class structure on a custom port count.
+    pub fn with_ports(mut self, ports: usize) -> Self {
+        assert!(ports > 0);
+        self.ports = ports;
+        self
+    }
+
+    /// Router port count `P`.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Number of message classes `M`.
+    pub fn msg_classes(&self) -> usize {
+        self.msg_classes
+    }
+
+    /// Number of resource classes `R`.
+    pub fn resource_classes(&self) -> usize {
+        self.resource_classes
+    }
+
+    /// VCs per class `C`.
+    pub fn vcs_per_class(&self) -> usize {
+        self.vcs_per_class
+    }
+
+    /// Total VCs per port, `V = M*R*C`.
+    pub fn total_vcs(&self) -> usize {
+        self.msg_classes * self.resource_classes * self.vcs_per_class
+    }
+
+    /// Design-point label in the paper's `MxRxC` notation, e.g. `2x2x4`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{}x{}",
+            self.msg_classes, self.resource_classes, self.vcs_per_class
+        )
+    }
+
+    /// First VC index of class `(msg, res)`.
+    pub fn class_base(&self, msg: usize, res: usize) -> usize {
+        assert!(msg < self.msg_classes && res < self.resource_classes);
+        (msg * self.resource_classes + res) * self.vcs_per_class
+    }
+
+    /// Decomposes a VC index into `(msg, res, bank)`.
+    pub fn vc_class(&self, vc: usize) -> (usize, usize, usize) {
+        assert!(vc < self.total_vcs());
+        let bank = vc % self.vcs_per_class;
+        let cls = vc / self.vcs_per_class;
+        (
+            cls / self.resource_classes,
+            cls % self.resource_classes,
+            bank,
+        )
+    }
+
+    /// True if a packet holding resource class `from` may acquire class `to`
+    /// next hop.
+    pub fn rc_legal(&self, from: usize, to: usize) -> bool {
+        self.rc_succ[from][to]
+    }
+
+    /// Successor resource classes of `from`.
+    pub fn rc_successors(&self, from: usize) -> Vec<usize> {
+        (0..self.resource_classes)
+            .filter(|&to| self.rc_succ[from][to])
+            .collect()
+    }
+
+    /// The `V × V` VC-to-VC transition matrix of Figure 4: entry
+    /// `(in_vc, out_vc)` is set iff the transition is legal (same message
+    /// class, successor resource class; banks unconstrained).
+    pub fn transition_matrix(&self) -> BitMatrix {
+        let v = self.total_vcs();
+        let mut m = BitMatrix::new(v, v);
+        for iv in 0..v {
+            let (im, ir, _) = self.vc_class(iv);
+            for ov in 0..v {
+                let (om, or, _) = self.vc_class(ov);
+                if im == om && self.rc_legal(ir, or) {
+                    m.set(iv, ov, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of legal VC-to-VC transitions (the "96 of 256" count quoted
+    /// for the fbfly 2×2×4 configuration in §4.2).
+    pub fn legal_transition_count(&self) -> usize {
+        self.transition_matrix().count_ones()
+    }
+}
+
+/// One input VC's VC-allocation request: the output port chosen by routing
+/// and the candidate resource classes there (message class is implied by the
+/// requesting VC — packets never change message class, §4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcRequest {
+    /// Destination output port from the routing function.
+    pub out_port: usize,
+    /// Candidate resource classes at `out_port`; each must be a legal
+    /// successor of the requesting VC's resource class. Per §4.2, requests
+    /// are class-granular: a request covers *all* free VCs of the class.
+    pub classes: Vec<usize>,
+}
+
+impl VcRequest {
+    /// Request any free VC of one class at `out_port`.
+    pub fn one_class(out_port: usize, class: usize) -> Self {
+        VcRequest {
+            out_port,
+            classes: vec![class],
+        }
+    }
+}
+
+/// A granted output VC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutVc {
+    /// Output port.
+    pub port: usize,
+    /// VC index at that port.
+    pub vc: usize,
+}
+
+/// A VC allocator: matches requesting input VCs to free output VCs.
+pub trait VcAllocator: Send {
+    /// The class structure this allocator was built for.
+    fn spec(&self) -> &VcAllocSpec;
+
+    /// Performs one round of VC allocation.
+    ///
+    /// `requests[p * V + v]` is the request of input VC `v` at input port
+    /// `p` (or `None` when idle); `free_out.get(p, v)` says whether output
+    /// VC `v` at port `p` is currently unallocated. Returns, per input VC,
+    /// the granted output VC if any.
+    ///
+    /// Guarantees: every grant satisfies the request (port, message class,
+    /// legal class, free output VC) and no output VC is granted twice.
+    fn allocate(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+    ) -> Vec<Option<OutVc>>;
+
+    /// Restores power-on priority state.
+    fn reset(&mut self);
+}
+
+fn validate_request(spec: &VcAllocSpec, in_vc_flat: usize, req: &VcRequest) {
+    assert!(req.out_port < spec.ports(), "out port out of range");
+    let (_, ir, _) = spec.vc_class(in_vc_flat % spec.total_vcs());
+    assert!(!req.classes.is_empty(), "request with no candidate classes");
+    for &rc in &req.classes {
+        assert!(
+            spec.rc_legal(ir, rc),
+            "illegal resource-class transition {ir} -> {rc}"
+        );
+    }
+}
+
+/// Computes, for input VC `g`, the candidate output VCs (as a `V`-wide mask
+/// over VC indices at the destination port): free output VCs in the
+/// requested classes of the input VC's own message class.
+fn candidate_mask(
+    spec: &VcAllocSpec,
+    g: usize,
+    req: &VcRequest,
+    free_out: &BitMatrix,
+) -> noc_arbiter::Bits {
+    let v = spec.total_vcs();
+    let (im, _, _) = spec.vc_class(g % v);
+    let mut mask = noc_arbiter::Bits::new(v);
+    for &rc in &req.classes {
+        let base = spec.class_base(im, rc);
+        for bank in 0..spec.vcs_per_class() {
+            let ov = base + bank;
+            if free_out.get(req.out_port, ov) {
+                mask.set(ov, true);
+            }
+        }
+    }
+    mask
+}
+
+/// Separable VC allocator with the exact structure of Figures 3(a)/3(b).
+///
+/// * **Input-first** (Figure 3(a)): each input VC's `V:1` *input arbiter*
+///   picks one candidate output VC at its destination port; each output
+///   VC's `P*V:1` *output arbiter* (a tree arbiter in hardware) then selects
+///   a winner among the input VCs that bid on it.
+/// * **Output-first** (Figure 3(b)): each output VC's `P*V:1` arbiter picks
+///   a winner among *all* requesting input VCs; since an input VC may win at
+///   several output VCs, a final `V:1` arbitration per input VC selects the
+///   granted VC.
+///
+/// Priority state advances only for grants that survive both stages (§2.1).
+/// The input-side arbiters are `V` wide — they choose *which VC at the
+/// destination port* to use — which is what makes input-first allocation
+/// propagate more distinct requests into the wide second stage than
+/// output-first (§4.3.2).
+pub struct SeparableVcAllocator {
+    spec: VcAllocSpec,
+    input_first: bool,
+    /// Per input VC (`P*V`): `V:1` arbiter over output-VC indices at the
+    /// destination port.
+    input_arbs: Vec<Box<dyn noc_arbiter::Arbiter + Send>>,
+    /// Per output VC (`P*V`): `P*V:1` *tree* arbiter over input VCs — `P`
+    /// `V`-input leaves plus a `P`-input root, the structure §4.1
+    /// prescribes for these wide arbiters.
+    output_arbs: Vec<Box<dyn noc_arbiter::Arbiter + Send>>,
+}
+
+impl SeparableVcAllocator {
+    /// Builds the Figure 3 structure with the given arbiter kind.
+    pub fn new(spec: VcAllocSpec, input_first: bool, kind: noc_arbiter::ArbiterKind) -> Self {
+        let v = spec.total_vcs();
+        let n = spec.ports() * v;
+        SeparableVcAllocator {
+            input_first,
+            input_arbs: (0..n).map(|_| kind.build(v)).collect(),
+            output_arbs: (0..n)
+                .map(|_| {
+                    Box::new(noc_arbiter::TreeArbiter::new(spec.ports(), v, kind))
+                        as Box<dyn noc_arbiter::Arbiter + Send>
+                })
+                .collect(),
+            spec,
+        }
+    }
+}
+
+impl VcAllocator for SeparableVcAllocator {
+    fn spec(&self) -> &VcAllocSpec {
+        &self.spec
+    }
+
+    fn allocate(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+    ) -> Vec<Option<OutVc>> {
+        let spec = self.spec.clone();
+        let v = spec.total_vcs();
+        let n = spec.ports() * v;
+        assert_eq!(requests.len(), n, "one request slot per input VC");
+        let mut results: Vec<Option<OutVc>> = vec![None; n];
+
+        // Sparse edge list `(out_flat, g)` of stage-1 bids — iterating only
+        // requested outputs keeps allocation O(requests), which matters when
+        // this runs inside every router of a cycle-accurate simulation.
+        let mut bids: Vec<(usize, usize)> = Vec::new();
+
+        if self.input_first {
+            // Stage 1: each input VC picks one output VC at its port.
+            for (g, req) in requests.iter().enumerate() {
+                let Some(req) = req else { continue };
+                validate_request(&spec, g, req);
+                let mask = candidate_mask(&spec, g, req, free_out);
+                if let Some(ov) = self.input_arbs[g].arbitrate(&mask) {
+                    bids.push((req.out_port * v + ov, g));
+                }
+            }
+            // Stage 2: each bid-receiving output VC arbitrates.
+            bids.sort_unstable();
+            let mut i = 0;
+            while i < bids.len() {
+                let out_flat = bids[i].0;
+                let mut incoming = noc_arbiter::Bits::new(n);
+                let mut j = i;
+                while j < bids.len() && bids[j].0 == out_flat {
+                    incoming.set(bids[j].1, true);
+                    j += 1;
+                }
+                i = j;
+                if let Some(g) = self.output_arbs[out_flat].arbitrate(&incoming) {
+                    results[g] = Some(OutVc {
+                        port: out_flat / v,
+                        vc: out_flat % v,
+                    });
+                    self.input_arbs[g].update(out_flat % v);
+                    self.output_arbs[out_flat].update(g);
+                }
+            }
+        } else {
+            // Stage 1: each requested output VC arbitrates among all
+            // requesting input VCs.
+            for (g, req) in requests.iter().enumerate() {
+                let Some(req) = req else { continue };
+                validate_request(&spec, g, req);
+                let mask = candidate_mask(&spec, g, req, free_out);
+                for ov in mask.iter_set() {
+                    bids.push((req.out_port * v + ov, g));
+                }
+            }
+            bids.sort_unstable();
+            let mut stage1: Vec<(usize, usize)> = Vec::new(); // (out_flat, winner g)
+            let mut i = 0;
+            while i < bids.len() {
+                let out_flat = bids[i].0;
+                let mut incoming = noc_arbiter::Bits::new(n);
+                let mut j = i;
+                while j < bids.len() && bids[j].0 == out_flat {
+                    incoming.set(bids[j].1, true);
+                    j += 1;
+                }
+                i = j;
+                if let Some(g) = self.output_arbs[out_flat].arbitrate(&incoming) {
+                    stage1.push((out_flat, g));
+                }
+            }
+            // Stage 2: each input VC picks among output VCs that chose it.
+            let mut by_input: Vec<(usize, usize)> =
+                stage1.iter().map(|&(out_flat, g)| (g, out_flat)).collect();
+            by_input.sort_unstable();
+            let mut i = 0;
+            while i < by_input.len() {
+                let g = by_input[i].0;
+                let req = requests[g].as_ref().unwrap();
+                let mut won = noc_arbiter::Bits::new(v);
+                let mut j = i;
+                while j < by_input.len() && by_input[j].0 == g {
+                    debug_assert_eq!(by_input[j].1 / v, req.out_port);
+                    won.set(by_input[j].1 % v, true);
+                    j += 1;
+                }
+                i = j;
+                if let Some(ov) = self.input_arbs[g].arbitrate(&won) {
+                    let out_flat = req.out_port * v + ov;
+                    results[g] = Some(OutVc {
+                        port: req.out_port,
+                        vc: ov,
+                    });
+                    self.input_arbs[g].update(ov);
+                    self.output_arbs[out_flat].update(g);
+                }
+            }
+        }
+        results
+    }
+
+    fn reset(&mut self) {
+        for a in self.input_arbs.iter_mut().chain(&mut self.output_arbs) {
+            a.reset();
+        }
+    }
+}
+
+/// VC allocator built on a monolithic core allocator over the full
+/// `P*V × P*V` request space — used for the wavefront implementation
+/// (Figure 3(c)) and the maximum-size reference.
+pub struct MatrixVcAllocator {
+    spec: VcAllocSpec,
+    inner: Box<dyn Allocator + Send>,
+}
+
+impl MatrixVcAllocator {
+    /// Wraps a core allocator architecture (meaningful for
+    /// [`AllocatorKind::Wavefront`] and [`AllocatorKind::MaxSize`]).
+    pub fn new(spec: VcAllocSpec, kind: AllocatorKind) -> Self {
+        let n = spec.ports() * spec.total_vcs();
+        MatrixVcAllocator {
+            spec,
+            inner: kind.build(n, n),
+        }
+    }
+}
+
+impl VcAllocator for MatrixVcAllocator {
+    fn spec(&self) -> &VcAllocSpec {
+        &self.spec
+    }
+
+    fn allocate(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+    ) -> Vec<Option<OutVc>> {
+        let spec = &self.spec;
+        let v = spec.total_vcs();
+        let n = spec.ports() * v;
+        assert_eq!(requests.len(), n, "one request slot per input VC");
+        assert_eq!(free_out.num_rows(), spec.ports());
+        assert_eq!(free_out.num_cols(), v);
+
+        let mut matrix = BitMatrix::new(n, n);
+        for (g, req) in requests.iter().enumerate() {
+            let Some(req) = req else { continue };
+            validate_request(spec, g, req);
+            let mask = candidate_mask(spec, g, req, free_out);
+            for ov in mask.iter_set() {
+                matrix.set(g, req.out_port * v + ov, true);
+            }
+        }
+        let grants = self.inner.allocate(&matrix);
+        (0..n)
+            .map(|g| {
+                grants.row(g).first_set().map(|col| OutVc {
+                    port: col / v,
+                    vc: col % v,
+                })
+            })
+            .collect()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Conventional ("dense") VC allocator (§4.1): handles requests from any
+/// input VC to the whole range of output VCs, with legality enforced by
+/// runtime request masks. Dispatches to the Figure 3 structure appropriate
+/// for the chosen core architecture.
+pub struct DenseVcAllocator {
+    kind: AllocatorKind,
+    inner: Box<dyn VcAllocator + Send>,
+}
+
+impl DenseVcAllocator {
+    /// Builds a dense VC allocator around the given core architecture.
+    pub fn new(spec: VcAllocSpec, kind: AllocatorKind) -> Self {
+        use noc_arbiter::ArbiterKind::{Matrix, RoundRobin};
+        let inner: Box<dyn VcAllocator + Send> = match kind {
+            AllocatorKind::SepIfMatrix => Box::new(SeparableVcAllocator::new(spec, true, Matrix)),
+            AllocatorKind::SepIfRr => Box::new(SeparableVcAllocator::new(spec, true, RoundRobin)),
+            AllocatorKind::SepOfMatrix => Box::new(SeparableVcAllocator::new(spec, false, Matrix)),
+            AllocatorKind::SepOfRr => Box::new(SeparableVcAllocator::new(spec, false, RoundRobin)),
+            AllocatorKind::Wavefront | AllocatorKind::MaxSize => {
+                Box::new(MatrixVcAllocator::new(spec, kind))
+            }
+        };
+        DenseVcAllocator { kind, inner }
+    }
+
+    /// The core allocator architecture in use.
+    pub fn kind(&self) -> AllocatorKind {
+        self.kind
+    }
+}
+
+impl VcAllocator for DenseVcAllocator {
+    fn spec(&self) -> &VcAllocSpec {
+        self.inner.spec()
+    }
+
+    fn allocate(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+    ) -> Vec<Option<OutVc>> {
+        self.inner.allocate(requests, free_out)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Sparse VC allocator (§4.2): exploits the static class structure.
+///
+/// Because packets never change message class, the allocator splits into `M`
+/// completely independent sub-allocators, each over the `P*R*C` VCs of one
+/// message class — for the wavefront implementation this is exactly the
+/// replacement of the `P*V`-input block by `M` blocks of `P*V/M` inputs the
+/// paper describes. (The further arbiter-width reductions from
+/// resource-class transition sparsity are logic-level optimizations modeled
+/// by the cost model in `noc-hw`; they do not change matching behaviour.)
+pub struct SparseVcAllocator {
+    spec: VcAllocSpec,
+    /// Class structure of one message class, used by the sub-allocators.
+    sub_spec: VcAllocSpec,
+    /// One sub-allocator per message class.
+    subs: Vec<DenseVcAllocator>,
+    kind: AllocatorKind,
+}
+
+impl SparseVcAllocator {
+    /// Builds a sparse VC allocator around the given core architecture.
+    pub fn new(spec: VcAllocSpec, kind: AllocatorKind) -> Self {
+        let sub_spec = VcAllocSpec::new(
+            spec.ports(),
+            1,
+            spec.resource_classes(),
+            spec.vcs_per_class(),
+            spec.rc_succ.clone(),
+        );
+        SparseVcAllocator {
+            subs: (0..spec.msg_classes())
+                .map(|_| DenseVcAllocator::new(sub_spec.clone(), kind))
+                .collect(),
+            sub_spec,
+            spec,
+            kind,
+        }
+    }
+
+    /// The core allocator architecture in use.
+    pub fn kind(&self) -> AllocatorKind {
+        self.kind
+    }
+
+    /// Width of each per-message-class sub-allocator.
+    pub fn sub_width(&self) -> usize {
+        self.spec.ports() * self.spec.resource_classes() * self.spec.vcs_per_class()
+    }
+}
+
+impl VcAllocator for SparseVcAllocator {
+    fn spec(&self) -> &VcAllocSpec {
+        &self.spec
+    }
+
+    fn allocate(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+    ) -> Vec<Option<OutVc>> {
+        let spec = &self.spec;
+        let v = spec.total_vcs();
+        let v_sub = self.sub_spec.total_vcs();
+        let n = spec.ports() * v;
+        assert_eq!(requests.len(), n, "one request slot per input VC");
+        let mut results: Vec<Option<OutVc>> = vec![None; n];
+
+        for (m, sub) in self.subs.iter_mut().enumerate() {
+            // Project requests and availability onto message class m.
+            let mut sub_reqs: Vec<Option<VcRequest>> = vec![None; spec.ports() * v_sub];
+            for (g, req) in requests.iter().enumerate() {
+                let Some(req) = req else { continue };
+                let (im, ir, ibank) = spec.vc_class(g % v);
+                if im != m {
+                    continue;
+                }
+                validate_request(spec, g, req);
+                let sub_vc = ir * spec.vcs_per_class() + ibank;
+                sub_reqs[(g / v) * v_sub + sub_vc] = Some(req.clone());
+            }
+            let mut sub_free = BitMatrix::new(spec.ports(), v_sub);
+            for p in 0..spec.ports() {
+                for sv in 0..v_sub {
+                    sub_free.set(p, sv, free_out.get(p, m * v_sub + sv));
+                }
+            }
+            let sub_grants = sub.allocate(&sub_reqs, &sub_free);
+            for (g, req) in requests.iter().enumerate() {
+                if req.is_none() {
+                    continue;
+                }
+                let (im, ir, ibank) = spec.vc_class(g % v);
+                if im != m {
+                    continue;
+                }
+                let sub_vc = ir * spec.vcs_per_class() + ibank;
+                if let Some(grant) = sub_grants[(g / v) * v_sub + sub_vc] {
+                    results[g] = Some(OutVc {
+                        port: grant.port,
+                        vc: m * v_sub + grant.vc,
+                    });
+                }
+            }
+        }
+        results
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.subs {
+            s.reset();
+        }
+    }
+}
+
+/// Checks that a VC-allocation result is valid for the given requests and
+/// availability — used by tests and debug assertions throughout the
+/// workspace.
+pub fn validate_vc_grants(
+    spec: &VcAllocSpec,
+    requests: &[Option<VcRequest>],
+    free_out: &BitMatrix,
+    grants: &[Option<OutVc>],
+) -> Result<(), String> {
+    let v = spec.total_vcs();
+    let mut used = std::collections::HashSet::new();
+    for (g, grant) in grants.iter().enumerate() {
+        let Some(grant) = grant else { continue };
+        let req = requests[g]
+            .as_ref()
+            .ok_or_else(|| format!("grant to idle input VC {g}"))?;
+        if grant.port != req.out_port {
+            return Err(format!("input VC {g}: granted wrong port"));
+        }
+        let (im, _, _) = spec.vc_class(g % v);
+        let (om, or, _) = spec.vc_class(grant.vc);
+        if om != im {
+            return Err(format!("input VC {g}: message class changed"));
+        }
+        if !req.classes.contains(&or) {
+            return Err(format!("input VC {g}: granted unrequested class {or}"));
+        }
+        if !free_out.get(grant.port, grant.vc) {
+            return Err(format!("input VC {g}: granted busy output VC"));
+        }
+        if !used.insert((grant.port, grant.vc)) {
+            return Err(format!(
+                "output VC {}:{} granted twice",
+                grant.port, grant.vc
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn spec_arithmetic() {
+        let s = VcAllocSpec::fbfly(4);
+        assert_eq!(s.total_vcs(), 16);
+        assert_eq!(s.label(), "2x2x4");
+        assert_eq!(s.class_base(0, 0), 0);
+        assert_eq!(s.class_base(0, 1), 4);
+        assert_eq!(s.class_base(1, 0), 8);
+        assert_eq!(s.class_base(1, 1), 12);
+        assert_eq!(s.vc_class(0), (0, 0, 0));
+        assert_eq!(s.vc_class(7), (0, 1, 3));
+        assert_eq!(s.vc_class(15), (1, 1, 3));
+    }
+
+    #[test]
+    fn fig4_transition_count_is_96_of_256() {
+        // §4.2: "only 96 of the 256 total possible VC-to-VC transitions are
+        // actually legal" for fbfly with 2×2×4 VCs.
+        let s = VcAllocSpec::fbfly(4);
+        assert_eq!(s.total_vcs() * s.total_vcs(), 256);
+        assert_eq!(s.legal_transition_count(), 96);
+    }
+
+    #[test]
+    fn fig4_successor_bound() {
+        // "any given VC is restricted to at most eight possible successor
+        // and predecessor VCs, all confined to the same matrix quadrant".
+        let s = VcAllocSpec::fbfly(4);
+        let t = s.transition_matrix();
+        for iv in 0..16 {
+            assert!(t.row(iv).count_ones() <= 8, "vc {iv}");
+            assert!(t.col(iv).count_ones() <= 8, "vc {iv}");
+            let (im, _, _) = s.vc_class(iv);
+            for ov in t.row(iv).iter_set() {
+                let (om, _, _) = s.vc_class(ov);
+                assert_eq!(im, om, "crossed quadrant");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_transitions_stay_within_message_class() {
+        let s = VcAllocSpec::mesh(2);
+        // V=4; each message class block is 2x2, all legal within it.
+        assert_eq!(s.legal_transition_count(), 8);
+    }
+
+    fn random_workload(
+        spec: &VcAllocSpec,
+        rng: &mut impl Rng,
+        rate: f64,
+    ) -> (Vec<Option<VcRequest>>, BitMatrix) {
+        let v = spec.total_vcs();
+        let n = spec.ports() * v;
+        let reqs = (0..n)
+            .map(|g| {
+                if rng.gen_bool(rate) {
+                    // Routing picks a single successor class per request
+                    // (min vs non-minimal is a routing decision, not an
+                    // allocation choice).
+                    let (_, ir, _) = spec.vc_class(g % v);
+                    let succ = spec.rc_successors(ir);
+                    let class = succ[rng.gen_range(0..succ.len())];
+                    Some(VcRequest::one_class(rng.gen_range(0..spec.ports()), class))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut free = BitMatrix::new(spec.ports(), v);
+        for p in 0..spec.ports() {
+            for ov in 0..v {
+                if rng.gen_bool(0.8) {
+                    free.set(p, ov, true);
+                }
+            }
+        }
+        (reqs, free)
+    }
+
+    #[test]
+    fn dense_grants_are_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for spec in [VcAllocSpec::mesh(2), VcAllocSpec::fbfly(2)] {
+            for kind in AllocatorKind::QUALITY_FIGURE_KINDS {
+                let mut a = DenseVcAllocator::new(spec.clone(), kind);
+                for _ in 0..30 {
+                    let (reqs, free) = random_workload(&spec, &mut rng, 0.5);
+                    let grants = a.allocate(&reqs, &free);
+                    validate_vc_grants(&spec, &reqs, &free, &grants).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_grants_are_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for spec in [VcAllocSpec::mesh(2), VcAllocSpec::fbfly(2)] {
+            for kind in AllocatorKind::QUALITY_FIGURE_KINDS {
+                let mut a = SparseVcAllocator::new(spec.clone(), kind);
+                for _ in 0..30 {
+                    let (reqs, free) = random_workload(&spec, &mut rng, 0.5);
+                    let grants = a.allocate(&reqs, &free);
+                    validate_vc_grants(&spec, &reqs, &free, &grants).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_grant_counts_match_for_wavefront_per_class() {
+        // For C=1 both must produce maximum matchings (§4.3.2), so counts
+        // agree exactly.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let spec = VcAllocSpec::fbfly(1);
+        let mut dense = DenseVcAllocator::new(spec.clone(), AllocatorKind::MaxSize);
+        let mut sparse = SparseVcAllocator::new(spec.clone(), AllocatorKind::MaxSize);
+        for _ in 0..50 {
+            let (reqs, free) = random_workload(&spec, &mut rng, 0.6);
+            let gd: usize = dense
+                .allocate(&reqs, &free)
+                .iter()
+                .filter(|g| g.is_some())
+                .count();
+            let gs: usize = sparse
+                .allocate(&reqs, &free)
+                .iter()
+                .filter(|g| g.is_some())
+                .count();
+            assert_eq!(gd, gs);
+        }
+    }
+
+    #[test]
+    fn single_vc_per_class_all_allocators_maximum() {
+        // §4.3.2: with one VC per class, all three implementations have
+        // matching quality 1 — check grant counts equal MaxSize's.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        for spec in [VcAllocSpec::mesh(1), VcAllocSpec::fbfly(1)] {
+            let mut reference = DenseVcAllocator::new(spec.clone(), AllocatorKind::MaxSize);
+            for kind in AllocatorKind::QUALITY_FIGURE_KINDS {
+                let mut dense = DenseVcAllocator::new(spec.clone(), kind);
+                let mut sparse = SparseVcAllocator::new(spec.clone(), kind);
+                for _ in 0..25 {
+                    let (reqs, free) = random_workload(&spec, &mut rng, 0.7);
+                    let gmax = reference
+                        .allocate(&reqs, &free)
+                        .iter()
+                        .filter(|g| g.is_some())
+                        .count();
+                    for (label, grants) in [
+                        ("dense", dense.allocate(&reqs, &free)),
+                        ("sparse", sparse.allocate(&reqs, &free)),
+                    ] {
+                        let got = grants.iter().filter(|g| g.is_some()).count();
+                        assert_eq!(got, gmax, "{kind:?} {label} {}", spec.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn busy_output_vcs_never_granted() {
+        let spec = VcAllocSpec::mesh(2);
+        let v = spec.total_vcs();
+        let mut a = DenseVcAllocator::new(spec.clone(), AllocatorKind::Wavefront);
+        let mut reqs: Vec<Option<VcRequest>> = vec![None; spec.ports() * v];
+        reqs[0] = Some(VcRequest::one_class(1, 0));
+        // All output VCs busy -> no grant possible.
+        let free = BitMatrix::new(spec.ports(), v);
+        let grants = a.allocate(&reqs, &free);
+        assert!(grants.iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal resource-class transition")]
+    fn illegal_class_transition_rejected() {
+        let spec = VcAllocSpec::fbfly(1);
+        let v = spec.total_vcs();
+        let mut a = SparseVcAllocator::new(spec.clone(), AllocatorKind::SepIfRr);
+        let mut reqs: Vec<Option<VcRequest>> = vec![None; spec.ports() * v];
+        // Input VC 1 is (msg 0, res 1 = minimal); requesting non-minimal
+        // (class 0) is illegal.
+        reqs[1] = Some(VcRequest::one_class(0, 0));
+        let free = BitMatrix::new(spec.ports(), v);
+        a.allocate(&reqs, &free);
+    }
+}

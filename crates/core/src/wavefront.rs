@@ -1,0 +1,251 @@
+//! Wavefront allocator (§2.2).
+
+use crate::{Allocator, BitMatrix};
+
+/// Wavefront allocator (`wf`), after Tamir & Chi's wrapped wavefront
+/// arbiter.
+///
+/// Conceptually an `n × n` tile array: starting from a priority diagonal,
+/// all requests on the diagonal are granted (they can never conflict — a
+/// diagonal touches each row and column exactly once), grants kill the
+/// remaining requests in their row and column, and the wave proceeds to the
+/// next diagonal until all `n` diagonals have been serviced.
+///
+/// Because rows and columns are considered simultaneously, the result is
+/// always a *maximal* matching (asserted by the tests and relied upon in
+/// §4.3.2/§5.3.2), though not necessarily maximum. Weak fairness comes from
+/// rotating the starting diagonal on every invocation; no stronger guarantee
+/// is provided, exactly as the paper notes.
+///
+/// Rectangular `R × C` instances are handled by embedding into the square
+/// `max(R, C)` array, matching how the hardware would tie off unused rows or
+/// columns.
+pub struct WavefrontAllocator {
+    requesters: usize,
+    resources: usize,
+    /// Side of the square tile array.
+    n: usize,
+    /// Currently active priority diagonal.
+    diagonal: usize,
+    policy: DiagonalPolicy,
+}
+
+/// Priority-diagonal update policy — the rotating policy is the paper's
+/// (weakly fair); the fixed policy exists for the fairness ablation and
+/// deliberately starves off-diagonal requesters under persistent load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiagonalPolicy {
+    /// Advance the starting diagonal on every allocation (§2.2).
+    Rotating,
+    /// Keep a fixed starting diagonal (no fairness guarantee at all).
+    Fixed,
+}
+
+impl WavefrontAllocator {
+    /// Creates a wavefront allocator for `requesters × resources` with the
+    /// paper's rotating-diagonal policy.
+    pub fn new(requesters: usize, resources: usize) -> Self {
+        Self::with_policy(requesters, resources, DiagonalPolicy::Rotating)
+    }
+
+    /// Creates a wavefront allocator with an explicit diagonal policy.
+    pub fn with_policy(requesters: usize, resources: usize, policy: DiagonalPolicy) -> Self {
+        assert!(requesters > 0 && resources > 0);
+        WavefrontAllocator {
+            requesters,
+            resources,
+            n: requesters.max(resources),
+            diagonal: 0,
+            policy,
+        }
+    }
+
+    /// The diagonal that will have top priority on the next allocation.
+    pub fn current_diagonal(&self) -> usize {
+        self.diagonal
+    }
+
+    /// Allocates with an explicit priority diagonal and no state update.
+    /// This is the pure function the per-diagonal replicated hardware
+    /// implementation computes; [`Allocator::allocate`] selects among the
+    /// `n` replicas with the rotating state.
+    pub fn allocate_with_diagonal(&self, requests: &BitMatrix, start: usize) -> BitMatrix {
+        assert_eq!(requests.num_rows(), self.requesters);
+        assert_eq!(requests.num_cols(), self.resources);
+        let n = self.n;
+        let mut grants = BitMatrix::new(self.requesters, self.resources);
+        let mut row_free = vec![true; n];
+        let mut col_free = vec![true; n];
+        for k in 0..n {
+            let d = (start + k) % n;
+            // Entries (i, j) with (i + j) mod n == d.
+            for i in 0..self.requesters {
+                let j = (d + n - i % n) % n;
+                if j < self.resources && row_free[i] && col_free[j] && requests.get(i, j) {
+                    grants.set(i, j, true);
+                    row_free[i] = false;
+                    col_free[j] = false;
+                }
+            }
+        }
+        grants
+    }
+}
+
+impl Allocator for WavefrontAllocator {
+    fn num_requesters(&self) -> usize {
+        self.requesters
+    }
+
+    fn num_resources(&self) -> usize {
+        self.resources
+    }
+
+    fn allocate(&mut self, requests: &BitMatrix) -> BitMatrix {
+        let g = self.allocate_with_diagonal(requests, self.diagonal);
+        if self.policy == DiagonalPolicy::Rotating {
+            self.diagonal = (self.diagonal + 1) % self.n;
+        }
+        g
+    }
+
+    fn reset(&mut self) {
+        self.diagonal = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut impl Rng, rows: usize, cols: usize, density: f64) -> BitMatrix {
+        let mut m = BitMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(density) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn grants_are_matchings_and_maximal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut a = WavefrontAllocator::new(8, 8);
+        for _ in 0..200 {
+            let req = random_matrix(&mut rng, 8, 8, 0.3);
+            let g = a.allocate(&req);
+            assert!(g.is_matching_for(&req), "{req:?}\n{g:?}");
+            assert!(g.is_maximal_for(&req), "not maximal:\n{req:?}\n{g:?}");
+        }
+    }
+
+    #[test]
+    fn rectangular_maximality() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for (r, c) in [(3, 7), (7, 3), (1, 5), (5, 1)] {
+            let mut a = WavefrontAllocator::new(r, c);
+            for _ in 0..100 {
+                let req = random_matrix(&mut rng, r, c, 0.4);
+                let g = a.allocate(&req);
+                assert!(g.is_maximal_for(&req), "{r}x{c}\n{req:?}\n{g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_requests_yield_perfect_matching() {
+        let mut a = WavefrontAllocator::new(6, 6);
+        let req = {
+            let mut m = BitMatrix::new(6, 6);
+            for r in 0..6 {
+                for c in 0..6 {
+                    m.set(r, c, true);
+                }
+            }
+            m
+        };
+        let g = a.allocate(&req);
+        assert_eq!(g.count_ones(), 6);
+    }
+
+    #[test]
+    fn priority_diagonal_rotates() {
+        let mut a = WavefrontAllocator::new(4, 4);
+        assert_eq!(a.current_diagonal(), 0);
+        let req = BitMatrix::from_entries(4, 4, [(0, 0)]);
+        a.allocate(&req);
+        assert_eq!(a.current_diagonal(), 1);
+        for _ in 0..3 {
+            a.allocate(&req);
+        }
+        assert_eq!(a.current_diagonal(), 0);
+    }
+
+    #[test]
+    fn fixed_diagonal_starves_where_rotation_does_not() {
+        // Ablation evidence for §2.2's fairness argument: with a fixed
+        // starting diagonal and two persistent conflicting requests, one
+        // requester never wins; the rotating policy serves both.
+        let req = BitMatrix::from_entries(2, 2, [(0, 0), (1, 0)]);
+        let mut fixed = WavefrontAllocator::with_policy(2, 2, DiagonalPolicy::Fixed);
+        let mut winners = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let g = fixed.allocate(&req);
+            winners.insert(g.iter_set().next().unwrap().0);
+        }
+        assert_eq!(winners.len(), 1, "fixed policy should starve one input");
+    }
+
+    #[test]
+    fn rotation_provides_weak_fairness() {
+        // Two requesters fight for one resource; over n allocations each must
+        // win at least once.
+        let mut a = WavefrontAllocator::new(2, 2);
+        let req = BitMatrix::from_entries(2, 2, [(0, 0), (1, 0)]);
+        let mut counts = [0usize; 2];
+        for _ in 0..10 {
+            let g = a.allocate(&req);
+            assert_eq!(g.count_ones(), 1);
+            counts[g.iter_set().next().unwrap().0] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn diagonal_priority_is_respected() {
+        // With start diagonal d, requests on d are granted before
+        // conflicting off-diagonal ones.
+        let a = WavefrontAllocator::new(3, 3);
+        // (0,2) lies on diagonal 2, (0,0) on diagonal 0.
+        let req = BitMatrix::from_entries(3, 3, [(0, 0), (0, 2)]);
+        let g0 = a.allocate_with_diagonal(&req, 0);
+        assert!(g0.get(0, 0) && !g0.get(0, 2));
+        let g2 = a.allocate_with_diagonal(&req, 2);
+        assert!(g2.get(0, 2) && !g2.get(0, 0));
+    }
+
+    #[test]
+    fn beats_or_equals_separable_on_dense_conflicts() {
+        // Quantitative sanity behind §4.3.2: on dense matrices the wavefront
+        // grant count is at least that of a fresh sep_if.
+        use crate::AllocatorKind;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut wf_total = 0usize;
+        let mut sep_total = 0usize;
+        let mut wf = WavefrontAllocator::new(8, 8);
+        let mut sep = AllocatorKind::SepIfRr.build(8, 8);
+        for _ in 0..300 {
+            let req = random_matrix(&mut rng, 8, 8, 0.5);
+            wf_total += wf.allocate(&req).count_ones();
+            sep_total += sep.allocate(&req).count_ones();
+        }
+        assert!(
+            wf_total >= sep_total,
+            "wavefront ({wf_total}) lost to separable ({sep_total})"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for VC and switch allocation invariants.
+
+use noc_core::{
+    validate_switch_grants, validate_vc_grants, AllocatorKind, BitMatrix, DenseVcAllocator,
+    SparseVcAllocator, SpecMode, SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests,
+    VcAllocSpec, VcAllocator, VcRequest,
+};
+use proptest::prelude::*;
+
+/// Strategy: a VC spec drawn from the paper's families with small ports.
+fn spec_strategy() -> impl Strategy<Value = VcAllocSpec> {
+    (2usize..=5, 1usize..=2, prop::bool::ANY).prop_map(|(ports, c, fb)| {
+        if fb {
+            VcAllocSpec::fbfly(c).with_ports(ports)
+        } else {
+            VcAllocSpec::mesh(c).with_ports(ports)
+        }
+    })
+}
+
+/// Strategy: a workload for a given spec — per input VC an optional
+/// (port, class) request plus an availability mask.
+fn workload(
+    spec: VcAllocSpec,
+) -> impl Strategy<Value = (VcAllocSpec, Vec<Option<VcRequest>>, BitMatrix)> {
+    let v = spec.total_vcs();
+    let n = spec.ports() * v;
+    let ports = spec.ports();
+    let spec2 = spec.clone();
+    (
+        proptest::collection::vec(proptest::option::of((0..ports, proptest::num::u8::ANY)), n),
+        proptest::collection::vec(proptest::bool::ANY, ports * v),
+    )
+        .prop_map(move |(raw, free_bits)| {
+            let reqs: Vec<Option<VcRequest>> = raw
+                .iter()
+                .enumerate()
+                .map(|(g, r)| {
+                    r.map(|(port, class_pick)| {
+                        let (_, ir, _) = spec2.vc_class(g % v);
+                        let succ = spec2.rc_successors(ir);
+                        let class = succ[class_pick as usize % succ.len()];
+                        VcRequest::one_class(port, class)
+                    })
+                })
+                .collect();
+            let mut free = BitMatrix::new(ports, v);
+            for p in 0..ports {
+                for vc in 0..v {
+                    if free_bits[p * v + vc] {
+                        free.set(p, vc, true);
+                    }
+                }
+            }
+            (spec2.clone(), reqs, free)
+        })
+}
+
+fn vc_workload() -> impl Strategy<Value = (VcAllocSpec, Vec<Option<VcRequest>>, BitMatrix)> {
+    spec_strategy().prop_flat_map(workload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_vc_grants_always_valid((spec, reqs, free) in vc_workload()) {
+        for kind in AllocatorKind::QUALITY_FIGURE_KINDS {
+            let mut a = DenseVcAllocator::new(spec.clone(), kind);
+            let g = a.allocate(&reqs, &free);
+            prop_assert!(validate_vc_grants(&spec, &reqs, &free, &g).is_ok(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_vc_grants_always_valid((spec, reqs, free) in vc_workload()) {
+        for kind in AllocatorKind::QUALITY_FIGURE_KINDS {
+            let mut a = SparseVcAllocator::new(spec.clone(), kind);
+            let g = a.allocate(&reqs, &free);
+            prop_assert!(validate_vc_grants(&spec, &reqs, &free, &g).is_ok(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_grant_counts_match_exactly((spec, reqs, free) in vc_workload()) {
+        // Message classes are independent, so splitting the allocator per
+        // class must not change behaviour (grant-for-grant) for the
+        // separable architectures whose arbiters see identical orderings.
+        for kind in [AllocatorKind::SepIfRr, AllocatorKind::SepOfRr, AllocatorKind::MaxSize] {
+            let mut d = DenseVcAllocator::new(spec.clone(), kind);
+            let mut s = SparseVcAllocator::new(spec.clone(), kind);
+            let gd = d.allocate(&reqs, &free);
+            let gs = s.allocate(&reqs, &free);
+            let nd = gd.iter().filter(|g| g.is_some()).count();
+            let ns = gs.iter().filter(|g| g.is_some()).count();
+            prop_assert_eq!(nd, ns, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn wavefront_vc_allocation_is_maximum((spec, reqs, free) in vc_workload()) {
+        // §4.3.2: with class-granular requests, maximal = maximum, so the
+        // wavefront grant count must equal the MaxSize count.
+        let mut wf = DenseVcAllocator::new(spec.clone(), AllocatorKind::Wavefront);
+        let mut ms = DenseVcAllocator::new(spec.clone(), AllocatorKind::MaxSize);
+        let nw = wf.allocate(&reqs, &free).iter().filter(|g| g.is_some()).count();
+        let nm = ms.allocate(&reqs, &free).iter().filter(|g| g.is_some()).count();
+        prop_assert_eq!(nw, nm);
+    }
+
+    #[test]
+    fn switch_grants_always_valid(
+        ports in 2usize..7,
+        vcs in 1usize..5,
+        raw in proptest::collection::vec(proptest::option::of(proptest::num::u8::ANY), 42)
+    ) {
+        use noc_arbiter::ArbiterKind::{Matrix, RoundRobin};
+        let mut reqs = SwitchRequests::new(ports, vcs);
+        for i in 0..ports {
+            for v in 0..vcs {
+                if let Some(Some(o)) = raw.get(i * vcs + v) {
+                    reqs.request(i, v, *o as usize % ports);
+                }
+            }
+        }
+        for kind in [
+            SwitchAllocatorKind::SepIf(RoundRobin),
+            SwitchAllocatorKind::SepIf(Matrix),
+            SwitchAllocatorKind::SepOf(RoundRobin),
+            SwitchAllocatorKind::Wavefront,
+        ] {
+            let mut a = kind.build(ports, vcs);
+            let g = a.allocate(&reqs);
+            prop_assert!(validate_switch_grants(&reqs, &g).is_ok(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn speculative_composition_is_conflict_free(
+        ports in 2usize..6,
+        vcs in 1usize..4,
+        raw_ns in proptest::collection::vec(proptest::option::of(proptest::num::u8::ANY), 24),
+        raw_sp in proptest::collection::vec(proptest::option::of(proptest::num::u8::ANY), 24)
+    ) {
+        use noc_arbiter::ArbiterKind::RoundRobin;
+        let build = |raw: &[Option<u8>]| {
+            let mut reqs = SwitchRequests::new(ports, vcs);
+            for i in 0..ports {
+                for v in 0..vcs {
+                    if let Some(Some(o)) = raw.get(i * vcs + v) {
+                        reqs.request(i, v, *o as usize % ports);
+                    }
+                }
+            }
+            reqs
+        };
+        let ns = build(&raw_ns);
+        let sp = build(&raw_sp);
+        for mode in [SpecMode::Conventional, SpecMode::Pessimistic] {
+            let mut a = SpeculativeSwitchAllocator::new(
+                SwitchAllocatorKind::SepIf(RoundRobin), ports, vcs, mode,
+            );
+            let res = a.allocate(&ns, &sp);
+            // The union of nonspec grants and surviving spec grants must
+            // itself satisfy the one-per-input / one-per-output rule.
+            let mut in_used = vec![false; ports];
+            let mut out_used = vec![false; ports];
+            for g in res.nonspec.iter().chain(&res.spec) {
+                prop_assert!(!std::mem::replace(&mut in_used[g.in_port], true), "{mode:?}");
+                prop_assert!(!std::mem::replace(&mut out_used[g.out_port], true), "{mode:?}");
+            }
+        }
+    }
+}

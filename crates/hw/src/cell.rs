@@ -1,0 +1,361 @@
+//! Standard-cell primitives and the synthetic 45 nm low-power library.
+//!
+//! The paper synthesizes with "a commercial 45nm low-power standard cell
+//! library under worst-case process, voltage and temperature conditions
+//! (0.9V, 125°C)". We cannot ship a commercial library, so this module
+//! defines a synthetic one with physically grounded parameters:
+//!
+//! * **Delay** follows the logical-effort model: a cell driving load `C_L`
+//!   with drive size `s` has delay `τ·(p + C_L / (s·c0))`, where `p` is the
+//!   cell's parasitic delay in units of `τ` and `c0` the unit inverter input
+//!   capacitance. `τ` is calibrated so an FO4 inverter is ≈ 45 ps — a
+//!   representative worst-case-PVT value for a 45 nm LP process.
+//! * **Input capacitance** of a pin is `g·s·c0` with `g` the cell's logical
+//!   effort per input.
+//! * **Area** per cell grows affinely with drive size.
+//! * **Power** is handled in [`crate::power`] from net capacitances and
+//!   switching activities, plus per-cell leakage.
+//!
+//! Absolute numbers differ from any real foundry kit, but ratios between
+//! designs — which is what the paper's conclusions rest on — are preserved
+//! because they derive from logic structure (depth, width, fanout).
+
+/// Combinational cell types available to the netlist builders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 4-input NOR.
+    Nor4,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 4-input AND.
+    And4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 4-input OR.
+    Or4,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; inputs are `(a, b, sel)`, output `sel ? b : a`.
+    Mux2,
+    /// AND-OR-invert: `!((a & b) | c)`.
+    Aoi21,
+    /// OR-AND-invert: `!((a | b) & c)`.
+    Oai21,
+}
+
+impl CellKind {
+    /// Number of input pins.
+    pub fn num_inputs(self) -> usize {
+        use CellKind::*;
+        match self {
+            Inv | Buf => 1,
+            Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 => 2,
+            Nand3 | Nor3 | And3 | Or3 | Aoi21 | Oai21 | Mux2 => 3,
+            Nand4 | Nor4 | And4 | Or4 => 4,
+        }
+    }
+
+    /// Boolean function of the cell, for combinational netlist evaluation.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        use CellKind::*;
+        match self {
+            Inv => !inputs[0],
+            Buf => inputs[0],
+            Nand2 | Nand3 | Nand4 => !inputs.iter().all(|&b| b),
+            Nor2 | Nor3 | Nor4 => !inputs.iter().any(|&b| b),
+            And2 | And3 | And4 => inputs.iter().all(|&b| b),
+            Or2 | Or3 | Or4 => inputs.iter().any(|&b| b),
+            Xor2 => inputs[0] ^ inputs[1],
+            Xnor2 => !(inputs[0] ^ inputs[1]),
+            Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),
+        }
+    }
+
+    /// Output signal probability assuming independent inputs with the given
+    /// one-probabilities (used by the power model's activity propagation).
+    pub fn output_probability(self, p: &[f64]) -> f64 {
+        use CellKind::*;
+        match self {
+            Inv => 1.0 - p[0],
+            Buf => p[0],
+            Nand2 | Nand3 | Nand4 => 1.0 - p.iter().product::<f64>(),
+            Nor2 | Nor3 | Nor4 => p.iter().map(|q| 1.0 - q).product(),
+            And2 | And3 | And4 => p.iter().product(),
+            Or2 | Or3 | Or4 => 1.0 - p.iter().map(|q| 1.0 - q).product::<f64>(),
+            Xor2 => p[0] * (1.0 - p[1]) + p[1] * (1.0 - p[0]),
+            Xnor2 => p[0] * p[1] + (1.0 - p[0]) * (1.0 - p[1]),
+            Mux2 => p[2] * p[1] + (1.0 - p[2]) * p[0],
+            Aoi21 => 1.0 - (p[0] * p[1] + p[2] - p[0] * p[1] * p[2]),
+            Oai21 => 1.0 - (p[0] + p[1] - p[0] * p[1]) * p[2],
+        }
+    }
+
+    /// All cell kinds, for exhaustive tests.
+    pub const ALL: [CellKind; 19] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nand4,
+        CellKind::Nor2,
+        CellKind::Nor3,
+        CellKind::Nor4,
+        CellKind::And2,
+        CellKind::And3,
+        CellKind::And4,
+        CellKind::Or2,
+        CellKind::Or3,
+        CellKind::Or4,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Aoi21,
+        CellKind::Oai21,
+    ];
+}
+
+/// Electrical and physical parameters of one library cell.
+#[derive(Clone, Copy, Debug)]
+pub struct CellParams {
+    /// Logical effort per input (delay penalty relative to an inverter for
+    /// equal drive).
+    pub logical_effort: f64,
+    /// Parasitic delay in units of τ.
+    pub parasitic: f64,
+    /// Cell area in µm² at unit drive.
+    pub area: f64,
+    /// Leakage power in nW at unit drive (LP process, worst-case temp).
+    pub leakage_nw: f64,
+    /// Internal energy factor: fraction of the switched load charged inside
+    /// the cell (short-circuit + internal nodes).
+    pub internal_energy: f64,
+}
+
+/// The synthetic 45 nm LP library.
+#[derive(Clone, Debug)]
+pub struct CellLibrary {
+    /// Time unit τ in ns (inverter delay driving one identical inverter,
+    /// minus parasitic).
+    pub tau_ns: f64,
+    /// Unit inverter input capacitance in fF.
+    pub c0_ff: f64,
+    /// Supply voltage in V.
+    pub vdd: f64,
+    /// Wire capacitance added to a net per fanout pin, in fF.
+    pub wire_cap_per_fanout_ff: f64,
+    /// D flip-flop parameters.
+    pub dff: DffParams,
+}
+
+/// Sequential-cell parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DffParams {
+    /// Clock-to-Q delay in ns.
+    pub clk_q_ns: f64,
+    /// Setup time in ns.
+    pub setup_ns: f64,
+    /// D-pin input capacitance in fF.
+    pub d_cap_ff: f64,
+    /// Area in µm².
+    pub area: f64,
+    /// Leakage in nW.
+    pub leakage_nw: f64,
+    /// Clock-pin capacitance in fF (contributes clock-tree power).
+    pub clk_cap_ff: f64,
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary {
+            // FO4 ≈ τ·(p + 4) with p = 1 → 45 ps at τ = 9 ps: typical for
+            // 45 nm LP silicon at 0.9 V / 125 °C worst case.
+            tau_ns: 0.009,
+            c0_ff: 0.9,
+            vdd: 0.9,
+            wire_cap_per_fanout_ff: 0.25,
+            dff: DffParams {
+                clk_q_ns: 0.075,
+                setup_ns: 0.035,
+                d_cap_ff: 1.4,
+                area: 5.8,
+                leakage_nw: 2.4,
+                clk_cap_ff: 0.9,
+            },
+        }
+    }
+}
+
+impl CellLibrary {
+    /// Parameters of one combinational cell kind.
+    pub fn params(&self, kind: CellKind) -> CellParams {
+        use CellKind::*;
+        // Logical efforts/parasitics from Sutherland-Sproull-Harris; CMOS
+        // composite gates (AND/OR) modeled as NAND/NOR + inverter merged.
+        let (g, p, area, leak) = match kind {
+            Inv => (1.0, 1.0, 1.1, 0.5),
+            Buf => (1.0, 2.0, 1.6, 0.7),
+            Nand2 => (4.0 / 3.0, 2.0, 1.6, 0.8),
+            Nand3 => (5.0 / 3.0, 3.0, 2.2, 1.1),
+            Nand4 => (2.0, 4.0, 2.8, 1.4),
+            Nor2 => (5.0 / 3.0, 2.0, 1.6, 0.8),
+            Nor3 => (7.0 / 3.0, 3.0, 2.2, 1.1),
+            Nor4 => (3.0, 4.0, 2.8, 1.4),
+            And2 => (4.0 / 3.0, 3.0, 2.1, 1.0),
+            And3 => (5.0 / 3.0, 4.0, 2.7, 1.3),
+            And4 => (2.0, 5.0, 3.3, 1.6),
+            Or2 => (5.0 / 3.0, 3.0, 2.1, 1.0),
+            Or3 => (7.0 / 3.0, 4.0, 2.7, 1.3),
+            Or4 => (3.0, 5.0, 3.3, 1.6),
+            Xor2 => (4.0, 4.0, 3.4, 1.8),
+            Xnor2 => (4.0, 4.0, 3.4, 1.8),
+            Mux2 => (2.0, 4.0, 3.2, 1.5),
+            Aoi21 => (5.0 / 3.0, 7.0 / 3.0, 2.2, 1.0),
+            Oai21 => (5.0 / 3.0, 7.0 / 3.0, 2.2, 1.0),
+        };
+        CellParams {
+            logical_effort: g,
+            parasitic: p,
+            area,
+            leakage_nw: leak,
+            internal_energy: 0.35,
+        }
+    }
+
+    /// Input-pin capacitance of a cell at drive size `size`, in fF.
+    pub fn input_cap_ff(&self, kind: CellKind, size: f64) -> f64 {
+        self.params(kind).logical_effort * size * self.c0_ff
+    }
+
+    /// Cell delay in ns for drive `size` and output load `load_ff`.
+    pub fn cell_delay_ns(&self, kind: CellKind, size: f64, load_ff: f64) -> f64 {
+        let p = self.params(kind);
+        self.tau_ns * (p.parasitic + load_ff / (size * self.c0_ff))
+    }
+
+    /// Cell area in µm² at drive `size`; upsizing widens transistors but
+    /// shares overhead, hence the affine model.
+    pub fn cell_area_um2(&self, kind: CellKind, size: f64) -> f64 {
+        self.params(kind).area * (0.45 + 0.55 * size)
+    }
+
+    /// FO4 delay of the library in ns (sanity anchor).
+    pub fn fo4_ns(&self) -> f64 {
+        self.cell_delay_ns(CellKind::Inv, 1.0, 4.0 * self.c0_ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fo4_is_realistic_for_45nm_lp_worst_case() {
+        let lib = CellLibrary::default();
+        let fo4 = lib.fo4_ns();
+        assert!((0.03..0.06).contains(&fo4), "FO4 = {fo4} ns");
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        use CellKind::*;
+        assert!(Nand2.eval(&[true, false]));
+        assert!(!Nand2.eval(&[true, true]));
+        assert!(!Nor2.eval(&[true, false]));
+        assert!(Nor2.eval(&[false, false]));
+        assert!(Mux2.eval(&[false, true, true]));
+        assert!(!Mux2.eval(&[false, true, false]));
+        assert!(Aoi21.eval(&[true, false, false]));
+        assert!(!Aoi21.eval(&[true, true, false]));
+        assert!(!Aoi21.eval(&[false, false, true]));
+        assert!(Oai21.eval(&[false, false, true]));
+        assert!(!Oai21.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn probability_matches_exhaustive_truth_table() {
+        // For p = 0.5 per input, output probability must equal the fraction
+        // of input combinations producing 1.
+        for kind in CellKind::ALL {
+            let n = kind.num_inputs();
+            let mut ones = 0usize;
+            for bits in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 != 0).collect();
+                if kind.eval(&inputs) {
+                    ones += 1;
+                }
+            }
+            let expected = ones as f64 / (1 << n) as f64;
+            let got = kind.output_probability(&vec![0.5; n]);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "{kind:?}: formula {got} vs truth table {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_formulas_at_corners() {
+        // At deterministic inputs the probability must match eval exactly.
+        for kind in CellKind::ALL {
+            let n = kind.num_inputs();
+            for bits in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 != 0).collect();
+                let probs: Vec<f64> = inputs.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+                let want = if kind.eval(&inputs) { 1.0 } else { 0.0 };
+                let got = kind.output_probability(&probs);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{kind:?} inputs {inputs:?}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delay_decreases_with_size_increases_with_load() {
+        let lib = CellLibrary::default();
+        let d_small = lib.cell_delay_ns(CellKind::Nand2, 1.0, 10.0);
+        let d_big = lib.cell_delay_ns(CellKind::Nand2, 4.0, 10.0);
+        assert!(d_big < d_small);
+        let d_loaded = lib.cell_delay_ns(CellKind::Nand2, 1.0, 20.0);
+        assert!(d_loaded > d_small);
+    }
+
+    #[test]
+    fn area_grows_with_size() {
+        let lib = CellLibrary::default();
+        assert!(lib.cell_area_um2(CellKind::Nand2, 4.0) > lib.cell_area_um2(CellKind::Nand2, 1.0));
+        // Quadrupling drive should not quadruple area (shared overhead).
+        assert!(
+            lib.cell_area_um2(CellKind::Nand2, 4.0) < 4.0 * lib.cell_area_um2(CellKind::Nand2, 1.0)
+        );
+    }
+}

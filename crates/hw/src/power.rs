@@ -1,0 +1,182 @@
+//! Activity-based power estimation.
+//!
+//! Follows the paper's methodology (§3.1): "the average power consumption
+//! when applying a default activity factor of 0.5 to all inputs". Signal
+//! probabilities are propagated through the logic assuming spatial
+//! independence; per-net switching activity under temporal independence is
+//! `α = 2·p·(1-p)`, scaled so that the primary inputs hit the configured
+//! activity factor. Dynamic power is evaluated at the design's own maximum
+//! frequency (1 / min-cycle), which is how a synthesis power report at the
+//! target clock reads.
+
+use crate::cell::CellLibrary;
+use crate::netlist::Netlist;
+
+/// Result of a power run.
+#[derive(Clone, Debug)]
+pub struct PowerReport {
+    /// Total average power in mW.
+    pub total_mw: f64,
+    /// Switching (net + internal) power in mW.
+    pub dynamic_mw: f64,
+    /// Leakage power in mW.
+    pub leakage_mw: f64,
+    /// Clock-tree power (flop clock pins) in mW.
+    pub clock_mw: f64,
+}
+
+/// Default input activity factor from the paper.
+pub const PAPER_ACTIVITY_FACTOR: f64 = 0.5;
+
+/// Computes per-net signal one-probabilities (primary inputs and flop
+/// outputs at 0.5, constants at 0/1) under the independence assumption.
+pub fn signal_probabilities(netlist: &Netlist) -> Vec<f64> {
+    let mut p = vec![0.0f64; netlist.num_nets()];
+    for &i in netlist.primary_inputs() {
+        p[i] = 0.5;
+    }
+    for d in netlist.dffs() {
+        p[d.q] = 0.5;
+    }
+    let (c0, c1) = netlist.constants();
+    if let Some(n) = c0 {
+        p[n] = 0.0;
+    }
+    if let Some(n) = c1 {
+        p[n] = 1.0;
+    }
+    let mut probs = Vec::with_capacity(4);
+    for ci in netlist.topo_order() {
+        let c = &netlist.cells()[ci];
+        probs.clear();
+        probs.extend(c.inputs.iter().map(|&n| p[n]));
+        p[c.output] = c.kind.output_probability(&probs);
+    }
+    p
+}
+
+/// Estimates average power at clock frequency `freq_ghz` with the given
+/// input activity factor.
+pub fn analyze(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    freq_ghz: f64,
+    activity_factor: f64,
+) -> PowerReport {
+    let loads = netlist.net_loads_ff(lib);
+    let p = signal_probabilities(netlist);
+    // Scale so a p=0.5 net toggles at the configured activity factor:
+    // 2·p·(1-p) = 0.5 at p = 0.5, so scale = af / 0.5.
+    let scale = activity_factor / 0.5;
+    let vdd2 = lib.vdd * lib.vdd;
+
+    let mut dynamic_uw = 0.0f64;
+    let mut leakage_nw = 0.0f64;
+    // Net switching power for driven nets.
+    for ci in 0..netlist.cells().len() {
+        let c = &netlist.cells()[ci];
+        let alpha = 2.0 * p[c.output] * (1.0 - p[c.output]) * scale;
+        let internal = lib.params(c.kind).internal_energy;
+        // fF · V² · GHz = µW; the ½ accounts for one charge event per toggle
+        // pair.
+        dynamic_uw += 0.5 * alpha * loads[c.output] * (1.0 + internal) * vdd2 * freq_ghz;
+        leakage_nw += lib.params(c.kind).leakage_nw * (0.5 + 0.5 * c.size);
+    }
+    // Primary-input nets switch too (driven by upstream logic, but their
+    // load is ours).
+    for &i in netlist.primary_inputs() {
+        let alpha = 2.0 * p[i] * (1.0 - p[i]) * scale;
+        dynamic_uw += 0.5 * alpha * loads[i] * vdd2 * freq_ghz;
+    }
+    // Flop Q nets and clock pins.
+    let mut clock_uw = 0.0f64;
+    for d in netlist.dffs() {
+        let alpha = 2.0 * p[d.q] * (1.0 - p[d.q]) * scale;
+        dynamic_uw += 0.5 * alpha * loads[d.q] * vdd2 * freq_ghz;
+        // The clock toggles twice per cycle regardless of data activity.
+        clock_uw += lib.dff.clk_cap_ff * vdd2 * freq_ghz;
+        leakage_nw += lib.dff.leakage_nw;
+    }
+
+    let dynamic_mw = dynamic_uw / 1000.0;
+    let clock_mw = clock_uw / 1000.0;
+    let leakage_mw = leakage_nw / 1e6;
+    PowerReport {
+        total_mw: dynamic_mw + clock_mw + leakage_mw,
+        dynamic_mw,
+        leakage_mw,
+        clock_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_propagation_through_and() {
+        let mut nl = Netlist::new("p");
+        let a = nl.input();
+        let b = nl.input();
+        let o = nl.and2(a, b);
+        nl.output(o);
+        let p = signal_probabilities(&nl);
+        assert!((p[o] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_do_not_switch() {
+        let mut nl = Netlist::new("c");
+        let a = nl.input();
+        let one = nl.const1();
+        let o = nl.and2(a, one);
+        nl.output(o);
+        let p = signal_probabilities(&nl);
+        assert!((p[o] - 0.5).abs() < 1e-12);
+        let rep = analyze(&nl, &CellLibrary::default(), 1.0, 0.5);
+        assert!(rep.total_mw > 0.0);
+    }
+
+    #[test]
+    fn power_scales_with_frequency_and_activity() {
+        let mut nl = Netlist::new("f");
+        let ins = nl.inputs_vec(16);
+        let o = nl.or_tree(&ins);
+        nl.output(o);
+        let lib = CellLibrary::default();
+        let p1 = analyze(&nl, &lib, 1.0, 0.5);
+        let p2 = analyze(&nl, &lib, 2.0, 0.5);
+        assert!(
+            (p2.dynamic_mw / p1.dynamic_mw - 2.0).abs() < 1e-9,
+            "dynamic power must scale linearly with f"
+        );
+        let p3 = analyze(&nl, &lib, 1.0, 0.25);
+        assert!(p3.dynamic_mw < p1.dynamic_mw);
+        // Leakage is frequency independent.
+        assert!((p1.leakage_mw - p2.leakage_mw).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bigger_netlists_burn_more_power() {
+        let lib = CellLibrary::default();
+        let mk = |n: usize| {
+            let mut nl = Netlist::new("sz");
+            let ins = nl.inputs_vec(n);
+            let o = nl.or_tree(&ins);
+            nl.output(o);
+            analyze(&nl, &lib, 1.0, 0.5).total_mw
+        };
+        assert!(mk(64) > mk(8));
+    }
+
+    #[test]
+    fn flops_cost_clock_power() {
+        let lib = CellLibrary::default();
+        let mut nl = Netlist::new("ff");
+        let a = nl.input();
+        let q = nl.dff(a);
+        nl.output(q);
+        let rep = analyze(&nl, &lib, 1.0, 0.5);
+        assert!(rep.clock_mw > 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Static timing analysis.
+//!
+//! Computes the minimum cycle time of a netlist under the same constraint
+//! regime Design Compiler would apply to an isolated allocator block: all
+//! primary inputs arrive from upstream registers (arrival = clk→Q), all
+//! primary outputs feed downstream registers (require setup), and internal
+//! register-to-register paths are timed directly. The reported
+//! `min_cycle_ns` is the figure the paper plots as "delay".
+
+use crate::cell::CellLibrary;
+use crate::netlist::{NetId, Netlist};
+
+/// Result of a timing run.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Minimum cycle time in ns (critical path + flop overheads).
+    pub min_cycle_ns: f64,
+    /// Pure combinational delay of the worst path in ns (no clk→Q/setup).
+    pub critical_path_ns: f64,
+    /// Net at the end of the worst path (an output or a DFF D pin).
+    pub critical_endpoint: NetId,
+    /// Per-net arrival times in ns (clk→Q-referenced), for the sizing pass.
+    pub arrival_ns: Vec<f64>,
+}
+
+/// Runs static timing analysis on `netlist`.
+pub fn analyze(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
+    let loads = netlist.net_loads_ff(lib);
+    let arrival = arrival_times(netlist, lib, &loads);
+
+    let mut worst = 0.0f64;
+    let mut endpoint = 0;
+    for &o in netlist.primary_outputs() {
+        if arrival[o] > worst {
+            worst = arrival[o];
+            endpoint = o;
+        }
+    }
+    for d in netlist.dffs() {
+        if arrival[d.d] > worst {
+            worst = arrival[d.d];
+            endpoint = d.d;
+        }
+    }
+    TimingReport {
+        min_cycle_ns: worst + lib.dff.setup_ns,
+        critical_path_ns: (worst - lib.dff.clk_q_ns).max(0.0),
+        critical_endpoint: endpoint,
+        arrival_ns: arrival,
+    }
+}
+
+/// Computes per-net arrival times (ns). Sources (primary inputs and DFF Q
+/// pins) start at clk→Q; constants never switch and are given arrival 0.
+pub fn arrival_times(netlist: &Netlist, lib: &CellLibrary, loads: &[f64]) -> Vec<f64> {
+    arrival_times_with_order(netlist, lib, loads, &netlist.topo_order())
+}
+
+/// As [`arrival_times`], with a precomputed topological order — the sizing
+/// pass reuses one order across iterations since resizing never changes
+/// connectivity.
+pub fn arrival_times_with_order(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    loads: &[f64],
+    order: &[usize],
+) -> Vec<f64> {
+    let mut arrival = vec![0.0f64; netlist.num_nets()];
+    for &i in netlist.primary_inputs() {
+        arrival[i] = lib.dff.clk_q_ns;
+    }
+    for d in netlist.dffs() {
+        arrival[d.q] = lib.dff.clk_q_ns;
+    }
+    for &ci in order {
+        let c = &netlist.cells()[ci];
+        let worst_in = c.inputs.iter().map(|&n| arrival[n]).fold(0.0f64, f64::max);
+        arrival[c.output] = worst_in + lib.cell_delay_ns(c.kind, c.size, loads[c.output]);
+    }
+    arrival
+}
+
+/// Minimum cycle time from a precomputed arrival vector.
+pub fn min_cycle_from_arrivals(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    arrival: &[f64],
+) -> (f64, NetId) {
+    let mut worst = 0.0f64;
+    let mut endpoint = 0;
+    for &o in netlist.primary_outputs() {
+        if arrival[o] > worst {
+            worst = arrival[o];
+            endpoint = o;
+        }
+    }
+    for d in netlist.dffs() {
+        if arrival[d.d] > worst {
+            worst = arrival[d.d];
+            endpoint = d.d;
+        }
+    }
+    (worst + lib.dff.setup_ns, endpoint)
+}
+
+/// Traces the critical path backwards from `endpoint`, returning the cell
+/// indices on it (endpoint-first). Used by the gate-sizing pass.
+pub fn critical_path_cells(netlist: &Netlist, arrival: &[f64], endpoint: NetId) -> Vec<usize> {
+    // Map net -> driving cell.
+    let mut driver: Vec<Option<usize>> = vec![None; netlist.num_nets()];
+    for (ci, c) in netlist.cells().iter().enumerate() {
+        driver[c.output] = Some(ci);
+    }
+    let mut path = Vec::new();
+    let mut net = endpoint;
+    while let Some(ci) = driver[net] {
+        path.push(ci);
+        let c = &netlist.cells()[ci];
+        // Follow the latest-arriving input.
+        net = *c
+            .inputs
+            .iter()
+            .max_by(|&&a, &&b| arrival[a].partial_cmp(&arrival[b]).unwrap())
+            .expect("cell with no inputs");
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    #[test]
+    fn single_gate_timing() {
+        let lib = CellLibrary::default();
+        let mut nl = Netlist::new("g");
+        let a = nl.input();
+        let b = nl.input();
+        let o = nl.and2(a, b);
+        nl.output(o);
+        let rep = analyze(&nl, &lib);
+        let expected = lib.dff.clk_q_ns
+            + lib.cell_delay_ns(CellKind::And2, 1.0, 4.0 * lib.c0_ff)
+            + lib.dff.setup_ns;
+        assert!((rep.min_cycle_ns - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let lib = CellLibrary::default();
+        let mk = |depth: usize| {
+            let mut nl = Netlist::new("chain");
+            let mut n = nl.input();
+            let other = nl.input();
+            for _ in 0..depth {
+                n = nl.and2(n, other);
+            }
+            nl.output(n);
+            analyze(&nl, &lib).min_cycle_ns
+        };
+        assert!(mk(8) > mk(4));
+        assert!(mk(4) > mk(2));
+    }
+
+    #[test]
+    fn wide_tree_beats_chain() {
+        let lib = CellLibrary::default();
+        // 32-input AND as balanced tree vs as linear chain.
+        let mut tree = Netlist::new("tree");
+        let ins = tree.inputs_vec(32);
+        let t = tree.and_tree(&ins);
+        tree.output(t);
+        let mut chain = Netlist::new("chain");
+        let ins = chain.inputs_vec(32);
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = chain.and2(acc, i);
+        }
+        chain.output(acc);
+        assert!(analyze(&tree, &lib).min_cycle_ns < analyze(&chain, &lib).min_cycle_ns);
+    }
+
+    #[test]
+    fn fanout_load_slows_driver() {
+        let lib = CellLibrary::default();
+        let mk = |fanout: usize| {
+            let mut nl = Netlist::new("fan");
+            let a = nl.input();
+            let inv = nl.not(a);
+            for _ in 0..fanout {
+                let s = nl.not(inv);
+                nl.output(s);
+            }
+            analyze(&nl, &lib).min_cycle_ns
+        };
+        assert!(mk(16) > mk(1));
+    }
+
+    #[test]
+    fn register_to_register_paths_counted() {
+        let lib = CellLibrary::default();
+        let mut nl = Netlist::new("r2r");
+        let (h, q) = nl.dff_deferred();
+        let n1 = nl.not(q);
+        let n2 = nl.not(n1);
+        nl.connect_dff(h, n2);
+        // No primary outputs at all; min cycle still reflects the q->d path.
+        let rep = analyze(&nl, &lib);
+        assert!(rep.min_cycle_ns > lib.dff.clk_q_ns + lib.dff.setup_ns);
+    }
+
+    #[test]
+    fn critical_path_trace_reaches_source() {
+        let lib = CellLibrary::default();
+        let mut nl = Netlist::new("trace");
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.and2(a, b);
+        let y = nl.or2(x, a);
+        let z = nl.not(y);
+        nl.output(z);
+        let rep = analyze(&nl, &lib);
+        let path = critical_path_cells(&nl, &rep.arrival_ns, rep.critical_endpoint);
+        assert_eq!(path.len(), 3); // inv, or, and
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the hardware model: netlist evaluation,
+//! timing monotonicity, probability propagation, and optimization safety.
+
+use noc_hw::builders::arbiters::{build_arbiter, fixed_priority_grants, HwArbiterKind};
+use noc_hw::{CellLibrary, Netlist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn or_and_trees_correct_for_any_width(
+        width in 1usize..60,
+        pattern in proptest::collection::vec(proptest::bool::ANY, 60)
+    ) {
+        let mut nl = Netlist::new("t");
+        let ins = nl.inputs_vec(width);
+        let o = nl.or_tree(&ins);
+        let a = nl.and_tree(&ins);
+        nl.output(o);
+        nl.output(a);
+        let inp = &pattern[..width];
+        let (outs, _) = nl.eval(inp, &[]);
+        prop_assert_eq!(outs[0], inp.iter().any(|&b| b));
+        prop_assert_eq!(outs[1], inp.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fixed_priority_netlist_is_one_hot_lowest(
+        width in 1usize..40,
+        pattern in proptest::collection::vec(proptest::bool::ANY, 40)
+    ) {
+        let mut nl = Netlist::new("fp");
+        let ins = nl.inputs_vec(width);
+        for g in fixed_priority_grants(&mut nl, &ins) {
+            nl.output(g);
+        }
+        let inp = &pattern[..width];
+        let (outs, _) = nl.eval(inp, &[]);
+        let winner: Vec<usize> = outs.iter().enumerate().filter(|(_, &g)| g).map(|(i, _)| i).collect();
+        let expect: Vec<usize> = inp.iter().position(|&b| b).into_iter().collect();
+        prop_assert_eq!(winner, expect);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval(
+        width in 2usize..30,
+        pattern in proptest::collection::vec(proptest::bool::ANY, 30)
+    ) {
+        // A random-ish arbiter netlist: all signal probabilities must lie
+        // in [0, 1].
+        let mut nl = Netlist::new("p");
+        let ins = nl.inputs_vec(width);
+        let arb = build_arbiter(&mut nl, HwArbiterKind::RoundRobin, &ins);
+        for &g in &arb.grants {
+            nl.output(g);
+        }
+        arb.commit_own_grants(&mut nl);
+        let probs = noc_hw::power::signal_probabilities(&nl);
+        for (i, p) in probs.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(p), "net {i}: {p}");
+        }
+        let _ = pattern;
+    }
+
+    #[test]
+    fn buffering_never_changes_function(
+        width in 2usize..12,
+        fanout in 8usize..24,
+        pattern in proptest::collection::vec(proptest::bool::ANY, 12)
+    ) {
+        let mut nl = Netlist::new("buf");
+        let ins = nl.inputs_vec(width);
+        let x = nl.or_tree(&ins);
+        for _ in 0..fanout {
+            let s = nl.not(x);
+            nl.output(s);
+        }
+        let inp = &pattern[..width];
+        let (before, _) = nl.eval(inp, &[]);
+        noc_hw::optimize::buffer_high_fanout(&mut nl, 4);
+        nl.validate().unwrap();
+        let (after, _) = nl.eval(inp, &[]);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn upsizing_a_cell_never_slows_the_design(width in 4usize..24) {
+        // Monotonicity of the delay model under drive-strength increase of
+        // the output-driving cell.
+        let lib = CellLibrary::default();
+        let mut nl = Netlist::new("mono");
+        let ins = nl.inputs_vec(width);
+        let o = nl.or_tree(&ins);
+        let out = nl.not(o);
+        nl.output(out);
+        let before = noc_hw::sta::analyze(&nl, &lib).min_cycle_ns;
+        // Upsize the final inverter only: reduces its delay, adds load to
+        // its fanin — but the fanin cell's load increase is bounded; check
+        // overall cycle does not explode (> 1.5x) and usually improves.
+        let last = nl.cells().len() - 1;
+        nl.set_cell_size(last, 4.0);
+        let after = noc_hw::sta::analyze(&nl, &lib).min_cycle_ns;
+        prop_assert!(after < before * 1.5, "{before} -> {after}");
+    }
+}

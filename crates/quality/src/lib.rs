@@ -1,0 +1,25 @@
+//! Open-loop matching-quality evaluation (§3.1 of the paper).
+//!
+//! The paper assesses each allocator by feeding it 10 000 pseudo-random
+//! request matrices at a given request rate and dividing the total number of
+//! grants by the number a maximum-size allocator produces for the same
+//! request sequence. This crate implements that harness for both VC
+//! allocation (Figure 7) and switch allocation (Figure 12) workloads.
+//!
+//! Requests are generated independently per input VC ("requests per VC per
+//! cycle" on the figures' x-axes); as §5.3.3 notes, this open-loop setup can
+//! drive much higher request rates than a network sustains in steady state,
+//! which is exactly why matching-quality differences overstate network-level
+//! differences.
+
+pub mod sw_quality;
+pub mod sweep;
+pub mod vc_quality;
+
+pub use sw_quality::{sw_quality_curve, SwQualityConfig};
+pub use sweep::{default_rates, QualityCurve, QualityPoint};
+pub use vc_quality::{vc_quality_curve, VcQualityConfig};
+
+/// Number of pseudo-random request matrices per data point used by the
+/// paper (§3.1).
+pub const PAPER_TRIALS: usize = 10_000;

@@ -1,0 +1,108 @@
+//! Common result types for quality sweeps.
+
+/// One data point of a matching-quality curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityPoint {
+    /// Request probability per input VC per cycle (figure x-axis).
+    pub rate: f64,
+    /// Total grants produced by the allocator under test.
+    pub grants: u64,
+    /// Total grants a maximum-size allocator produced on the same request
+    /// sequence.
+    pub max_grants: u64,
+}
+
+impl QualityPoint {
+    /// Matching quality: `grants / max_grants` (§3.1), defined as 1 when no
+    /// requests were generated at all.
+    pub fn quality(&self) -> f64 {
+        if self.max_grants == 0 {
+            1.0
+        } else {
+            self.grants as f64 / self.max_grants as f64
+        }
+    }
+}
+
+/// A labeled matching-quality curve (one line in Figure 7 or 12).
+#[derive(Clone, Debug)]
+pub struct QualityCurve {
+    /// Legend label, e.g. `sep_if`.
+    pub label: String,
+    /// Data points, in increasing rate order.
+    pub points: Vec<QualityPoint>,
+}
+
+impl QualityCurve {
+    /// Minimum quality across the sweep — the headline "up to X% worse"
+    /// numbers in §4.3.2 compare curves at their worst points.
+    pub fn min_quality(&self) -> f64 {
+        self.points
+            .iter()
+            .map(QualityPoint::quality)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The x-axis used by the paper's quality figures: rates from 0.05 to 1.0.
+pub fn default_rates() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_ratio() {
+        let p = QualityPoint {
+            rate: 0.5,
+            grants: 80,
+            max_grants: 100,
+        };
+        assert!((p.quality() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_requests_count_as_perfect() {
+        let p = QualityPoint {
+            rate: 0.0,
+            grants: 0,
+            max_grants: 0,
+        };
+        assert_eq!(p.quality(), 1.0);
+    }
+
+    #[test]
+    fn default_rates_span_unit_interval() {
+        let r = default_rates();
+        assert_eq!(r.len(), 20);
+        assert!((r[0] - 0.05).abs() < 1e-12);
+        assert!((r[19] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_quality_over_curve() {
+        let c = QualityCurve {
+            label: "x".into(),
+            points: vec![
+                QualityPoint {
+                    rate: 0.1,
+                    grants: 99,
+                    max_grants: 100,
+                },
+                QualityPoint {
+                    rate: 0.5,
+                    grants: 80,
+                    max_grants: 100,
+                },
+                QualityPoint {
+                    rate: 1.0,
+                    grants: 90,
+                    max_grants: 100,
+                },
+            ],
+        };
+        assert!((c.min_quality() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,429 @@
+//! The full network: routers, terminals, and links with credit channels.
+
+use crate::config::SimConfig;
+use crate::packet::Flit;
+use crate::router::{Router, RouterConfig, RouterStats};
+use crate::stats::NetStats;
+use crate::terminal::{RouterProbe, Terminal};
+use crate::topology::Topology;
+
+/// An event in flight on a link or credit wire.
+#[derive(Clone, Debug)]
+enum Event {
+    FlitToRouter {
+        router: usize,
+        port: usize,
+        vc: usize,
+        flit: Flit,
+    },
+    CreditToRouter {
+        router: usize,
+        port: usize,
+        vc: usize,
+    },
+    FlitToTerminal {
+        term: usize,
+        /// Output VC the flit used at the ejecting router (for the credit).
+        vc: usize,
+        flit: Flit,
+    },
+    CreditToTerminal {
+        term: usize,
+        vc: usize,
+    },
+}
+
+/// Fixed-latency event delivery (latencies are small: 1–3 cycles).
+struct TimingWheel {
+    slots: Vec<Vec<Event>>,
+}
+
+impl TimingWheel {
+    fn new() -> Self {
+        TimingWheel {
+            slots: (0..8).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn schedule(&mut self, now: u64, delay: u64, ev: Event) {
+        assert!(delay >= 1 && delay < self.slots.len() as u64);
+        let idx = ((now + delay) % self.slots.len() as u64) as usize;
+        self.slots[idx].push(ev);
+    }
+
+    fn take(&mut self, now: u64) -> Vec<Event> {
+        let idx = (now % self.slots.len() as u64) as usize;
+        std::mem::take(&mut self.slots[idx])
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(Vec::is_empty)
+    }
+}
+
+/// A complete simulated network.
+pub struct Network {
+    /// Topology in use.
+    pub topo: Topology,
+    cfg: SimConfig,
+    routers: Vec<Router>,
+    terminals: Vec<Terminal>,
+    wheel: TimingWheel,
+    /// Reverse link table: `rev[router][port] = (upstream router, its port,
+    /// latency)` for network input ports.
+    rev: Vec<Vec<Option<(usize, usize, u64)>>>,
+    /// Current cycle.
+    pub now: u64,
+    /// Measurement statistics.
+    pub stats: NetStats,
+}
+
+impl Network {
+    /// Builds a network in its reset state.
+    pub fn new(cfg: SimConfig) -> Self {
+        let topo = cfg.topology.build();
+        let spec = cfg.vc_spec();
+        let routing = cfg.routing();
+        let rcfg = RouterConfig {
+            spec: spec.clone(),
+            buf_depth: cfg.buf_depth,
+            vca_kind: cfg.vca_kind,
+            vca_sparse: cfg.vca_sparse,
+            sa_kind: cfg.sa_kind,
+            spec_mode: cfg.spec_mode,
+            routing,
+        };
+        let routers: Vec<Router> = (0..topo.num_routers())
+            .map(|r| Router::new(r, rcfg.clone()))
+            .collect();
+        let terminals: Vec<Terminal> = (0..topo.num_terminals())
+            .map(|t| Terminal::new(t, &topo, &spec, routing, cfg.buf_depth, cfg.seed))
+            .collect();
+        // Reverse links for credit routing.
+        let mut rev = vec![vec![None; topo.ports]; topo.num_routers()];
+        for r in 0..topo.num_routers() {
+            for p in 0..topo.ports {
+                if let Some(l) = topo.link(r, p) {
+                    rev[l.to_router][l.to_port] = Some((r, p, l.latency));
+                }
+            }
+        }
+        let mut stats = NetStats::default();
+        stats.init_sources(topo.num_terminals());
+        Network {
+            topo,
+            cfg,
+            routers,
+            terminals,
+            wheel: TimingWheel::new(),
+            rev,
+            now: 0,
+            stats,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the configuration — e.g. to stop injection
+    /// (`injection_rate = 0`) for drain phases.
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.cfg
+    }
+
+    /// Runs one network cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // --- deliver link/credit events landing this cycle ----------------
+        for ev in self.wheel.take(now) {
+            match ev {
+                Event::FlitToRouter {
+                    router,
+                    port,
+                    vc,
+                    flit,
+                } => {
+                    self.routers[router].accept_flit(port, vc, flit);
+                }
+                Event::CreditToRouter { router, port, vc } => {
+                    self.routers[router].accept_credit(port, vc);
+                }
+                Event::FlitToTerminal { term, vc, flit } => {
+                    self.stats.record_flit_ejected(now);
+                    if flit.tail {
+                        self.stats
+                            .record_packet_from(now, flit.birth, flit.msg_class(), flit.src);
+                    }
+                    self.terminals[term].receive(&flit, now);
+                    // Ideal sink: return the credit immediately.
+                    let (router, port) = self.topo.terminal_attach(term);
+                    self.wheel
+                        .schedule(now, 1, Event::CreditToRouter { router, port, vc });
+                }
+                Event::CreditToTerminal { term, vc } => {
+                    self.terminals[term].accept_credit(vc);
+                }
+            }
+        }
+
+        // --- terminals: traffic generation and injection -------------------
+        let n_term = self.terminals.len();
+        for t in 0..n_term {
+            self.terminals[t].generate_traffic_burst(
+                self.cfg.injection_rate,
+                self.cfg.pattern,
+                n_term,
+                now,
+                self.cfg.burst,
+            );
+            let router = self.terminals[t].router;
+            let port = self.terminals[t].port;
+            // Field-level split borrow: the probe reads `routers` while the
+            // terminal mutates itself.
+            let (terminals, routers, topo) = (&mut self.terminals, &self.routers, &self.topo);
+            let out = terminals[t].step(topo, &RouterProbe(&routers[router]), now);
+            if let Some((vc, flit)) = out.flit {
+                self.stats.record_flit_injected(now);
+                self.wheel.schedule(
+                    now,
+                    1,
+                    Event::FlitToRouter {
+                        router,
+                        port,
+                        vc,
+                        flit,
+                    },
+                );
+            }
+        }
+
+        // --- routers --------------------------------------------------------
+        for r in 0..self.routers.len() {
+            let outputs = self.routers[r].step(&self.topo, now);
+            for of in outputs.flits {
+                if let Some(term) = self.topo.port_terminal(r, of.port) {
+                    self.wheel.schedule(
+                        now,
+                        1,
+                        Event::FlitToTerminal {
+                            term,
+                            vc: of.vc,
+                            flit: of.flit,
+                        },
+                    );
+                } else {
+                    let link = self.topo.link(r, of.port).expect("network port");
+                    self.wheel.schedule(
+                        now,
+                        link.latency,
+                        Event::FlitToRouter {
+                            router: link.to_router,
+                            port: link.to_port,
+                            vc: of.vc,
+                            flit: of.flit,
+                        },
+                    );
+                }
+            }
+            for (in_port, in_vc) in outputs.credits {
+                if let Some(term) = self.topo.port_terminal(r, in_port) {
+                    self.wheel
+                        .schedule(now, 1, Event::CreditToTerminal { term, vc: in_vc });
+                } else {
+                    let (ur, up, lat) = self.rev[r][in_port].expect("upstream link");
+                    self.wheel.schedule(
+                        now,
+                        lat,
+                        Event::CreditToRouter {
+                            router: ur,
+                            port: up,
+                            vc: in_vc,
+                        },
+                    );
+                }
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs `cycles` network cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// True when no flit is buffered, in flight, or queued anywhere.
+    pub fn is_drained(&self) -> bool {
+        self.wheel.is_empty()
+            && self.routers.iter().all(Router::is_idle)
+            && self.terminals.iter().all(|t| t.backlog_packets() == 0)
+    }
+
+    /// Aggregated router statistics (speculation counters etc.).
+    pub fn router_stats(&self) -> RouterStats {
+        let mut agg = RouterStats::default();
+        for r in &self.routers {
+            agg.nonspec_grants += r.stats.nonspec_grants;
+            agg.spec_grants += r.stats.spec_grants;
+            agg.spec_masked += r.stats.spec_masked;
+            agg.spec_invalid += r.stats.spec_invalid;
+            agg.vca_grants += r.stats.vca_grants;
+            agg.vca_requests += r.stats.vca_requests;
+        }
+        agg
+    }
+
+    /// Total request-queue backlog across terminals (saturation indicator).
+    pub fn total_backlog(&self) -> usize {
+        self.terminals.iter().map(Terminal::backlog_packets).sum()
+    }
+
+    /// Total flits injected since reset.
+    pub fn total_flits_injected(&self) -> u64 {
+        self.terminals.iter().map(|t| t.flits_injected).sum()
+    }
+
+    /// UGAL route-choice split since reset: `(minimal, non-minimal)`
+    /// packets started.
+    pub fn ugal_split(&self) -> (u64, u64) {
+        (
+            self.terminals.iter().map(|t| t.minimal_started).sum(),
+            self.terminals.iter().map(|t| t.nonminimal_started).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyKind;
+
+    fn quick_cfg(topology: TopologyKind, c: usize, rate: f64) -> SimConfig {
+        SimConfig {
+            injection_rate: rate,
+            ..SimConfig::paper_baseline(topology, c)
+        }
+    }
+
+    #[test]
+    fn mesh_delivers_all_traffic_and_drains() {
+        let mut net = Network::new(quick_cfg(TopologyKind::Mesh8x8, 1, 0.1));
+        net.stats.set_window(0, 3000);
+        net.run(3000);
+        let injected = net.total_flits_injected();
+        assert!(injected > 500, "injected only {injected}");
+        // Stop traffic and drain.
+        let mut cfg = net.cfg.clone();
+        cfg.injection_rate = 0.0;
+        net.cfg = cfg;
+        for _ in 0..4000 {
+            net.step();
+            if net.is_drained() {
+                break;
+            }
+        }
+        assert!(net.is_drained(), "network failed to drain");
+    }
+
+    #[test]
+    fn fbfly_delivers_all_traffic_and_drains() {
+        for c in [1usize, 2] {
+            let mut net = Network::new(quick_cfg(TopologyKind::FlattenedButterfly4x4, c, 0.2));
+            net.stats.set_window(0, 2000);
+            net.run(2000);
+            assert!(net.total_flits_injected() > 1000);
+            net.cfg.injection_rate = 0.0;
+            for _ in 0..4000 {
+                net.step();
+                if net.is_drained() {
+                    break;
+                }
+            }
+            assert!(net.is_drained(), "fbfly C={c} failed to drain");
+        }
+    }
+
+    #[test]
+    fn conservation_flits_in_equals_flits_out_after_drain() {
+        let mut net = Network::new(quick_cfg(TopologyKind::Mesh8x8, 2, 0.15));
+        net.stats.set_window(0, u64::MAX);
+        net.run(2500);
+        net.cfg.injection_rate = 0.0;
+        for _ in 0..4000 {
+            net.step();
+            if net.is_drained() {
+                break;
+            }
+        }
+        assert!(net.is_drained());
+        assert_eq!(
+            net.total_flits_injected(),
+            net.stats.flits_ejected,
+            "flits lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn zero_load_latency_is_sane_for_mesh() {
+        // At near-zero load, the average mesh packet latency should be a
+        // couple dozen cycles (pipeline + links + serialization), far from
+        // both 0 and saturation values.
+        let mut net = Network::new(quick_cfg(TopologyKind::Mesh8x8, 1, 0.01));
+        net.stats.set_window(1000, 6000);
+        net.run(6000);
+        let lat = net.stats.avg_latency();
+        assert!(lat > 8.0 && lat < 40.0, "zero-load latency {lat}");
+    }
+
+    #[test]
+    fn zero_load_latency_fbfly_below_mesh() {
+        let mut mesh = Network::new(quick_cfg(TopologyKind::Mesh8x8, 1, 0.01));
+        mesh.stats.set_window(1000, 6000);
+        mesh.run(6000);
+        let mut fb = Network::new(quick_cfg(TopologyKind::FlattenedButterfly4x4, 1, 0.01));
+        fb.stats.set_window(1000, 6000);
+        fb.run(6000);
+        assert!(
+            fb.stats.avg_latency() < mesh.stats.avg_latency(),
+            "fbfly {} !< mesh {}",
+            fb.stats.avg_latency(),
+            mesh.stats.avg_latency()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut net = Network::new(quick_cfg(TopologyKind::Mesh8x8, 2, 0.2));
+            net.stats.set_window(500, 2500);
+            net.run(2500);
+            (
+                net.stats.latency_sum,
+                net.stats.packets,
+                net.stats.flits_ejected,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn speculation_reduces_zero_load_latency() {
+        // §5.3.3: speculative switch allocation cuts mesh zero-load latency
+        // (the paper reports up to 23%).
+        let mut spec = Network::new(quick_cfg(TopologyKind::Mesh8x8, 1, 0.02));
+        spec.stats.set_window(1000, 8000);
+        spec.run(8000);
+        let mut nonspec_cfg = quick_cfg(TopologyKind::Mesh8x8, 1, 0.02);
+        nonspec_cfg.spec_mode = noc_core::SpecMode::NonSpeculative;
+        let mut nons = Network::new(nonspec_cfg);
+        nons.stats.set_window(1000, 8000);
+        nons.run(8000);
+        let (ls, ln) = (spec.stats.avg_latency(), nons.stats.avg_latency());
+        assert!(ls < ln, "spec {ls} !< nonspec {ln}");
+        let gain = (ln - ls) / ln;
+        assert!(gain > 0.10, "speculation gain only {:.1}%", gain * 100.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Simulation drivers: single runs, latency-vs-injection-rate curves
+//! (Figures 13/14) and saturation-rate extraction.
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::router::RouterStats;
+
+/// Average latency beyond which a run is declared saturated.
+pub const LATENCY_CAP: f64 = 400.0;
+
+/// Result of one simulation run at a fixed injection rate.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Offered load, flits/cycle/terminal.
+    pub offered: f64,
+    /// Average packet latency over the measurement window (cycles); `NaN`
+    /// if nothing was delivered.
+    pub avg_latency: f64,
+    /// Average request-packet latency.
+    pub request_latency: f64,
+    /// Average reply-packet latency.
+    pub reply_latency: f64,
+    /// Sample standard deviation of packet latency (cycles).
+    pub latency_std_dev: f64,
+    /// 99th-percentile packet latency (power-of-two bucket upper bound).
+    pub latency_p99: f64,
+    /// Accepted throughput, flits/cycle/terminal.
+    pub throughput: f64,
+    /// True if the network kept up with the offered load (latency under
+    /// [`LATENCY_CAP`] and no unbounded source backlog).
+    pub stable: bool,
+    /// Aggregated router counters.
+    pub router_stats: RouterStats,
+}
+
+/// Runs one simulation: `warmup` cycles to reach steady state, then a
+/// `measure`-cycle window.
+pub fn run_sim(cfg: &SimConfig, warmup: u64, measure: u64) -> SimResult {
+    let mut net = Network::new(cfg.clone());
+    net.stats.set_window(warmup, warmup + measure);
+    net.run(warmup + measure);
+    let terminals = net.topo.num_terminals();
+    let avg = net.stats.avg_latency();
+    let throughput = net.stats.throughput(terminals);
+    // Stability: the measured backlog per terminal must stay small and the
+    // latency bounded.
+    let backlog = net.total_backlog() as f64 / terminals as f64;
+    let stable = avg.is_finite() && avg < LATENCY_CAP && backlog < 12.0;
+    SimResult {
+        offered: cfg.injection_rate,
+        avg_latency: avg,
+        request_latency: net.stats.class_avg_latency(0),
+        reply_latency: net.stats.class_avg_latency(1),
+        latency_std_dev: net.stats.latency_std_dev(),
+        latency_p99: net.stats.latency_percentile(0.99),
+        throughput,
+        stable,
+        router_stats: net.router_stats(),
+    }
+}
+
+/// Default warmup/measurement lengths used by the figure benches.
+pub const DEFAULT_WARMUP: u64 = 5_000;
+/// Default measurement window.
+pub const DEFAULT_MEASURE: u64 = 10_000;
+
+/// Runs one simulation per injection rate, in parallel across OS threads
+/// (each run is independent and deterministic).
+pub fn latency_curve(base: &SimConfig, rates: &[f64], warmup: u64, measure: u64) -> Vec<SimResult> {
+    let mut results: Vec<Option<SimResult>> = vec![None; rates.len()];
+    std::thread::scope(|scope| {
+        for (slot, &rate) in results.iter_mut().zip(rates) {
+            let cfg = SimConfig {
+                injection_rate: rate,
+                ..base.clone()
+            };
+            scope.spawn(move || {
+                *slot = Some(run_sim(&cfg, warmup, measure));
+            });
+        }
+    });
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+/// Measures the zero-load latency: the average packet latency at a very
+/// light load (1% of capacity).
+pub fn zero_load_latency(base: &SimConfig) -> f64 {
+    let cfg = SimConfig {
+        injection_rate: 0.01,
+        ..base.clone()
+    };
+    run_sim(&cfg, 2_000, 12_000).avg_latency
+}
+
+/// Finds the saturation rate by bisection: the highest offered load the
+/// network sustains with bounded latency and backlog.
+pub fn saturation_rate(base: &SimConfig, warmup: u64, measure: u64) -> f64 {
+    let stable_at = |rate: f64| {
+        let cfg = SimConfig {
+            injection_rate: rate,
+            ..base.clone()
+        };
+        run_sim(&cfg, warmup, measure).stable
+    };
+    // Exponential probe upward from a safe floor.
+    let mut lo = 0.02f64;
+    if !stable_at(lo) {
+        return 0.0;
+    }
+    let mut hi = 0.04f64;
+    while hi < 1.0 && stable_at(hi) {
+        lo = hi;
+        hi *= 1.5;
+    }
+    let mut hi = hi.min(1.0);
+    // Bisect to ~1% resolution.
+    for _ in 0..7 {
+        let mid = 0.5 * (lo + hi);
+        if stable_at(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyKind;
+
+    #[test]
+    fn low_load_runs_are_stable() {
+        let cfg = SimConfig {
+            injection_rate: 0.05,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1)
+        };
+        let r = run_sim(&cfg, 1_000, 3_000);
+        assert!(r.stable);
+        assert!(r.avg_latency.is_finite());
+        assert!(r.throughput > 0.03, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn overload_is_detected_as_unstable() {
+        let cfg = SimConfig {
+            injection_rate: 0.95,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1)
+        };
+        let r = run_sim(&cfg, 1_000, 3_000);
+        assert!(!r.stable, "0.95 flits/cycle cannot be stable on a mesh");
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let base = SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2);
+        let curve = latency_curve(&base, &[0.05, 0.25], 1_500, 4_000);
+        assert!(curve[1].avg_latency > curve[0].avg_latency);
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let base = SimConfig {
+            injection_rate: 0.2,
+            ..SimConfig::paper_baseline(TopologyKind::FlattenedButterfly4x4, 2)
+        };
+        let r = run_sim(&base, 2_000, 6_000);
+        assert!(r.stable);
+        assert!(
+            (r.throughput - 0.2).abs() < 0.02,
+            "accepted {} vs offered 0.2",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn saturation_rate_is_in_plausible_band() {
+        // Mesh 2x1x1 under uniform request/reply traffic saturates well
+        // below the 0.5 bisection bound and above 0.15 (Figure 13(a) shows
+        // ~0.3 for the paper's setup).
+        let base = SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1);
+        let sat = saturation_rate(&base, 1_500, 3_000);
+        assert!((0.15..0.5).contains(&sat), "mesh 2x1x1 saturation {sat}");
+    }
+}

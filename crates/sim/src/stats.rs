@@ -1,0 +1,247 @@
+//! Measurement-window statistics.
+
+/// Latency and throughput accumulators over a measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    window_start: u64,
+    window_end: u64,
+    /// Sum of packet latencies (tail ejection − creation) in the window.
+    pub latency_sum: u64,
+    /// Packets whose tail ejected within the window.
+    pub packets: u64,
+    /// Worst packet latency observed in the window.
+    pub latency_max: u64,
+    /// Per-message-class latency sums and counts `[request, reply]`.
+    pub class_latency_sum: [u64; 2],
+    /// Per-class packet counts.
+    pub class_packets: [u64; 2],
+    /// Flits ejected in the window.
+    pub flits_ejected: u64,
+    /// Flits injected in the window (all terminals).
+    pub flits_injected: u64,
+    /// Sum of squared latencies, for the variance estimate.
+    latency_sq_sum: u128,
+    /// Latency histogram in power-of-two buckets (`hist[i]` counts
+    /// latencies in `[2^i, 2^(i+1))`), for percentile estimates.
+    hist: [u64; 24],
+    /// Per-source latency sums/counts (initialized by
+    /// [`NetStats::init_sources`]), for network-level fairness analysis.
+    src_latency_sum: Vec<u64>,
+    src_packets: Vec<u64>,
+}
+
+impl NetStats {
+    /// Sets the measurement window `[start, end)`.
+    pub fn set_window(&mut self, start: u64, end: u64) {
+        self.window_start = start;
+        self.window_end = end;
+    }
+
+    /// Enables per-source latency tracking for `n` terminals.
+    pub fn init_sources(&mut self, n: usize) {
+        self.src_latency_sum = vec![0; n];
+        self.src_packets = vec![0; n];
+    }
+
+    #[inline]
+    fn in_window(&self, now: u64) -> bool {
+        now >= self.window_start && now < self.window_end
+    }
+
+    /// Records a packet whose tail flit ejected at `now`.
+    pub fn record_packet_from(&mut self, now: u64, birth: u64, msg_class: usize, src: usize) {
+        self.record_packet(now, birth, msg_class);
+        if self.in_window(now) && src < self.src_packets.len() {
+            self.src_latency_sum[src] += now - birth;
+            self.src_packets[src] += 1;
+        }
+    }
+
+    /// Records a packet whose tail flit ejected at `now`.
+    pub fn record_packet(&mut self, now: u64, birth: u64, msg_class: usize) {
+        if self.in_window(now) {
+            let lat = now - birth;
+            self.latency_sum += lat;
+            self.packets += 1;
+            self.latency_max = self.latency_max.max(lat);
+            self.class_latency_sum[msg_class] += lat;
+            self.class_packets[msg_class] += 1;
+            self.latency_sq_sum += (lat as u128) * (lat as u128);
+            let bucket = (64 - (lat.max(1)).leading_zeros() as usize - 1).min(23);
+            self.hist[bucket] += 1;
+        }
+    }
+
+    /// Records one ejected flit.
+    pub fn record_flit_ejected(&mut self, now: u64) {
+        if self.in_window(now) {
+            self.flits_ejected += 1;
+        }
+    }
+
+    /// Records one injected flit.
+    pub fn record_flit_injected(&mut self, now: u64) {
+        if self.in_window(now) {
+            self.flits_injected += 1;
+        }
+    }
+
+    /// Average packet latency over the window.
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets == 0 {
+            f64::NAN
+        } else {
+            self.latency_sum as f64 / self.packets as f64
+        }
+    }
+
+    /// Average latency of one message class.
+    pub fn class_avg_latency(&self, class: usize) -> f64 {
+        if self.class_packets[class] == 0 {
+            f64::NAN
+        } else {
+            self.class_latency_sum[class] as f64 / self.class_packets[class] as f64
+        }
+    }
+
+    /// Sample standard deviation of packet latency over the window.
+    pub fn latency_std_dev(&self) -> f64 {
+        if self.packets < 2 {
+            return f64::NAN;
+        }
+        let n = self.packets as f64;
+        let mean = self.latency_sum as f64 / n;
+        let var = (self.latency_sq_sum as f64 / n - mean * mean).max(0.0) * n / (n - 1.0);
+        var.sqrt()
+    }
+
+    /// Approximate latency percentile (power-of-two histogram resolution).
+    /// `q` in (0, 1]; returns an upper bound of the bucket containing the
+    /// quantile.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let target = (self.packets as f64 * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.hist.iter().enumerate() {
+            seen += c;
+            if seen >= target && c > 0 {
+                return (1u64 << (i + 1)) as f64;
+            }
+        }
+        f64::NAN
+    }
+
+    /// Per-source average latencies (NaN for sources with no packets);
+    /// empty unless [`NetStats::init_sources`] was called.
+    pub fn per_source_latency(&self) -> Vec<f64> {
+        self.src_latency_sum
+            .iter()
+            .zip(&self.src_packets)
+            .map(|(&s, &c)| {
+                if c == 0 {
+                    f64::NAN
+                } else {
+                    s as f64 / c as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Fairness indicator: max/min per-source average latency over sources
+    /// that delivered packets (NaN without per-source data).
+    pub fn source_latency_spread(&self) -> f64 {
+        let lats: Vec<f64> = self
+            .per_source_latency()
+            .into_iter()
+            .filter(|l| l.is_finite())
+            .collect();
+        if lats.is_empty() {
+            return f64::NAN;
+        }
+        let max = lats.iter().cloned().fold(0.0f64, f64::max);
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        max / min
+    }
+
+    /// Accepted throughput in flits/cycle/terminal.
+    pub fn throughput(&self, terminals: usize) -> f64 {
+        let cycles = self.window_end.saturating_sub(self.window_start);
+        if cycles == 0 {
+            0.0
+        } else {
+            self.flits_ejected as f64 / (cycles as f64 * terminals as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_filtering() {
+        let mut s = NetStats::default();
+        s.set_window(100, 200);
+        s.record_packet(50, 40, 0); // before window
+        s.record_packet(150, 100, 0); // inside
+        s.record_packet(250, 200, 1); // after
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.latency_sum, 50);
+        assert!((s.avg_latency() - 50.0).abs() < 1e-12);
+        assert_eq!(s.class_packets, [1, 0]);
+    }
+
+    #[test]
+    fn throughput_normalization() {
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        for t in 0..500 {
+            s.record_flit_ejected(t);
+        }
+        assert!((s.throughput(10) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_yields_nan() {
+        let s = NetStats::default();
+        assert!(s.avg_latency().is_nan());
+        assert!(s.class_avg_latency(0).is_nan());
+        assert!(s.latency_std_dev().is_nan());
+        assert!(s.latency_percentile(0.99).is_nan());
+    }
+
+    #[test]
+    fn std_dev_of_constant_samples_is_zero() {
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        for t in [100u64, 200, 300] {
+            s.record_packet(t, t - 20, 0);
+        }
+        assert!(s.latency_std_dev().abs() < 1e-9);
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        // Latencies 10, 20, 30: mean 20, sample variance 100.
+        s.record_packet(100, 90, 0);
+        s.record_packet(100, 80, 0);
+        s.record_packet(100, 70, 0);
+        assert!((s.latency_std_dev() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_brackets_the_max() {
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        for lat in [5u64, 6, 7, 8, 100] {
+            s.record_packet(500, 500 - lat, 0);
+        }
+        // p50 falls in the [4,8) bucket -> upper bound 8 or 16.
+        let p50 = s.latency_percentile(0.5);
+        assert!(p50 <= 16.0, "{p50}");
+        // p100 must cover the 100-cycle outlier: bucket [64,128) -> 128.
+        assert_eq!(s.latency_percentile(1.0), 128.0);
+    }
+}

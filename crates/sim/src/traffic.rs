@@ -1,0 +1,115 @@
+//! Synthetic traffic patterns and the request/reply transaction model
+//! (§3.2).
+
+use rand::Rng;
+
+/// Spatial traffic patterns. The paper presents uniform random results and
+/// notes its conclusions are "largely invariant to traffic pattern
+/// selection"; the additional patterns support that ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficPattern {
+    /// Uniformly random destination (excluding self).
+    UniformRandom,
+    /// Destination is the bit complement of the source.
+    BitComplement,
+    /// 8×8 matrix transpose of the terminal index.
+    Transpose,
+    /// Half-ring offset in the terminal space.
+    Tornado,
+    /// One-bit rotate left of the terminal index.
+    Shuffle,
+}
+
+impl TrafficPattern {
+    /// Chooses the destination terminal for a packet from `src` among `n`
+    /// terminals (`n` must be a power of two for the bit-permutations).
+    pub fn dest(self, src: usize, n: usize, rng: &mut impl Rng) -> usize {
+        debug_assert!(n.is_power_of_two());
+        let bits = n.trailing_zeros() as usize;
+        let d = match self {
+            TrafficPattern::UniformRandom => {
+                // Uniform over the n-1 other terminals.
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            TrafficPattern::BitComplement => !src & (n - 1),
+            TrafficPattern::Transpose => {
+                let half = bits / 2;
+                let lo = src & ((1 << half) - 1);
+                let hi = src >> half;
+                (lo << half) | hi
+            }
+            TrafficPattern::Tornado => (src + n / 2 - 1) % n,
+            TrafficPattern::Shuffle => ((src << 1) | (src >> (bits - 1))) & (n - 1),
+        };
+        d
+    }
+
+    /// Label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform",
+            TrafficPattern::BitComplement => "bitcomp",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Shuffle => "shuffle",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_targets_self_and_covers_space() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = TrafficPattern::UniformRandom.dest(17, 64, &mut rng);
+            assert_ne!(d, 17);
+            assert!(d < 64);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 63);
+    }
+
+    #[test]
+    fn permutation_patterns_are_permutations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for p in [
+            TrafficPattern::BitComplement,
+            TrafficPattern::Transpose,
+            TrafficPattern::Tornado,
+            TrafficPattern::Shuffle,
+        ] {
+            let dests: Vec<usize> = (0..64).map(|s| p.dest(s, 64, &mut rng)).collect();
+            let unique: std::collections::HashSet<_> = dests.iter().collect();
+            assert_eq!(unique.len(), 64, "{p:?} not a permutation");
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // terminal 8*a + b -> 8*b + a
+        assert_eq!(
+            TrafficPattern::Transpose.dest(8 * 2 + 5, 64, &mut rng),
+            8 * 5 + 2
+        );
+    }
+
+    #[test]
+    fn bit_complement() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(TrafficPattern::BitComplement.dest(0, 64, &mut rng), 63);
+        assert_eq!(
+            TrafficPattern::BitComplement.dest(0b101010, 64, &mut rng),
+            0b010101
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Pipeline-level timing checks of the router model, across allocator
+//! architectures: per-hop latency composition, back-to-back throughput,
+//! and speculation behaviour — the micro-facts the Figure 13/14 macro
+//! results rest on.
+
+use noc_core::{SpecMode, SwitchAllocatorKind};
+use noc_sim::{run_sim, Network, SimConfig, TopologyKind};
+
+fn sa_kinds() -> Vec<SwitchAllocatorKind> {
+    use noc_arbiter::ArbiterKind::RoundRobin;
+    vec![
+        SwitchAllocatorKind::SepIf(RoundRobin),
+        SwitchAllocatorKind::SepOf(RoundRobin),
+        SwitchAllocatorKind::Wavefront,
+    ]
+}
+
+/// Zero-load latency of a single-flit packet between adjacent mesh
+/// terminals decomposes into known pipeline pieces; check the speculative
+/// pipeline hits the expected constant for every switch allocator.
+#[test]
+fn zero_load_latency_identical_across_switch_allocators() {
+    let mut lats = Vec::new();
+    for kind in sa_kinds() {
+        let cfg = SimConfig {
+            sa_kind: kind,
+            injection_rate: 0.01,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1)
+        };
+        let r = run_sim(&cfg, 1_500, 5_000);
+        lats.push(r.avg_latency);
+    }
+    // At zero load there are no conflicts: all three allocators grant the
+    // lone request, so latency must be equal within noise.
+    let (min, max) = (
+        lats.iter().cloned().fold(f64::INFINITY, f64::min),
+        lats.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(
+        max - min < 0.5,
+        "zero-load latencies diverge across allocators: {lats:?}"
+    );
+}
+
+/// The non-speculative pipeline costs exactly one extra cycle per hop for
+/// head flits; with ~avg hop count H on the mesh, the zero-load latency
+/// difference is ≈ H.
+#[test]
+fn nonspec_penalty_scales_with_hop_count() {
+    let base = SimConfig {
+        injection_rate: 0.01,
+        ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1)
+    };
+    let spec = run_sim(&base, 1_500, 6_000).avg_latency;
+    let nonspec = run_sim(
+        &SimConfig {
+            spec_mode: SpecMode::NonSpeculative,
+            ..base.clone()
+        },
+        1_500,
+        6_000,
+    )
+    .avg_latency;
+    let diff = nonspec - spec;
+    // 8x8 mesh uniform: ~5.25 router-router hops, +1 router = ~6.25 VA
+    // stages that speculation hides.
+    assert!(
+        (4.0..9.0).contains(&diff),
+        "per-packet penalty {diff} (spec {spec}, nonspec {nonspec})"
+    );
+}
+
+/// At moderate load every switch allocator must sustain the offered
+/// throughput exactly (accepted == offered below saturation).
+#[test]
+fn accepted_equals_offered_below_saturation_for_all_allocators() {
+    for kind in sa_kinds() {
+        let cfg = SimConfig {
+            sa_kind: kind,
+            injection_rate: 0.25,
+            ..SimConfig::paper_baseline(TopologyKind::FlattenedButterfly4x4, 2)
+        };
+        let r = run_sim(&cfg, 2_000, 5_000);
+        assert!(r.stable, "{kind:?}");
+        assert!(
+            (r.throughput - 0.25).abs() < 0.02,
+            "{kind:?}: accepted {} vs offered 0.25",
+            r.throughput
+        );
+    }
+}
+
+/// A router fed back-to-back single-flit packets on one VC sustains one
+/// flit every cycle through the speculative pipeline (the pipelining
+/// claim behind the 2-stage design).
+#[test]
+fn mesh_link_sustains_full_rate_on_linear_traffic() {
+    // Neighbor traffic: terminal i -> terminal i+1 in the same row, so
+    // each link carries exactly one flow with no contention.
+    // Approximate with a high-rate uniform run restricted to C=4 to avoid
+    // VC starvation, and check per-terminal accepted rate is high.
+    let cfg = SimConfig {
+        injection_rate: 0.4,
+        ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 4)
+    };
+    let r = run_sim(&cfg, 3_000, 6_000);
+    assert!(r.throughput > 0.35, "throughput {}", r.throughput);
+}
+
+/// Misspeculation accounting: clean + masked + invalid speculative grants
+/// are all tracked, and at tiny loads speculation almost always succeeds.
+#[test]
+fn speculation_succeeds_at_low_load() {
+    let cfg = SimConfig {
+        injection_rate: 0.02,
+        ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+    };
+    let r = run_sim(&cfg, 1_000, 5_000);
+    let s = r.router_stats;
+    let total = s.spec_grants + s.spec_masked + s.spec_invalid;
+    assert!(total > 100, "not enough speculation activity: {total}");
+    let success = s.spec_grants as f64 / total as f64;
+    assert!(
+        success > 0.85,
+        "low-load speculation success only {success:.2}"
+    );
+}
+
+/// With speculation disabled the speculative counters stay at zero.
+#[test]
+fn nonspec_mode_never_speculates() {
+    let cfg = SimConfig {
+        spec_mode: SpecMode::NonSpeculative,
+        injection_rate: 0.2,
+        ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+    };
+    let r = run_sim(&cfg, 1_000, 3_000);
+    let s = r.router_stats;
+    assert_eq!(s.spec_grants + s.spec_masked + s.spec_invalid, 0);
+    assert!(s.nonspec_grants > 0);
+}
+
+/// Replies must flow even when request traffic is saturating (no protocol
+/// deadlock): run far above saturation and verify packets keep completing.
+#[test]
+fn overload_does_not_deadlock_request_reply_protocol() {
+    let cfg = SimConfig {
+        injection_rate: 0.9,
+        ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1)
+    };
+    let mut net = Network::new(cfg);
+    net.stats.set_window(0, u64::MAX);
+    net.run(4_000);
+    let early = net.stats.packets;
+    net.run(4_000);
+    let late = net.stats.packets;
+    assert!(
+        late > early + 500,
+        "delivery stalled under overload: {early} -> {late}"
+    );
+}
+
+/// UGAL diverts traffic under adversarial load: with tornado traffic the
+/// saturation throughput must exceed what pure minimal routing could
+/// sustain on the loaded row links.
+#[test]
+fn ugal_survives_adversarial_traffic() {
+    let cfg = SimConfig {
+        pattern: noc_sim::TrafficPattern::Tornado,
+        injection_rate: 0.25,
+        ..SimConfig::paper_baseline(TopologyKind::FlattenedButterfly4x4, 2)
+    };
+    let r = run_sim(&cfg, 2_000, 5_000);
+    assert!(r.stable, "UGAL should sustain 0.25 under tornado");
+}

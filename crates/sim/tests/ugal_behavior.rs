@@ -1,0 +1,50 @@
+//! UGAL routing behaviour at the network level: route-choice adaptivity
+//! and its load dependence (§3.2 / Singh '05).
+
+use noc_sim::{Network, SimConfig, TopologyKind, TrafficPattern};
+
+fn ugal_split_at(rate: f64, pattern: TrafficPattern) -> (u64, u64) {
+    let mut net = Network::new(SimConfig {
+        injection_rate: rate,
+        pattern,
+        ..SimConfig::paper_baseline(TopologyKind::FlattenedButterfly4x4, 2)
+    });
+    net.stats.set_window(0, u64::MAX);
+    net.run(4_000);
+    net.ugal_split()
+}
+
+#[test]
+fn zero_load_traffic_routes_minimally() {
+    let (min, non) = ugal_split_at(0.02, TrafficPattern::UniformRandom);
+    assert!(min > 100, "not enough packets: {min}");
+    let frac = non as f64 / (min + non) as f64;
+    assert!(frac < 0.02, "non-minimal fraction at zero load: {frac:.3}");
+}
+
+#[test]
+fn nonminimal_fraction_grows_with_load() {
+    let (min_lo, non_lo) = ugal_split_at(0.1, TrafficPattern::UniformRandom);
+    let (min_hi, non_hi) = ugal_split_at(0.5, TrafficPattern::UniformRandom);
+    let f_lo = non_lo as f64 / (min_lo + non_lo) as f64;
+    let f_hi = non_hi as f64 / (min_hi + non_hi) as f64;
+    assert!(
+        f_hi > f_lo,
+        "UGAL did not divert more under load: {f_lo:.4} -> {f_hi:.4}"
+    );
+}
+
+#[test]
+fn adversarial_traffic_diverts_more_than_uniform() {
+    // Tornado concentrates minimal routes onto few row links; UGAL should
+    // pick Valiant detours much more often than under uniform traffic at
+    // the same rate.
+    let (min_u, non_u) = ugal_split_at(0.35, TrafficPattern::UniformRandom);
+    let (min_t, non_t) = ugal_split_at(0.35, TrafficPattern::Tornado);
+    let f_u = non_u as f64 / (min_u + non_u) as f64;
+    let f_t = non_t as f64 / (min_t + non_t) as f64;
+    assert!(
+        f_t > f_u,
+        "tornado should divert more: uniform {f_u:.4} vs tornado {f_t:.4}"
+    );
+}

@@ -1,0 +1,39 @@
+//! Exports a generated allocator netlist as synthesizable structural
+//! Verilog, for pushing through a real synthesis flow (the paper's Design
+//! Compiler + 45 nm setup) to cross-check this repo's cost model.
+//!
+//! Run with:
+//! `cargo run --release --example export_verilog [vc|sw] [mesh|fbfly] [C] > alloc.v`
+
+use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
+use noc_hw::builders::sw_alloc::speculative_switch_allocator_netlist;
+use noc_hw::builders::vc_alloc::vc_allocator_netlist;
+use noc_hw::{to_verilog, VerilogOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("vc");
+    let fbfly = args.get(2).map(String::as_str) == Some("fbfly");
+    let c: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let spec = if fbfly {
+        VcAllocSpec::fbfly(c)
+    } else {
+        VcAllocSpec::mesh(c)
+    };
+    let nl = match which {
+        "sw" => speculative_switch_allocator_netlist(
+            SwitchAllocatorKind::SepIf(noc_arbiter::ArbiterKind::RoundRobin),
+            spec.ports(),
+            spec.total_vcs(),
+            SpecMode::Pessimistic,
+        ),
+        _ => vc_allocator_netlist(&spec, AllocatorKind::SepIfRr, true),
+    };
+    eprintln!(
+        "// exporting '{}': {} cells, {} flops",
+        nl.name,
+        nl.cells().len(),
+        nl.dffs().len()
+    );
+    print!("{}", to_verilog(&nl, &VerilogOptions::default()));
+}

@@ -1,0 +1,404 @@
+//! `noc` — command-line front end for the allocator study toolkit.
+//!
+//! Subcommands:
+//!
+//! * `noc sim`     — run one network simulation and print latency/throughput
+//! * `noc synth`   — synthesize a VC or switch allocator design point
+//! * `noc quality` — measure open-loop matching quality
+//! * `noc verilog` — emit structural Verilog for a design point
+//!
+//! Run `noc help` (or any subcommand with `--help`) for flags. Argument
+//! parsing is deliberately dependency-free.
+
+use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
+use noc_sim::{run_sim, SimConfig, TopologyKind, TrafficPattern};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+noc — allocator implementations for network-on-chip routers (SC'09 reproduction)
+
+USAGE:
+  noc sim     [--topology mesh|fbfly|torus] [--vcs C] [--rate R] [--sa KIND]
+              [--vca KIND] [--spec nonspec|spec_gnt|spec_req] [--pattern P]
+              [--buf-depth N] [--burst B] [--warmup N] [--measure N] [--seed S]
+  noc synth   (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--alloc KIND]
+              [--dense] [--spec nonspec|spec_gnt|spec_req]
+  noc quality (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--rate R]
+              [--trials N]
+  noc verilog (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--alloc KIND]
+              [--dense]
+  noc help
+
+KIND (allocator): sep_if_rr sep_if_m sep_of_rr sep_of_m wf
+PATTERN:          uniform bitcomp transpose tornado shuffle
+
+Examples:
+  noc sim --topology fbfly --vcs 4 --rate 0.3 --sa wf
+  noc synth vca --topology mesh --vcs 2 --alloc sep_if_rr
+  noc quality swa --topology fbfly --vcs 4 --rate 0.5 --trials 5000
+  noc verilog swa --vcs 2 --alloc sep_if_rr > swa.v
+";
+
+/// Parsed `--key value` flags plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key == "help" {
+                    return Err(HELP.to_string());
+                }
+                if key == "dense" {
+                    flags.insert("dense".to_string(), "true".to_string());
+                    continue;
+                }
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.insert(key.to_string(), v.clone());
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    fn topology(&self) -> Result<TopologyKind, String> {
+        match self.flags.get("topology").map(String::as_str) {
+            None | Some("mesh") => Ok(TopologyKind::Mesh8x8),
+            Some("fbfly") => Ok(TopologyKind::FlattenedButterfly4x4),
+            Some("torus") => Ok(TopologyKind::Torus8x8),
+            Some(other) => Err(format!("unknown topology '{other}'")),
+        }
+    }
+
+    fn spec_for(&self, topo: TopologyKind, c: usize) -> VcAllocSpec {
+        match topo {
+            TopologyKind::Mesh8x8 => VcAllocSpec::mesh(c),
+            TopologyKind::FlattenedButterfly4x4 => VcAllocSpec::fbfly(c),
+            TopologyKind::Torus8x8 => VcAllocSpec::torus(c),
+        }
+    }
+
+    fn alloc_kind(&self) -> Result<AllocatorKind, String> {
+        match self.flags.get("alloc").map(String::as_str) {
+            None | Some("sep_if_rr") => Ok(AllocatorKind::SepIfRr),
+            Some("sep_if_m") => Ok(AllocatorKind::SepIfMatrix),
+            Some("sep_of_rr") => Ok(AllocatorKind::SepOfRr),
+            Some("sep_of_m") => Ok(AllocatorKind::SepOfMatrix),
+            Some("wf") => Ok(AllocatorKind::Wavefront),
+            Some(other) => Err(format!("unknown allocator '{other}'")),
+        }
+    }
+
+    fn sw_kind(&self, key: &str) -> Result<SwitchAllocatorKind, String> {
+        use noc_arbiter::ArbiterKind::{Matrix, RoundRobin};
+        match self.flags.get(key).map(String::as_str) {
+            None | Some("sep_if_rr") | Some("sep_if") => Ok(SwitchAllocatorKind::SepIf(RoundRobin)),
+            Some("sep_if_m") => Ok(SwitchAllocatorKind::SepIf(Matrix)),
+            Some("sep_of_rr") | Some("sep_of") => Ok(SwitchAllocatorKind::SepOf(RoundRobin)),
+            Some("sep_of_m") => Ok(SwitchAllocatorKind::SepOf(Matrix)),
+            Some("wf") => Ok(SwitchAllocatorKind::Wavefront),
+            Some(other) => Err(format!("unknown switch allocator '{other}'")),
+        }
+    }
+
+    fn spec_mode(&self) -> Result<SpecMode, String> {
+        match self.flags.get("spec").map(String::as_str) {
+            Some("nonspec") => Ok(SpecMode::NonSpeculative),
+            Some("spec_gnt") | Some("conventional") => Ok(SpecMode::Conventional),
+            None | Some("spec_req") | Some("pessimistic") => Ok(SpecMode::Pessimistic),
+            Some(other) => Err(format!("unknown speculation mode '{other}'")),
+        }
+    }
+
+    fn pattern(&self) -> Result<TrafficPattern, String> {
+        match self.flags.get("pattern").map(String::as_str) {
+            None | Some("uniform") => Ok(TrafficPattern::UniformRandom),
+            Some("bitcomp") => Ok(TrafficPattern::BitComplement),
+            Some("transpose") => Ok(TrafficPattern::Transpose),
+            Some("tornado") => Ok(TrafficPattern::Tornado),
+            Some("shuffle") => Ok(TrafficPattern::Shuffle),
+            Some(other) => Err(format!("unknown pattern '{other}'")),
+        }
+    }
+}
+
+fn cmd_sim(args: &Args) -> Result<(), String> {
+    let cfg = SimConfig {
+        injection_rate: args.get("rate", 0.2)?,
+        vca_kind: args.alloc_kind()?,
+        sa_kind: args.sw_kind("sa")?,
+        spec_mode: args.spec_mode()?,
+        pattern: args.pattern()?,
+        buf_depth: args.get("buf-depth", 8)?,
+        burst: args.get("burst", 1)?,
+        seed: args.get("seed", 0x5c09_2009u64)?,
+        ..SimConfig::paper_baseline(args.topology()?, args.get("vcs", 2)?)
+    };
+    let warmup: u64 = args.get("warmup", 3000u64)?;
+    let measure: u64 = args.get("measure", 6000u64)?;
+    eprintln!(
+        "simulating {} @ {} flits/cycle/terminal ({} + {} cycles)...",
+        cfg.label(),
+        cfg.injection_rate,
+        warmup,
+        measure
+    );
+    let r = run_sim(&cfg, warmup, measure);
+    println!("offered          {:.4} flits/cycle/terminal", r.offered);
+    println!("accepted         {:.4} flits/cycle/terminal", r.throughput);
+    println!(
+        "latency          {:.2} cycles (std dev {:.2}, p99 <= {:.0})",
+        r.avg_latency, r.latency_std_dev, r.latency_p99
+    );
+    println!(
+        "  requests       {:.2} cycles / replies {:.2} cycles",
+        r.request_latency, r.reply_latency
+    );
+    println!("stable           {}", r.stable);
+    let s = r.router_stats;
+    println!(
+        "switch grants    {} non-speculative, {} speculative ({} masked, {} invalid)",
+        s.nonspec_grants, s.spec_grants, s.spec_masked, s.spec_invalid
+    );
+    if s.vca_grants > 0 {
+        println!(
+            "VC allocation    {} grants, {:.2} request-cycles per grant",
+            s.vca_grants,
+            s.vca_requests as f64 / s.vca_grants as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_synth(args: &Args) -> Result<(), String> {
+    use noc_hw::builders::{sw_alloc, vc_alloc};
+    let what = args.positional.get(1).map(String::as_str).unwrap_or("vca");
+    let topo = args.topology()?;
+    let spec = args.spec_for(topo, args.get("vcs", 2)?);
+    let synth = noc_hw::Synthesizer::default();
+    let result = match what {
+        "vca" => vc_alloc::synthesize_vc_allocator(
+            &synth,
+            &spec,
+            args.alloc_kind()?,
+            !args.flags.contains_key("dense"),
+        ),
+        "swa" => sw_alloc::synthesize_switch_allocator(
+            &synth,
+            args.sw_kind("alloc")?,
+            spec.ports(),
+            spec.total_vcs(),
+            args.spec_mode()?,
+        ),
+        other => return Err(format!("unknown synth target '{other}' (vca|swa)")),
+    };
+    match result {
+        Ok(r) => {
+            println!("design           {}", r.name);
+            println!("min cycle time   {:.3} ns", r.delay_ns);
+            println!("cell area        {:.0} um^2", r.area_um2);
+            println!("average power    {:.2} mW (activity 0.5)", r.power_mw);
+            println!(
+                "cells            {} combinational + {} flops ({} buffers inserted)",
+                r.cells, r.dffs, r.buffers_inserted
+            );
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_quality(args: &Args) -> Result<(), String> {
+    let what = args.positional.get(1).map(String::as_str).unwrap_or("vca");
+    let topo = args.topology()?;
+    let spec = args.spec_for(topo, args.get("vcs", 2)?);
+    let rate: f64 = args.get("rate", 0.5)?;
+    let trials: usize = args.get("trials", 3000)?;
+    match what {
+        "vca" => {
+            let cfg = noc_quality::VcQualityConfig {
+                spec,
+                trials,
+                seed: 0x5c09,
+            };
+            println!("VC allocation quality @ rate {rate} ({trials} trials):");
+            for kind in AllocatorKind::QUALITY_FIGURE_KINDS {
+                let q = noc_quality::vc_quality_curve(&cfg, kind, &[rate]).points[0].quality();
+                println!("  {:<8} {q:.4}", kind.family());
+            }
+        }
+        "swa" => {
+            let cfg = noc_quality::SwQualityConfig {
+                ports: spec.ports(),
+                vcs: spec.total_vcs(),
+                trials,
+                seed: 0x5c09,
+            };
+            println!("switch allocation quality @ rate {rate} ({trials} trials):");
+            for (label, kind) in [
+                ("sep_if", args.sw_kind("__none")?),
+                (
+                    "sep_of",
+                    SwitchAllocatorKind::SepOf(noc_arbiter::ArbiterKind::RoundRobin),
+                ),
+                ("wf", SwitchAllocatorKind::Wavefront),
+            ] {
+                let q = noc_quality::sw_quality_curve(&cfg, kind, &[rate]).points[0].quality();
+                println!("  {label:<8} {q:.4}");
+            }
+        }
+        other => return Err(format!("unknown quality target '{other}' (vca|swa)")),
+    }
+    Ok(())
+}
+
+fn cmd_verilog(args: &Args) -> Result<(), String> {
+    use noc_hw::builders::{sw_alloc, vc_alloc};
+    let what = args.positional.get(1).map(String::as_str).unwrap_or("vca");
+    let topo = args.topology()?;
+    let spec = args.spec_for(topo, args.get("vcs", 1)?);
+    let nl = match what {
+        "vca" => vc_alloc::vc_allocator_netlist(
+            &spec,
+            args.alloc_kind()?,
+            !args.flags.contains_key("dense"),
+        ),
+        "swa" => sw_alloc::speculative_switch_allocator_netlist(
+            args.sw_kind("alloc")?,
+            spec.ports(),
+            spec.total_vcs(),
+            args.spec_mode()?,
+        ),
+        other => return Err(format!("unknown verilog target '{other}' (vca|swa)")),
+    };
+    eprintln!(
+        "// '{}': {} cells, {} flops",
+        nl.name,
+        nl.cells().len(),
+        nl.dffs().len()
+    );
+    print!(
+        "{}",
+        noc_hw::to_verilog(&nl, &noc_hw::VerilogOptions::default())
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            // --help lands here with the full help text.
+            println!("{msg}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    let result = match cmd {
+        "sim" => cmd_sim(&args),
+        "synth" => cmd_synth(&args),
+        "quality" => cmd_quality(&args),
+        "verilog" => cmd_verilog(&args),
+        "help" | "" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{HELP}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = args("sim --topology fbfly --rate 0.3 --vcs 4");
+        assert_eq!(a.positional, vec!["sim"]);
+        assert_eq!(a.topology().unwrap(), TopologyKind::FlattenedButterfly4x4);
+        assert!((a.get::<f64>("rate", 0.0).unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(a.get::<usize>("vcs", 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args("sim");
+        assert_eq!(a.topology().unwrap(), TopologyKind::Mesh8x8);
+        assert_eq!(a.get::<usize>("vcs", 2).unwrap(), 2);
+        assert_eq!(a.spec_mode().unwrap(), SpecMode::Pessimistic);
+        assert_eq!(a.pattern().unwrap(), TrafficPattern::UniformRandom);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let a = args("sim --topology hypercube");
+        assert!(a.topology().is_err());
+        let a = args("sim --rate abc");
+        assert!(a.get::<f64>("rate", 0.0).is_err());
+        let a = args("quality vca --alloc frobnicator");
+        assert!(a.alloc_kind().is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        let argv = vec!["sim".to_string(), "--rate".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn dense_is_a_bare_flag() {
+        let a = args("synth vca --dense --vcs 2");
+        assert!(a.flags.contains_key("dense"));
+        assert_eq!(a.positional, vec!["synth", "vca"]);
+    }
+
+    #[test]
+    fn allocator_kind_table() {
+        for (s, k) in [
+            ("sep_if_rr", AllocatorKind::SepIfRr),
+            ("sep_if_m", AllocatorKind::SepIfMatrix),
+            ("sep_of_rr", AllocatorKind::SepOfRr),
+            ("sep_of_m", AllocatorKind::SepOfMatrix),
+            ("wf", AllocatorKind::Wavefront),
+        ] {
+            let a = args(&format!("synth vca --alloc {s}"));
+            assert_eq!(a.alloc_kind().unwrap(), k, "{s}");
+        }
+    }
+}

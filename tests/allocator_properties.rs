@@ -1,0 +1,135 @@
+//! Property-based tests over the core allocation invariants (proptest).
+
+use noc_core::{AllocatorKind, BitMatrix, MaxSizeAllocator};
+use proptest::prelude::*;
+
+/// Strategy: a request matrix up to 12×12 with arbitrary density.
+fn request_matrix() -> impl Strategy<Value = BitMatrix> {
+    (1usize..=12, 1usize..=12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(move |bits| {
+            let mut m = BitMatrix::new(rows, cols);
+            for (i, b) in bits.iter().enumerate() {
+                if *b {
+                    m.set(i / cols, i % cols, true);
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Strategy: a short sequence of request matrices with fixed shape, for
+/// stateful (priority-carrying) runs.
+fn request_sequence() -> impl Strategy<Value = (usize, usize, Vec<Vec<bool>>)> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(rows, cols)| {
+        (
+            Just(rows),
+            Just(cols),
+            proptest::collection::vec(
+                proptest::collection::vec(proptest::bool::ANY, rows * cols),
+                1..8,
+            ),
+        )
+    })
+}
+
+fn all_kinds() -> Vec<AllocatorKind> {
+    vec![
+        AllocatorKind::SepIfRr,
+        AllocatorKind::SepIfMatrix,
+        AllocatorKind::SepOfRr,
+        AllocatorKind::SepOfMatrix,
+        AllocatorKind::Wavefront,
+        AllocatorKind::MaxSize,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_allocator_produces_valid_matchings(req in request_matrix()) {
+        for kind in all_kinds() {
+            let mut a = kind.build(req.num_rows(), req.num_cols());
+            let g = a.allocate(&req);
+            prop_assert!(g.is_matching_for(&req), "{kind:?}\n{req:?}\n{g:?}");
+        }
+    }
+
+    #[test]
+    fn wavefront_matchings_are_maximal(req in request_matrix()) {
+        let mut a = AllocatorKind::Wavefront.build(req.num_rows(), req.num_cols());
+        let g = a.allocate(&req);
+        prop_assert!(g.is_maximal_for(&req), "{req:?}\n{g:?}");
+    }
+
+    #[test]
+    fn maxsize_dominates_every_other_allocator(req in request_matrix()) {
+        let best = MaxSizeAllocator::max_matching_size(&req);
+        for kind in all_kinds() {
+            let mut a = kind.build(req.num_rows(), req.num_cols());
+            let got = a.allocate(&req).count_ones();
+            prop_assert!(got <= best, "{kind:?}: {got} > max {best}");
+        }
+        // And the maximum allocator achieves it.
+        let mut ms = AllocatorKind::MaxSize.build(req.num_rows(), req.num_cols());
+        prop_assert_eq!(ms.allocate(&req).count_ones(), best);
+    }
+
+    #[test]
+    fn maximal_matchings_are_at_least_half_of_maximum(req in request_matrix()) {
+        // Classic 2-approximation: |maximal| >= |maximum| / 2; the
+        // wavefront allocator must respect it.
+        let best = MaxSizeAllocator::max_matching_size(&req);
+        let mut wf = AllocatorKind::Wavefront.build(req.num_rows(), req.num_cols());
+        let got = wf.allocate(&req).count_ones();
+        prop_assert!(2 * got >= best, "wavefront {got} < {best}/2");
+    }
+
+    #[test]
+    fn non_conflicting_requests_always_granted((rows, cols, seq) in request_sequence()) {
+        // Feed a random history, then a conflict-free matrix: everything in
+        // it must be granted by every architecture (§4.3.2 guarantee).
+        for kind in all_kinds() {
+            let mut a = kind.build(rows, cols);
+            for bits in &seq {
+                let mut m = BitMatrix::new(rows, cols);
+                for (i, b) in bits.iter().enumerate() {
+                    if *b {
+                        m.set(i / cols, i % cols, true);
+                    }
+                }
+                a.allocate(&m);
+            }
+            // Diagonal (conflict-free) requests.
+            let diag = BitMatrix::from_entries(
+                rows,
+                cols,
+                (0..rows.min(cols)).map(|i| (i, i)),
+            );
+            let g = a.allocate(&diag);
+            prop_assert_eq!(g, diag, "{:?} after history", kind);
+        }
+    }
+
+    #[test]
+    fn allocation_is_deterministic((rows, cols, seq) in request_sequence()) {
+        for kind in all_kinds() {
+            let run = || {
+                let mut a = kind.build(rows, cols);
+                let mut out = Vec::new();
+                for bits in &seq {
+                    let mut m = BitMatrix::new(rows, cols);
+                    for (i, b) in bits.iter().enumerate() {
+                        if *b {
+                            m.set(i / cols, i % cols, true);
+                        }
+                    }
+                    out.push(a.allocate(&m));
+                }
+                out
+            };
+            prop_assert_eq!(run(), run(), "{:?}", kind);
+        }
+    }
+}

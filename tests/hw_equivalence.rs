@@ -1,0 +1,170 @@
+//! Cross-crate integration: the gate-level netlists (`noc-hw`) and the
+//! behavioural models (`noc-core`) implement the same microarchitectures.
+//! The per-module unit tests check this exhaustively at small sizes; here
+//! we exercise the full public API path on paper-scale design points.
+
+use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
+use noc_hw::builders::sw_alloc::{speculative_switch_allocator_netlist, switch_allocator_netlist};
+use noc_hw::builders::vc_alloc::vc_allocator_netlist;
+use noc_hw::{SynthError, Synthesizer};
+
+#[test]
+fn all_synthesizable_vc_design_points_produce_cost_numbers() {
+    let synth = Synthesizer::default();
+    let mut ok = 0;
+    let mut oom = 0;
+    for spec in [
+        VcAllocSpec::mesh(1),
+        VcAllocSpec::mesh(2),
+        VcAllocSpec::fbfly(1),
+    ] {
+        for kind in AllocatorKind::COST_FIGURE_KINDS {
+            for sparse in [false, true] {
+                match noc_hw::builders::vc_alloc::synthesize_vc_allocator(
+                    &synth, &spec, kind, sparse,
+                ) {
+                    Ok(r) => {
+                        assert!(
+                            r.delay_ns > 0.1 && r.delay_ns < 20.0,
+                            "{}: {}",
+                            r.name,
+                            r.delay_ns
+                        );
+                        assert!(r.area_um2 > 100.0);
+                        assert!(r.power_mw > 0.01);
+                        ok += 1;
+                    }
+                    Err(SynthError::OutOfMemory { .. }) => oom += 1,
+                }
+            }
+        }
+    }
+    assert!(ok >= 25, "only {ok} design points synthesized");
+    // Dense wavefront VC allocators beyond the small mesh configs OOM, as
+    // in the paper.
+    assert!(oom >= 1, "expected at least one capacity failure");
+}
+
+#[test]
+fn sparse_beats_dense_on_all_three_cost_axes_for_separable() {
+    let synth = Synthesizer::default();
+    let spec = VcAllocSpec::fbfly(2);
+    for kind in [AllocatorKind::SepIfRr, AllocatorKind::SepOfMatrix] {
+        let dense = synth.run(vc_allocator_netlist(&spec, kind, false)).unwrap();
+        let sparse = synth.run(vc_allocator_netlist(&spec, kind, true)).unwrap();
+        assert!(sparse.delay_ns < dense.delay_ns, "{kind:?} delay");
+        assert!(sparse.area_um2 < dense.area_um2, "{kind:?} area");
+        assert!(sparse.power_mw < dense.power_mw, "{kind:?} power");
+    }
+}
+
+#[test]
+fn speculation_cost_ordering_holds_across_design_points() {
+    // nonspec <= pessimistic <= conventional in delay, for the paper's two
+    // port counts (§5.2/§5.3.1).
+    let synth = Synthesizer::unlimited();
+    for (p, v) in [(5usize, 4usize), (10, 8)] {
+        for kind in [
+            SwitchAllocatorKind::SepIf(noc_arbiter::ArbiterKind::RoundRobin),
+            SwitchAllocatorKind::SepOf(noc_arbiter::ArbiterKind::RoundRobin),
+            SwitchAllocatorKind::Wavefront,
+        ] {
+            let d = |mode| {
+                synth
+                    .run(speculative_switch_allocator_netlist(kind, p, v, mode))
+                    .unwrap()
+                    .delay_ns
+            };
+            let nonspec = d(SpecMode::NonSpeculative);
+            let pess = d(SpecMode::Pessimistic);
+            let conv = d(SpecMode::Conventional);
+            assert!(
+                nonspec <= pess + 1e-9,
+                "{kind:?} P={p}: nonspec {nonspec} > pessimistic {pess}"
+            );
+            assert!(
+                pess < conv,
+                "{kind:?} P={p}: pessimistic {pess} !< conventional {conv}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_arbiter_variants_trade_area_for_delay() {
+    // §4.3.1/§5.3.1: matrix arbiters are (slightly) faster but larger than
+    // round-robin arbiters, at identical architecture.
+    let synth = Synthesizer::unlimited();
+    use noc_arbiter::ArbiterKind::{Matrix, RoundRobin};
+    let m = synth
+        .run(switch_allocator_netlist(
+            SwitchAllocatorKind::SepIf(Matrix),
+            10,
+            8,
+        ))
+        .unwrap();
+    let rr = synth
+        .run(switch_allocator_netlist(
+            SwitchAllocatorKind::SepIf(RoundRobin),
+            10,
+            8,
+        ))
+        .unwrap();
+    assert!(
+        m.delay_ns < rr.delay_ns,
+        "m {} !< rr {}",
+        m.delay_ns,
+        rr.delay_ns
+    );
+    assert!(
+        m.area_um2 > rr.area_um2,
+        "m {} !> rr {}",
+        m.area_um2,
+        rr.area_um2
+    );
+}
+
+#[test]
+fn wavefront_vc_allocator_cost_grows_superlinearly_with_vcs() {
+    // §4.3.1: "the wavefront allocator's delay quickly surpasses that of
+    // the separable implementations as the number of VCs increases" and
+    // its area grows cubically.
+    let synth = Synthesizer::unlimited();
+    let small = synth
+        .run(vc_allocator_netlist(
+            &VcAllocSpec::mesh(1),
+            AllocatorKind::Wavefront,
+            true,
+        ))
+        .unwrap();
+    let big = synth
+        .run(vc_allocator_netlist(
+            &VcAllocSpec::mesh(4),
+            AllocatorKind::Wavefront,
+            true,
+        ))
+        .unwrap();
+    // 4x the VCs: area should grow far more than 4x (cubic blocks).
+    assert!(big.area_um2 > 8.0 * small.area_um2);
+    assert!(big.delay_ns > 1.5 * small.delay_ns);
+    // While the separable input-first allocator grows gently in delay.
+    let sep_small = synth
+        .run(vc_allocator_netlist(
+            &VcAllocSpec::mesh(1),
+            AllocatorKind::SepIfRr,
+            true,
+        ))
+        .unwrap();
+    let sep_big = synth
+        .run(vc_allocator_netlist(
+            &VcAllocSpec::mesh(4),
+            AllocatorKind::SepIfRr,
+            true,
+        ))
+        .unwrap();
+    assert!(sep_big.delay_ns < 2.5 * sep_small.delay_ns);
+    assert!(
+        sep_big.delay_ns < big.delay_ns,
+        "sep_if must be faster at C=4"
+    );
+}
