@@ -2,6 +2,7 @@
 //! topologies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_obs::CountingSink;
 use noc_sim::{Network, SimConfig, TopologyKind};
 
 fn bench_simulator(c: &mut Criterion) {
@@ -16,11 +17,20 @@ fn bench_simulator(c: &mut Criterion) {
             injection_rate: 0.2,
             ..SimConfig::paper_baseline(topo, vcs)
         };
+        // Default build: NopSink, every trace site compiles away. Compare
+        // against run_500_traced below to measure instrumentation overhead.
         group.bench_with_input(BenchmarkId::new("run_500", label), &cfg, |b, cfg| {
             b.iter(|| {
                 let mut net = Network::new(cfg.clone());
                 net.run(500);
                 net.total_flits_injected()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("run_500_traced", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut net = Network::with_sink(cfg.clone(), CountingSink::default());
+                net.run(500);
+                net.sink.total()
             })
         });
     }

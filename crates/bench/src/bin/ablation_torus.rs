@@ -29,7 +29,8 @@ fn main() {
     let synth = Synthesizer::default();
     for c in [1usize, 2] {
         let spec = VcAllocSpec::torus(c);
-        for kind in [AllocatorKind::SepIfRr] {
+        {
+            let kind = AllocatorKind::SepIfRr;
             let dense = synthesize_vc_allocator(&synth, &spec, kind, false);
             let sparse = synthesize_vc_allocator(&synth, &spec, kind, true);
             if let (Ok(d), Ok(s)) = (dense, sparse) {

@@ -349,6 +349,7 @@ mod tests {
             throughput: offered,
             stable,
             router_stats: Default::default(),
+            routers: Vec::new(),
         };
         let c = LatencyCurve {
             label: "t".into(),

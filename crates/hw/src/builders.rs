@@ -1,0 +1,20 @@
+//! Structural netlist generators for the allocator design points.
+//!
+//! Each builder produces a [`crate::Netlist`] that is *bit-exact* with the
+//! corresponding behavioural model in `noc-core`/`noc-arbiter` (checked by
+//! unit tests here and the property tests in `tests/`): identical grant
+//! outputs and identical priority-state evolution, cycle for cycle. The
+//! netlists are what the synthesis flow ([`crate::Synthesizer`]) consumes to
+//! reproduce the paper's area/delay/power figures.
+//!
+//! - [`arbiters`]: fixed-priority, round-robin and matrix arbiters (§2.1);
+//! - [`wavefront`]: the wavefront tile array, replicated per diagonal as in
+//!   the paper plus the area-efficient unrolled form of Hurt et al. (§2.2);
+//! - [`sw_alloc`]: the three switch-allocator architectures of Figure 8 and
+//!   their speculative wrappers of Figure 9 (§5);
+//! - [`vc_alloc`]: dense and sparse VC allocators of Figure 3 (§4).
+
+pub mod arbiters;
+pub mod sw_alloc;
+pub mod vc_alloc;
+pub mod wavefront;

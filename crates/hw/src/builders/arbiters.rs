@@ -1,0 +1,338 @@
+//! Arbiter netlists (§2.1): fixed-priority, round-robin, matrix.
+//!
+//! The round-robin arbiter is built exactly as described for the RTL in
+//! `noc-arbiter`: a thermometer mask derived from the one-hot priority
+//! pointer gates a first fixed-priority pass, and an unmasked second pass
+//! takes over when the masked pass finds no requester. The matrix arbiter
+//! stores only the upper triangle of its priority matrix in `n(n-1)/2`
+//! flip-flops.
+//!
+//! State encodings are chosen so the all-`false` (round-robin) and
+//! all-`true` (matrix) flop states correspond to the behavioural models'
+//! power-on states: an empty one-hot pointer makes the masked pass vacuous,
+//! which is exactly pointer-0 behaviour, and an all-true upper triangle is
+//! the initial `0 > 1 > ... > n-1` order.
+
+use crate::netlist::{NetId, Netlist};
+use noc_arbiter::ArbiterKind;
+
+/// Arbiter kinds with a hardware implementation (mirrors
+/// [`noc_arbiter::ArbiterKind`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HwArbiterKind {
+    /// Priority encoder: lowest-index requester wins, no state.
+    FixedPriority,
+    /// Rotating-pointer round-robin (`rr` in the figure legends).
+    RoundRobin,
+    /// Least-recently-served matrix arbiter (`m` in the figure legends).
+    Matrix,
+}
+
+impl HwArbiterKind {
+    /// Short label used in netlist names (`fp`, `rr`, `m`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            HwArbiterKind::FixedPriority => "fp",
+            HwArbiterKind::RoundRobin => "rr",
+            HwArbiterKind::Matrix => "m",
+        }
+    }
+}
+
+impl From<ArbiterKind> for HwArbiterKind {
+    fn from(kind: ArbiterKind) -> Self {
+        match kind {
+            ArbiterKind::FixedPriority => HwArbiterKind::FixedPriority,
+            ArbiterKind::RoundRobin => HwArbiterKind::RoundRobin,
+            ArbiterKind::Matrix => HwArbiterKind::Matrix,
+        }
+    }
+}
+
+/// One-hot grant vector of a priority encoder: grant `i` iff request `i` is
+/// set and no lower-indexed request is (`grant = req & ~prefix_or(req) >> 1`).
+pub fn fixed_priority_grants(nl: &mut Netlist, reqs: &[NetId]) -> Vec<NetId> {
+    match reqs.len() {
+        0 => Vec::new(),
+        1 => vec![reqs[0]],
+        _ => {
+            let below = nl.prefix_or(&reqs[..reqs.len() - 1]);
+            let mut grants = vec![reqs[0]];
+            for i in 1..reqs.len() {
+                let clear = nl.not(below[i - 1]);
+                grants.push(nl.and2(reqs[i], clear));
+            }
+            grants
+        }
+    }
+}
+
+/// An instantiated arbiter: combinational grants plus deferred priority
+/// flops awaiting their commit logic.
+///
+/// The grant outputs are valid as soon as [`build_arbiter`] returns; the
+/// netlist is only complete once one of the `commit_*` methods has wired the
+/// state-update logic (every flop's D input). Allocators that veto an
+/// arbiter's grant downstream (e.g. the input stage of a separable switch
+/// allocator) pass the *committed* winner via [`HwArbiter::commit_with`] so
+/// priority only advances on consumed grants, matching the behavioural
+/// models' update rule.
+pub struct HwArbiter {
+    kind: HwArbiterKind,
+    width: usize,
+    /// One-hot grant vector (`width` nets).
+    pub grants: Vec<NetId>,
+    /// Q outputs of the priority flops.
+    state_q: Vec<NetId>,
+    /// Deferred-DFF handles, parallel to `state_q`.
+    handles: Vec<usize>,
+}
+
+/// Builds an arbiter over `reqs`, leaving its priority flops deferred until
+/// a `commit_*` call.
+pub fn build_arbiter(nl: &mut Netlist, kind: HwArbiterKind, reqs: &[NetId]) -> HwArbiter {
+    let n = reqs.len();
+    assert!(n > 0, "arbiter needs at least one input");
+    // Width-1 arbiters are wires in every architecture.
+    if n == 1 || kind == HwArbiterKind::FixedPriority {
+        let grants = if n == 1 {
+            vec![reqs[0]]
+        } else {
+            fixed_priority_grants(nl, reqs)
+        };
+        return HwArbiter {
+            kind,
+            width: n,
+            grants,
+            state_q: Vec::new(),
+            handles: Vec::new(),
+        };
+    }
+    match kind {
+        HwArbiterKind::FixedPriority => unreachable!(),
+        HwArbiterKind::RoundRobin => {
+            let (handles, q): (Vec<usize>, Vec<NetId>) = (0..n).map(|_| nl.dff_deferred()).unzip();
+            // Thermometer mask: positions at or after the pointer. An empty
+            // (all-zero) pointer register yields an empty mask, which the
+            // unmasked fallback pass turns into pointer-0 behaviour.
+            let mask = nl.prefix_or(&q);
+            let masked: Vec<NetId> = reqs
+                .iter()
+                .zip(&mask)
+                .map(|(&r, &m)| nl.and2(r, m))
+                .collect();
+            let masked_grants = fixed_priority_grants(nl, &masked);
+            let any_masked = nl.or_tree(&masked);
+            let none_masked = nl.not(any_masked);
+            let fallback_grants = fixed_priority_grants(nl, reqs);
+            let grants: Vec<NetId> = (0..n)
+                .map(|i| {
+                    let fb = nl.and2(none_masked, fallback_grants[i]);
+                    nl.or2(masked_grants[i], fb)
+                })
+                .collect();
+            HwArbiter {
+                kind,
+                width: n,
+                grants,
+                state_q: q,
+                handles,
+            }
+        }
+        HwArbiterKind::Matrix => {
+            // Upper triangle only: u[(a, b)] with a < b means "a beats b".
+            let (handles, q): (Vec<usize>, Vec<NetId>) =
+                (0..n * (n - 1) / 2).map(|_| nl.dff_deferred()).unzip();
+            let mut beats = vec![vec![None; n]; n];
+            let mut idx = 0;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    beats[a][b] = Some(q[idx]);
+                    beats[b][a] = Some(nl.not(q[idx]));
+                    idx += 1;
+                }
+            }
+            let not_req: Vec<NetId> = reqs.iter().map(|&r| nl.not(r)).collect();
+            let grants: Vec<NetId> = (0..n)
+                .map(|i| {
+                    // grant_i = req_i & AND_{j != i} (!req_j | beats(i, j))
+                    let mut terms = vec![reqs[i]];
+                    for j in 0..n {
+                        if j != i {
+                            terms.push(nl.or2(not_req[j], beats[i][j].unwrap()));
+                        }
+                    }
+                    nl.and_tree(&terms)
+                })
+                .collect();
+            HwArbiter {
+                kind,
+                width: n,
+                grants,
+                state_q: q,
+                handles,
+            }
+        }
+    }
+}
+
+impl HwArbiter {
+    /// Commits priority state with the arbiter's own grants as the winner
+    /// vector (the common case: every grant is consumed).
+    pub fn commit_own_grants(self, nl: &mut Netlist) {
+        let winner = self.grants.clone();
+        self.commit_with(nl, &winner);
+    }
+
+    /// Commits priority state with an external one-hot winner vector (all
+    /// zeros = hold). `winner` must be the arbiter's width.
+    pub fn commit_with(self, nl: &mut Netlist, winner: &[NetId]) {
+        assert_eq!(winner.len(), self.width, "winner width mismatch");
+        if self.handles.is_empty() {
+            return; // stateless: fixed-priority or width 1
+        }
+        let n = self.width;
+        match self.kind {
+            HwArbiterKind::FixedPriority => unreachable!("fixed priority holds no state"),
+            HwArbiterKind::RoundRobin => {
+                // On commit the pointer moves one past the winner:
+                // next[j] = commit ? winner[j-1] : q[j] (cyclically).
+                let commit = nl.or_tree(winner);
+                for j in 0..n {
+                    let rotated = winner[(j + n - 1) % n];
+                    let d = nl.mux2(self.state_q[j], rotated, commit);
+                    nl.connect_dff(self.handles[j], d);
+                }
+            }
+            HwArbiterKind::Matrix => {
+                // Winner's row clears, winner's column sets; an all-zero
+                // winner leaves every pair unchanged, so no explicit commit
+                // gating is needed: u' = !w[a] & (w[b] | u).
+                let not_w: Vec<NetId> = winner.iter().map(|&w| nl.not(w)).collect();
+                let mut idx = 0;
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let set = nl.or2(winner[b], self.state_q[idx]);
+                        let d = nl.and2(not_w[a], set);
+                        nl.connect_dff(self.handles[idx], d);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A standalone `n`-input arbiter netlist: `n` request inputs, `n` one-hot
+/// grant outputs, priority committed on every grant.
+pub fn arbiter_netlist(kind: HwArbiterKind, n: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("arb_{}{}", kind.short_name(), n));
+    let reqs = nl.inputs_vec(n);
+    let arb = build_arbiter(&mut nl, kind, &reqs);
+    for &g in &arb.grants {
+        nl.output(g);
+    }
+    arb.commit_own_grants(&mut nl);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_arbiter::{ArbiterKind, Bits};
+
+    /// Drives the netlist and the behavioural model through every request
+    /// pattern from every reachable state, checking one-hot-identical
+    /// grants and identical state evolution.
+    fn check_exhaustive(kind: HwArbiterKind, model_kind: ArbiterKind, n: usize) {
+        let nl = arbiter_netlist(kind, n);
+        nl.validate().unwrap();
+        let init = match kind {
+            HwArbiterKind::Matrix => vec![true; nl.dffs().len()],
+            _ => vec![false; nl.dffs().len()],
+        };
+        // Walk a few hundred steps of a deterministic request sequence so
+        // states stay synchronized between netlist and model.
+        let mut state = init;
+        let mut model = model_kind.build(n);
+        let mut x = 0x5c09_2026u64;
+        for step in 0..400 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pattern = (x >> 32) as usize % (1 << n);
+            let inputs: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
+            let (outs, next) = nl.eval(&inputs, &state);
+            let bits = Bits::from_indices(n, (0..n).filter(|&i| inputs[i]));
+            let winner = model.arbitrate(&bits);
+            let expect: Vec<bool> = (0..n).map(|i| winner == Some(i)).collect();
+            assert_eq!(
+                outs, expect,
+                "{kind:?} n={n} step={step} pattern={pattern:b}"
+            );
+            if let Some(w) = winner {
+                model.update(w);
+            }
+            state = next;
+        }
+    }
+
+    #[test]
+    fn round_robin_netlist_matches_model() {
+        for n in 1..=6 {
+            check_exhaustive(HwArbiterKind::RoundRobin, ArbiterKind::RoundRobin, n);
+        }
+    }
+
+    #[test]
+    fn matrix_netlist_matches_model() {
+        for n in 1..=6 {
+            check_exhaustive(HwArbiterKind::Matrix, ArbiterKind::Matrix, n);
+        }
+    }
+
+    #[test]
+    fn fixed_priority_netlist_matches_model() {
+        for n in 1..=6 {
+            check_exhaustive(HwArbiterKind::FixedPriority, ArbiterKind::FixedPriority, n);
+        }
+    }
+
+    #[test]
+    fn matrix_state_is_upper_triangle() {
+        let nl = arbiter_netlist(HwArbiterKind::Matrix, 8);
+        assert_eq!(nl.dffs().len(), 8 * 7 / 2);
+        let nl = arbiter_netlist(HwArbiterKind::RoundRobin, 8);
+        assert_eq!(nl.dffs().len(), 8);
+    }
+
+    #[test]
+    fn width_one_arbiters_are_wires() {
+        for kind in [
+            HwArbiterKind::FixedPriority,
+            HwArbiterKind::RoundRobin,
+            HwArbiterKind::Matrix,
+        ] {
+            let nl = arbiter_netlist(kind, 1);
+            nl.validate().unwrap();
+            assert!(nl.dffs().is_empty());
+            assert_eq!(nl.cells().len(), 0);
+        }
+    }
+
+    #[test]
+    fn kind_conversion_roundtrip() {
+        assert_eq!(
+            HwArbiterKind::from(ArbiterKind::RoundRobin),
+            HwArbiterKind::RoundRobin
+        );
+        assert_eq!(
+            HwArbiterKind::from(ArbiterKind::Matrix),
+            HwArbiterKind::Matrix
+        );
+        assert_eq!(
+            HwArbiterKind::from(ArbiterKind::FixedPriority),
+            HwArbiterKind::FixedPriority
+        );
+    }
+}

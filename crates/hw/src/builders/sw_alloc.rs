@@ -1,0 +1,413 @@
+//! Switch-allocator netlists (§5, Figures 8 and 9).
+//!
+//! Request inputs are one bit per `(input port, VC, output port)` triple,
+//! laid out as `reqs[(i * V + v) * P + o]`. Outputs are the `P × P` crossbar
+//! configuration (`xbar[i * P + o]`) followed by the per-input-VC grant
+//! vector (`vc_grants[i * V + v]`) — and, for the speculative wrappers, the
+//! same two buses again for the (masked) speculative allocator.
+//!
+//! All three architectures are bit-exact with the behavioural models in
+//! `noc_core::switch` over the representable request domain (each input VC
+//! requests at most one output per cycle, which is all a router can
+//! generate), including priority-state evolution: arbiters whose grants can
+//! be vetoed downstream only commit on consumed grants, mirroring the
+//! models' update rules.
+
+use crate::builders::arbiters::{build_arbiter, HwArbiterKind};
+use crate::builders::wavefront::build_wavefront;
+use crate::netlist::{NetId, Netlist};
+use crate::synth::{SynthResult, Synthesizer};
+use noc_core::{SpecMode, SwitchAllocatorKind};
+
+/// An instantiated switch-allocator core.
+struct SwAllocHw {
+    /// Crossbar grants, `xbar[i * P + o]`.
+    xbar: Vec<NetId>,
+    /// Per-input-VC grants, `vc_grants[i * V + v]`.
+    vc_grants: Vec<NetId>,
+}
+
+#[inline]
+fn rq(reqs: &[NetId], ports: usize, vcs: usize, i: usize, v: usize, o: usize) -> NetId {
+    reqs[(i * vcs + v) * ports + o]
+}
+
+/// Builds one switch-allocator core over `reqs` (layout as per the module
+/// docs), wiring all priority-state commits.
+fn build_switch_allocator(
+    nl: &mut Netlist,
+    kind: SwitchAllocatorKind,
+    ports: usize,
+    vcs: usize,
+    reqs: &[NetId],
+) -> SwAllocHw {
+    assert_eq!(reqs.len(), ports * vcs * ports);
+    match kind {
+        SwitchAllocatorKind::SepIf(ak) => {
+            let ak = HwArbiterKind::from(ak);
+            // Stage 1: a V:1 arbiter per input port over "VC has any
+            // request" bits picks the forwarded VC.
+            let mut input_arbs = Vec::with_capacity(ports);
+            let mut winners = Vec::with_capacity(ports);
+            for i in 0..ports {
+                let active: Vec<NetId> = (0..vcs)
+                    .map(|v| {
+                        let row: Vec<NetId> =
+                            (0..ports).map(|o| rq(reqs, ports, vcs, i, v, o)).collect();
+                        nl.or_tree(&row)
+                    })
+                    .collect();
+                let arb = build_arbiter(nl, ak, &active);
+                winners.push(arb.grants.clone());
+                input_arbs.push(arb);
+            }
+            // Forwarded request of input i at output o: its winning VC
+            // requests o.
+            let fwd: Vec<Vec<NetId>> = (0..ports)
+                .map(|o| {
+                    (0..ports)
+                        .map(|i| {
+                            let terms: Vec<NetId> = (0..vcs)
+                                .map(|v| {
+                                    let r = rq(reqs, ports, vcs, i, v, o);
+                                    nl.and2(winners[i][v], r)
+                                })
+                                .collect();
+                            nl.or_tree(&terms)
+                        })
+                        .collect()
+                })
+                .collect();
+            // Stage 2: a P:1 arbiter per output; its grants drive the
+            // crossbar directly.
+            let mut xbar = vec![nl.const0(); ports * ports];
+            for (o, row) in fwd.iter().enumerate() {
+                let arb = build_arbiter(nl, ak, row);
+                for i in 0..ports {
+                    xbar[i * ports + o] = arb.grants[i];
+                }
+                // Output grants are always consumed.
+                arb.commit_own_grants(nl);
+            }
+            // Input i won somewhere iff any output granted it; its winning
+            // VC is then granted, and only then does stage 1 commit.
+            let mut vc_grants = vec![nl.const0(); ports * vcs];
+            for (i, arb) in input_arbs.into_iter().enumerate() {
+                let row: Vec<NetId> = (0..ports).map(|o| xbar[i * ports + o]).collect();
+                let granted_in = nl.or_tree(&row);
+                let committed: Vec<NetId> = (0..vcs)
+                    .map(|v| nl.and2(winners[i][v], granted_in))
+                    .collect();
+                vc_grants[i * vcs..(i + 1) * vcs].copy_from_slice(&committed);
+                arb.commit_with(nl, &committed);
+            }
+            SwAllocHw { xbar, vc_grants }
+        }
+        SwitchAllocatorKind::SepOf(ak) => {
+            let ak = HwArbiterKind::from(ak);
+            // Port-level request matrix: input i wants output o.
+            let pr: Vec<Vec<NetId>> = (0..ports)
+                .map(|i| {
+                    (0..ports)
+                        .map(|o| {
+                            let col: Vec<NetId> =
+                                (0..vcs).map(|v| rq(reqs, ports, vcs, i, v, o)).collect();
+                            nl.or_tree(&col)
+                        })
+                        .collect()
+                })
+                .collect();
+            // Stage 1: a P:1 arbiter per output over all requesting inputs.
+            let mut output_arbs = Vec::with_capacity(ports);
+            let mut s1 = Vec::with_capacity(ports);
+            for o in 0..ports {
+                let col: Vec<NetId> = (0..ports).map(|i| pr[i][o]).collect();
+                let arb = build_arbiter(nl, ak, &col);
+                s1.push(arb.grants.clone());
+                output_arbs.push(arb);
+            }
+            // Stage 2: per input, a V:1 arbiter among VCs whose requested
+            // output was granted to this input.
+            let mut xbar = vec![nl.const0(); ports * ports];
+            let mut vc_grants = vec![nl.const0(); ports * vcs];
+            for i in 0..ports {
+                let cand: Vec<NetId> = (0..vcs)
+                    .map(|v| {
+                        let terms: Vec<NetId> = (0..ports)
+                            .map(|o| {
+                                let r = rq(reqs, ports, vcs, i, v, o);
+                                nl.and2(r, s1[o][i])
+                            })
+                            .collect();
+                        nl.or_tree(&terms)
+                    })
+                    .collect();
+                let arb = build_arbiter(nl, ak, &cand);
+                for o in 0..ports {
+                    let terms: Vec<NetId> = (0..vcs)
+                        .map(|v| {
+                            let r = rq(reqs, ports, vcs, i, v, o);
+                            nl.and2(arb.grants[v], r)
+                        })
+                        .collect();
+                    xbar[i * ports + o] = nl.or_tree(&terms);
+                }
+                vc_grants[i * vcs..(i + 1) * vcs].copy_from_slice(&arb.grants);
+                arb.commit_own_grants(nl);
+            }
+            // Stage-1 arbiters only advance when their grant was consumed —
+            // i.e. when the granted input's VC winner actually targets this
+            // output, which is exactly the crossbar column.
+            for (o, arb) in output_arbs.into_iter().enumerate() {
+                let col: Vec<NetId> = (0..ports).map(|i| xbar[i * ports + o]).collect();
+                arb.commit_with(nl, &col);
+            }
+            SwAllocHw { xbar, vc_grants }
+        }
+        SwitchAllocatorKind::Wavefront => {
+            // Port-level request matrix feeds the P x P wavefront block.
+            let mut pr = Vec::with_capacity(ports * ports);
+            for i in 0..ports {
+                for o in 0..ports {
+                    let col: Vec<NetId> = (0..vcs).map(|v| rq(reqs, ports, vcs, i, v, o)).collect();
+                    pr.push(nl.or_tree(&col));
+                }
+            }
+            let wf = build_wavefront(nl, &pr, ports);
+            // V:1 round-robin pre-selection per (input, output) pair, in
+            // parallel with the wavefront; committed only if the pair wins.
+            let mut vc_grants = vec![nl.const0(); ports * vcs];
+            let mut acc: Vec<Vec<NetId>> = vec![Vec::new(); ports * vcs];
+            for i in 0..ports {
+                for o in 0..ports {
+                    let row: Vec<NetId> = (0..vcs).map(|v| rq(reqs, ports, vcs, i, v, o)).collect();
+                    let arb = build_arbiter(nl, HwArbiterKind::RoundRobin, &row);
+                    let pg = wf.grants[i * ports + o];
+                    let committed: Vec<NetId> =
+                        arb.grants.iter().map(|&g| nl.and2(pg, g)).collect();
+                    for v in 0..vcs {
+                        acc[i * vcs + v].push(committed[v]);
+                    }
+                    arb.commit_with(nl, &committed);
+                }
+            }
+            for (slot, terms) in acc.into_iter().enumerate() {
+                vc_grants[slot] = nl.or_tree(&terms);
+            }
+            SwAllocHw {
+                xbar: wf.grants,
+                vc_grants,
+            }
+        }
+    }
+}
+
+fn arch_tag(kind: SwitchAllocatorKind) -> String {
+    kind.label().replace('/', "_")
+}
+
+/// A non-speculative switch-allocator netlist (Figure 8): `P*V*P` request
+/// inputs, then `P*P` crossbar outputs followed by `P*V` VC-grant outputs.
+pub fn switch_allocator_netlist(kind: SwitchAllocatorKind, ports: usize, vcs: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("swa_{}_p{}v{}", arch_tag(kind), ports, vcs));
+    let reqs = nl.inputs_vec(ports * vcs * ports);
+    let core = build_switch_allocator(&mut nl, kind, ports, vcs, &reqs);
+    for &x in &core.xbar {
+        nl.output(x);
+    }
+    for &g in &core.vc_grants {
+        nl.output(g);
+    }
+    nl
+}
+
+/// A speculative switch-allocator netlist (Figure 9): a non-speculative
+/// request bank then a speculative one on the inputs; the non-speculative
+/// crossbar/VC-grant buses then the masked speculative ones on the outputs.
+/// `SpecMode::NonSpeculative` degenerates to [`switch_allocator_netlist`]
+/// with only the first input bank used.
+pub fn speculative_switch_allocator_netlist(
+    kind: SwitchAllocatorKind,
+    ports: usize,
+    vcs: usize,
+    mode: SpecMode,
+) -> Netlist {
+    if mode == SpecMode::NonSpeculative {
+        let mut nl = switch_allocator_netlist(kind, ports, vcs);
+        nl.name = format!("swa_{}_{}_p{}v{}", arch_tag(kind), mode.label(), ports, vcs);
+        return nl;
+    }
+    let mut nl = Netlist::new(format!(
+        "swa_{}_{}_p{}v{}",
+        arch_tag(kind),
+        mode.label(),
+        ports,
+        vcs
+    ));
+    let ns_reqs = nl.inputs_vec(ports * vcs * ports);
+    let sp_reqs = nl.inputs_vec(ports * vcs * ports);
+    let ns = build_switch_allocator(&mut nl, kind, ports, vcs, &ns_reqs);
+    let sp = build_switch_allocator(&mut nl, kind, ports, vcs, &sp_reqs);
+    // Masking stage (Figure 9). Conventional masks on non-speculative
+    // *grants* — reduction trees over the allocator outputs, lengthening
+    // the path. Pessimistic masks on non-speculative *requests* — computed
+    // in parallel with allocation, leaving one AND on the path.
+    let (in_free, out_free): (Vec<NetId>, Vec<NetId>) = match mode {
+        SpecMode::Conventional => {
+            let in_free = (0..ports)
+                .map(|i| {
+                    let row: Vec<NetId> = (0..ports).map(|o| ns.xbar[i * ports + o]).collect();
+                    let used = nl.or_tree(&row);
+                    nl.not(used)
+                })
+                .collect();
+            let out_free = (0..ports)
+                .map(|o| {
+                    let col: Vec<NetId> = (0..ports).map(|i| ns.xbar[i * ports + o]).collect();
+                    let used = nl.or_tree(&col);
+                    nl.not(used)
+                })
+                .collect();
+            (in_free, out_free)
+        }
+        SpecMode::Pessimistic => {
+            let in_free = (0..ports)
+                .map(|i| {
+                    let active = nl.or_tree(&ns_reqs[i * vcs * ports..(i + 1) * vcs * ports]);
+                    nl.not(active)
+                })
+                .collect();
+            let out_free = (0..ports)
+                .map(|o| {
+                    let col: Vec<NetId> = (0..ports)
+                        .flat_map(|i| (0..vcs).map(move |v| (i, v)))
+                        .map(|(i, v)| rq(&ns_reqs, ports, vcs, i, v, o))
+                        .collect();
+                    let wanted = nl.or_tree(&col);
+                    nl.not(wanted)
+                })
+                .collect();
+            (in_free, out_free)
+        }
+        SpecMode::NonSpeculative => unreachable!(),
+    };
+    let ok: Vec<NetId> = (0..ports * ports)
+        .map(|idx| nl.and2(in_free[idx / ports], out_free[idx % ports]))
+        .collect();
+    let masked_xbar: Vec<NetId> = (0..ports * ports)
+        .map(|idx| nl.and2(sp.xbar[idx], ok[idx]))
+        .collect();
+    let masked_vc: Vec<NetId> = (0..ports)
+        .flat_map(|i| (0..vcs).map(move |v| (i, v)))
+        .map(|(i, v)| {
+            let row: Vec<NetId> = (0..ports).map(|o| masked_xbar[i * ports + o]).collect();
+            let survived = nl.or_tree(&row);
+            nl.and2(sp.vc_grants[i * vcs + v], survived)
+        })
+        .collect();
+    for &x in &ns.xbar {
+        nl.output(x);
+    }
+    for &g in &ns.vc_grants {
+        nl.output(g);
+    }
+    for &x in &masked_xbar {
+        nl.output(x);
+    }
+    for &g in &masked_vc {
+        nl.output(g);
+    }
+    nl
+}
+
+/// Synthesizes a (possibly speculative) switch allocator design point.
+pub fn synthesize_switch_allocator(
+    synth: &Synthesizer,
+    kind: SwitchAllocatorKind,
+    ports: usize,
+    vcs: usize,
+    mode: SpecMode,
+) -> Result<SynthResult, crate::synth::SynthError> {
+    synth.run(speculative_switch_allocator_netlist(kind, ports, vcs, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_arbiter::ArbiterKind;
+
+    #[test]
+    fn netlists_validate_and_have_expected_io() {
+        for kind in [
+            SwitchAllocatorKind::SepIf(ArbiterKind::RoundRobin),
+            SwitchAllocatorKind::SepIf(ArbiterKind::Matrix),
+            SwitchAllocatorKind::SepOf(ArbiterKind::RoundRobin),
+            SwitchAllocatorKind::SepOf(ArbiterKind::Matrix),
+            SwitchAllocatorKind::Wavefront,
+        ] {
+            let (p, v) = (5, 2);
+            let nl = switch_allocator_netlist(kind, p, v);
+            nl.validate().unwrap();
+            assert_eq!(nl.primary_inputs().len(), p * v * p);
+            assert_eq!(nl.primary_outputs().len(), p * p + p * v);
+        }
+    }
+
+    #[test]
+    fn speculative_netlists_validate_with_doubled_io() {
+        for mode in [SpecMode::Conventional, SpecMode::Pessimistic] {
+            let (p, v) = (5, 2);
+            let nl = speculative_switch_allocator_netlist(
+                SwitchAllocatorKind::SepIf(ArbiterKind::RoundRobin),
+                p,
+                v,
+                mode,
+            );
+            nl.validate().unwrap();
+            assert_eq!(nl.primary_inputs().len(), 2 * p * v * p);
+            assert_eq!(nl.primary_outputs().len(), 2 * (p * p + p * v));
+            assert!(nl.name.contains(mode.label()));
+        }
+    }
+
+    #[test]
+    fn masked_spec_grants_never_conflict_with_nonspec_ports() {
+        // Structural property of the masking stage, checked by simulation
+        // on random inputs for both modes.
+        let (p, v) = (4, 2);
+        for mode in [SpecMode::Conventional, SpecMode::Pessimistic] {
+            let nl = speculative_switch_allocator_netlist(
+                SwitchAllocatorKind::SepIf(ArbiterKind::RoundRobin),
+                p,
+                v,
+                mode,
+            );
+            let mut state = vec![false; nl.dffs().len()];
+            let mut x = 0x91u64;
+            for _ in 0..100 {
+                let inputs: Vec<bool> = (0..2 * p * v * p)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                        (x >> 45) & 7 == 0
+                    })
+                    .collect();
+                let (outs, next) = nl.eval(&inputs, &state);
+                state = next;
+                let ns_xbar = &outs[..p * p];
+                let sp_xbar = &outs[p * p + p * v..p * p + p * v + p * p];
+                for i in 0..p {
+                    for o in 0..p {
+                        if sp_xbar[i * p + o] {
+                            for oo in 0..p {
+                                assert!(!ns_xbar[i * p + oo], "{mode:?}: input {i} double-used");
+                            }
+                            for ii in 0..p {
+                                assert!(!ns_xbar[ii * p + o], "{mode:?}: output {o} double-used");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! VC-allocator netlists (§4, Figure 3): dense vs sparse.
+//!
+//! Inputs, per input VC `g` (global index `p * V + v`, port-major): a
+//! `P`-bit one-hot of the output port chosen by routing, then a `V`-bit
+//! candidate mask over output VCs at that port (class-granular, as §4.2
+//! requires). Outputs: per input VC, a `V`-bit one-hot of the granted
+//! output VC.
+//!
+//! The **dense** implementation ignores the static structure of the VC
+//! partition: every input VC gets a full `V`-candidate arbiter and every
+//! output VC a full `P × V` requester tree (P leaf arbiters of width V
+//! under a width-P root), so illegal transitions are pruned only at
+//! runtime by the candidate mask. The **sparse** implementation exploits
+//! §4.2's restrictions — message class never changes, resource classes
+//! follow the `rc_succ` relation — splitting the allocator into `M`
+//! independent per-message-class blocks and statically deleting every
+//! arbiter port that a legal request can never drive. The paper's area /
+//! delay / power savings for sparse VC allocation fall out of exactly
+//! this pruning.
+//!
+//! These netlists feed the synthesis cost model; bit-exact equivalence
+//! against the behavioural `noc-core` allocators is checked for the
+//! arbiter and wavefront building blocks they are assembled from.
+
+use crate::builders::arbiters::{build_arbiter, HwArbiter, HwArbiterKind};
+use crate::builders::wavefront::build_wavefront;
+use crate::netlist::{NetId, Netlist};
+use crate::synth::{SynthError, SynthResult, Synthesizer};
+use noc_core::{AllocatorKind, VcAllocSpec};
+
+/// One independent allocation block: which input VCs compete for which
+/// output-VC columns. Dense = one block over everything; sparse = one
+/// block per message class.
+struct Block {
+    /// Global input-VC indices (`p * V + v`) participating.
+    gs: Vec<usize>,
+    /// Output-VC indices (within `0..V`) allocated by this block.
+    ovs: Vec<usize>,
+}
+
+fn blocks(spec: &VcAllocSpec, sparse: bool) -> Vec<Block> {
+    let p = spec.ports();
+    let v = spec.total_vcs();
+    if !sparse {
+        return vec![Block {
+            gs: (0..p * v).collect(),
+            ovs: (0..v).collect(),
+        }];
+    }
+    (0..spec.msg_classes())
+        .map(|m| Block {
+            gs: (0..p * v)
+                .filter(|&g| spec.vc_class(g % v).0 == m)
+                .collect(),
+            ovs: (0..v).filter(|&ov| spec.vc_class(ov).0 == m).collect(),
+        })
+        .collect()
+}
+
+/// Candidate positions (indices into `block.ovs`) an input VC can legally
+/// request. Dense blocks keep every position; sparse blocks prune by the
+/// resource-class transition relation.
+fn cand_positions(spec: &VcAllocSpec, sparse: bool, in_vc: usize, ovs: &[usize]) -> Vec<usize> {
+    if !sparse {
+        return (0..ovs.len()).collect();
+    }
+    let (_, ir, _) = spec.vc_class(in_vc);
+    (0..ovs.len())
+        .filter(|&k| spec.rc_legal(ir, spec.vc_class(ovs[k]).1))
+        .collect()
+}
+
+/// Precomputed input buses: `port[g]` is the P-bit one-hot output port,
+/// `cand[g]` the V-bit candidate mask.
+struct InputBuses {
+    port: Vec<Vec<NetId>>,
+    cand: Vec<Vec<NetId>>,
+}
+
+/// A `P:1`-over-`V:1` tree arbiter for one output VC (Figure 3's
+/// per-output arbiter): leaf arbiters per input port, a root across
+/// ports. `grants[pin][k]` is the final (leaf AND root) grant for member
+/// `k` of leaf `pin`.
+struct HwTreeArbiter {
+    leaves: Vec<HwArbiter>,
+    root: HwArbiter,
+    grants: Vec<Vec<NetId>>,
+}
+
+/// Tree membership: for each leaf (input port), the `(gi, local)`
+/// candidate pairs feeding it.
+type TreeMembers = Vec<Vec<(usize, usize)>>;
+
+fn build_tree_arbiter(
+    nl: &mut Netlist,
+    kind: HwArbiterKind,
+    groups: &[Vec<NetId>],
+) -> HwTreeArbiter {
+    let mut leaves = Vec::with_capacity(groups.len());
+    let mut any = Vec::with_capacity(groups.len());
+    for grp in groups {
+        // A statically request-free leaf still occupies a (constant) root
+        // port so indices stay aligned; it can never win.
+        let bids = if grp.is_empty() {
+            vec![nl.const0()]
+        } else {
+            grp.clone()
+        };
+        any.push(nl.or_tree(&bids));
+        leaves.push(build_arbiter(nl, kind, &bids));
+    }
+    let root = build_arbiter(nl, kind, &any);
+    let root_grants = root.grants.clone();
+    let grants = leaves
+        .iter()
+        .zip(&root_grants)
+        .map(|(leaf, &rg)| {
+            leaf.grants
+                .iter()
+                .map(|&lg| nl.and2(lg, rg))
+                .collect::<Vec<NetId>>()
+        })
+        .collect();
+    HwTreeArbiter {
+        leaves,
+        root,
+        grants,
+    }
+}
+
+impl HwTreeArbiter {
+    /// Commits every level: leaves with the given consumed winners, the
+    /// root with their per-leaf reduction.
+    fn commit_with(self, nl: &mut Netlist, winners: &[Vec<NetId>]) {
+        assert_eq!(winners.len(), self.leaves.len());
+        let root_winner: Vec<NetId> = winners.iter().map(|w| nl.or_tree(w)).collect();
+        for (leaf, winner) in self.leaves.into_iter().zip(winners) {
+            // Empty groups were padded with a single constant bid.
+            if winner.is_empty() {
+                let z = nl.const0();
+                leaf.commit_with(nl, &[z]);
+            } else {
+                leaf.commit_with(nl, winner);
+            }
+        }
+        self.root.commit_with(nl, &root_winner);
+    }
+
+    /// Commits every level with the tree's own final grants (all grants
+    /// consumed).
+    fn commit(self, nl: &mut Netlist) {
+        let winners = self.grants.clone();
+        self.commit_with(nl, &winners);
+    }
+}
+
+/// Builds a dense or sparse VC-allocator netlist for one design point.
+pub fn vc_allocator_netlist(spec: &VcAllocSpec, kind: AllocatorKind, sparse: bool) -> Netlist {
+    let p = spec.ports();
+    let v = spec.total_vcs();
+    let mut nl = Netlist::new(format!(
+        "vca_{}_{}_{}_p{}",
+        spec.label(),
+        kind.label().replace('/', "_"),
+        if sparse { "sparse" } else { "dense" },
+        p
+    ));
+    let mut buses = InputBuses {
+        port: Vec::with_capacity(p * v),
+        cand: Vec::with_capacity(p * v),
+    };
+    for _ in 0..p * v {
+        buses.port.push(nl.inputs_vec(p));
+        buses.cand.push(nl.inputs_vec(v));
+    }
+    // Grant terms per (input VC, output VC) slot, OR-reduced at the end.
+    let mut acc: Vec<Vec<NetId>> = vec![Vec::new(); p * v * v];
+
+    for block in blocks(spec, sparse) {
+        match kind {
+            AllocatorKind::SepIfMatrix | AllocatorKind::SepIfRr => {
+                build_separable_input_first(
+                    &mut nl,
+                    spec,
+                    sparse,
+                    sep_arbiter_kind(kind),
+                    &block,
+                    &buses,
+                    &mut acc,
+                );
+            }
+            AllocatorKind::SepOfMatrix | AllocatorKind::SepOfRr => {
+                build_separable_output_first(
+                    &mut nl,
+                    spec,
+                    sparse,
+                    sep_arbiter_kind(kind),
+                    &block,
+                    &buses,
+                    &mut acc,
+                );
+            }
+            // MaxSize has no realistic hardware design point (§2.3); model
+            // its cost with the wavefront structure so every kind can be
+            // queried without panicking.
+            AllocatorKind::Wavefront | AllocatorKind::MaxSize => {
+                build_wavefront_block(&mut nl, spec, sparse, &block, &buses, &mut acc);
+            }
+        }
+    }
+    for terms in acc {
+        let g = nl.or_tree(&terms);
+        nl.output(g);
+    }
+    nl
+}
+
+fn sep_arbiter_kind(kind: AllocatorKind) -> HwArbiterKind {
+    match kind {
+        AllocatorKind::SepIfMatrix | AllocatorKind::SepOfMatrix => HwArbiterKind::Matrix,
+        _ => HwArbiterKind::RoundRobin,
+    }
+}
+
+/// Figure 3(a): each input VC first picks one candidate output VC, then
+/// bids at that output VC's tree arbiter.
+fn build_separable_input_first(
+    nl: &mut Netlist,
+    spec: &VcAllocSpec,
+    sparse: bool,
+    ak: HwArbiterKind,
+    block: &Block,
+    buses: &InputBuses,
+    acc: &mut [Vec<NetId>],
+) {
+    let p = spec.ports();
+    let v = spec.total_vcs();
+    // Stage 1: per input VC, arbitrate among its (legal) candidates.
+    let mut stage1: Vec<(HwArbiter, Vec<usize>)> = Vec::with_capacity(block.gs.len());
+    for &g in &block.gs {
+        let pos = cand_positions(spec, sparse, g % v, &block.ovs);
+        let reqs: Vec<NetId> = pos.iter().map(|&k| buses.cand[g][block.ovs[k]]).collect();
+        let arb = build_arbiter(nl, ak, &reqs);
+        stage1.push((arb, pos));
+    }
+    // consumed[gi][local]: grants this stage-1 position collected across
+    // all output VCs (used for the conditional stage-1 commit).
+    let mut consumed: Vec<Vec<Vec<NetId>>> = stage1
+        .iter()
+        .map(|(a, _)| vec![Vec::new(); a.grants.len()])
+        .collect();
+    // Stage 2: one tree arbiter per output VC (o, ov).
+    for (k, &ov) in block.ovs.iter().enumerate() {
+        // Bidders: input VCs that can legally pick this ov, grouped by
+        // their input port; a bid fires when stage 1 picked ov and the
+        // packet's output port is o.
+        let mut members: TreeMembers = vec![Vec::new(); p]; // (gi, local)
+        for (gi, &g) in block.gs.iter().enumerate() {
+            if let Some(local) = stage1[gi].1.iter().position(|&kk| kk == k) {
+                members[g / v].push((gi, local));
+            }
+        }
+        for o in 0..p {
+            let groups: Vec<Vec<NetId>> = members
+                .iter()
+                .map(|ms| {
+                    ms.iter()
+                        .map(|&(gi, local)| {
+                            let g = block.gs[gi];
+                            let w = stage1[gi].0.grants[local];
+                            nl.and2(w, buses.port[g][o])
+                        })
+                        .collect()
+                })
+                .collect();
+            let tree = build_tree_arbiter(nl, ak, &groups);
+            for (pin, ms) in members.iter().enumerate() {
+                for (mk, &(gi, local)) in ms.iter().enumerate() {
+                    let fg = tree.grants[pin][mk];
+                    acc[block.gs[gi] * v + ov].push(fg);
+                    consumed[gi][local].push(fg);
+                }
+            }
+            tree.commit(nl);
+        }
+    }
+    // Stage-1 arbiters advance only when the forwarded bid actually won.
+    for ((arb, _), fgs) in stage1.into_iter().zip(consumed) {
+        let winner: Vec<NetId> = fgs.into_iter().map(|terms| nl.or_tree(&terms)).collect();
+        arb.commit_with(nl, &winner);
+    }
+}
+
+/// Figure 3(b): every output VC arbitrates among all (legal) bidders
+/// first; each input VC then picks one among the output VCs it won.
+fn build_separable_output_first(
+    nl: &mut Netlist,
+    spec: &VcAllocSpec,
+    sparse: bool,
+    ak: HwArbiterKind,
+    block: &Block,
+    buses: &InputBuses,
+    acc: &mut [Vec<NetId>],
+) {
+    let p = spec.ports();
+    let v = spec.total_vcs();
+    let positions: Vec<Vec<usize>> = block
+        .gs
+        .iter()
+        .map(|&g| cand_positions(spec, sparse, g % v, &block.ovs))
+        .collect();
+    // Stage 1: a tree arbiter per output VC (o, ov) over all legal bids.
+    // won[gi][local] accumulates stage-1 grants per candidate position.
+    let mut won: Vec<Vec<Vec<NetId>>> = positions
+        .iter()
+        .map(|pos| vec![Vec::new(); pos.len()])
+        .collect();
+    let mut trees: Vec<(HwTreeArbiter, TreeMembers)> = Vec::new();
+    for (k, &ov) in block.ovs.iter().enumerate() {
+        let mut members: TreeMembers = vec![Vec::new(); p];
+        for (gi, &g) in block.gs.iter().enumerate() {
+            if let Some(local) = positions[gi].iter().position(|&kk| kk == k) {
+                members[g / v].push((gi, local));
+            }
+        }
+        for o in 0..p {
+            let groups: Vec<Vec<NetId>> = members
+                .iter()
+                .map(|ms| {
+                    ms.iter()
+                        .map(|&(gi, _)| {
+                            let g = block.gs[gi];
+                            nl.and2(buses.cand[g][ov], buses.port[g][o])
+                        })
+                        .collect()
+                })
+                .collect();
+            let tree = build_tree_arbiter(nl, ak, &groups);
+            for (pin, ms) in members.iter().enumerate() {
+                for (mk, &(gi, local)) in ms.iter().enumerate() {
+                    won[gi][local].push(tree.grants[pin][mk]);
+                }
+            }
+            trees.push((tree, members.clone()));
+        }
+    }
+    // Stage 2: per input VC, arbitrate among won output VCs; these grants
+    // are final.
+    let mut final_pos: Vec<Vec<NetId>> = Vec::with_capacity(block.gs.len());
+    for (gi, &g) in block.gs.iter().enumerate() {
+        let reqs: Vec<NetId> = won[gi].iter().map(|terms| nl.or_tree(terms)).collect();
+        let arb = build_arbiter(nl, ak, &reqs);
+        for (local, &k) in positions[gi].iter().enumerate() {
+            acc[g * v + block.ovs[k]].push(arb.grants[local]);
+        }
+        final_pos.push(arb.grants.clone());
+        arb.commit_own_grants(nl);
+    }
+    // Stage-1 trees advance only on consumed grants: their grant to gi was
+    // consumed iff gi's stage-2 winner is the matching candidate.
+    for (tree, members) in trees {
+        let winners: Vec<Vec<NetId>> = members
+            .iter()
+            .enumerate()
+            .map(|(pin, ms)| {
+                ms.iter()
+                    .enumerate()
+                    .map(|(mk, &(gi, local))| {
+                        let s1 = tree.grants[pin][mk];
+                        nl.and2(s1, final_pos[gi][local])
+                    })
+                    .collect()
+            })
+            .collect();
+        tree.commit_with(nl, &winners);
+    }
+}
+
+/// Figure 3(c)-style monolithic block: a square wavefront array over
+/// (input VC) × (output port, output VC).
+fn build_wavefront_block(
+    nl: &mut Netlist,
+    spec: &VcAllocSpec,
+    sparse: bool,
+    block: &Block,
+    buses: &InputBuses,
+    acc: &mut [Vec<NetId>],
+) {
+    let p = spec.ports();
+    let v = spec.total_vcs();
+    let sub = block.ovs.len();
+    let rows = block.gs.len();
+    let cols = p * sub;
+    let n = rows.max(cols);
+    let zero = nl.const0();
+    let mut bids = vec![zero; n * n];
+    for (gi, &g) in block.gs.iter().enumerate() {
+        for &k in &cand_positions(spec, sparse, g % v, &block.ovs) {
+            let ov = block.ovs[k];
+            for o in 0..p {
+                bids[gi * n + o * sub + k] = nl.and2(buses.cand[g][ov], buses.port[g][o]);
+            }
+        }
+    }
+    let wf = build_wavefront(nl, &bids, n);
+    for (gi, &g) in block.gs.iter().enumerate() {
+        for (k, &ov) in block.ovs.iter().enumerate() {
+            let terms: Vec<NetId> = (0..p).map(|o| wf.grants[gi * n + o * sub + k]).collect();
+            let any = nl.or_tree(&terms);
+            acc[g * v + ov].push(any);
+        }
+    }
+}
+
+/// Synthesizes a VC-allocator design point.
+pub fn synthesize_vc_allocator(
+    synth: &Synthesizer,
+    spec: &VcAllocSpec,
+    kind: AllocatorKind,
+    sparse: bool,
+) -> Result<SynthResult, SynthError> {
+    synth.run(vc_allocator_netlist(spec, kind, sparse))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlists_validate_with_expected_io() {
+        let spec = VcAllocSpec::mesh(2);
+        let (p, v) = (spec.ports(), spec.total_vcs());
+        for kind in AllocatorKind::COST_FIGURE_KINDS {
+            for sparse in [false, true] {
+                let nl = vc_allocator_netlist(&spec, kind, sparse);
+                nl.validate()
+                    .unwrap_or_else(|e| panic!("{kind:?} sparse={sparse}: {e}"));
+                assert_eq!(nl.primary_inputs().len(), p * v * (p + v));
+                assert_eq!(nl.primary_outputs().len(), p * v * v);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_is_structurally_smaller() {
+        for spec in [VcAllocSpec::mesh(2), VcAllocSpec::fbfly(1)] {
+            for kind in [AllocatorKind::SepIfRr, AllocatorKind::SepOfMatrix] {
+                let dense = vc_allocator_netlist(&spec, kind, false);
+                let sparse = vc_allocator_netlist(&spec, kind, true);
+                assert!(
+                    sparse.instance_count() < dense.instance_count(),
+                    "{} {kind:?}: sparse {} !< dense {}",
+                    spec.label(),
+                    sparse.instance_count(),
+                    dense.instance_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grants_respect_candidates_and_are_one_hot_per_input_vc() {
+        // Functional sanity on random inputs: at most one grant per input
+        // VC, and grants only go to requested candidates.
+        let spec = VcAllocSpec::mesh(1);
+        let (p, v) = (spec.ports(), spec.total_vcs());
+        for kind in AllocatorKind::COST_FIGURE_KINDS {
+            for sparse in [false, true] {
+                let nl = vc_allocator_netlist(&spec, kind, sparse);
+                nl.validate().unwrap();
+                let matrix_state = matches!(
+                    kind,
+                    AllocatorKind::SepIfMatrix | AllocatorKind::SepOfMatrix
+                );
+                let mut state = vec![matrix_state; nl.dffs().len()];
+                let mut x = 0xabcdu64;
+                for _ in 0..50 {
+                    let mut inputs = vec![false; p * v * (p + v)];
+                    for g in 0..p * v {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(12345);
+                        if (x >> 60) & 3 == 0 {
+                            continue; // idle VC
+                        }
+                        let out_port = (x >> 33) as usize % p;
+                        inputs[g * (p + v) + out_port] = true;
+                        for ov in 0..v {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(54321);
+                            if (x >> 50) & 1 == 0 {
+                                inputs[g * (p + v) + p + ov] = true;
+                            }
+                        }
+                    }
+                    let (outs, next) = nl.eval(&inputs, &state);
+                    state = next;
+                    for g in 0..p * v {
+                        let row = &outs[g * v..(g + 1) * v];
+                        let count = row.iter().filter(|&&b| b).count();
+                        assert!(
+                            count <= 1,
+                            "{kind:?} sparse={sparse}: input VC {g} over-granted"
+                        );
+                        for ov in 0..v {
+                            if row[ov] {
+                                assert!(
+                                    inputs[g * (p + v) + p + ov],
+                                    "{kind:?} sparse={sparse}: grant without candidate"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

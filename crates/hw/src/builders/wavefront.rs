@@ -1,0 +1,225 @@
+//! Wavefront allocator netlists (§2.2).
+//!
+//! Two implementation styles of the same loop-free wavefront function:
+//!
+//! - [`build_wavefront`] — the paper's choice: the `n × n` tile array is
+//!   **replicated once per priority diagonal** and a one-hot multiplexer
+//!   selects the replica matching the current diagonal register. `O(n³)`
+//!   area, but the critical path is a single `n`-step wave plus the mux.
+//! - [`build_wavefront_unrolled`] — the area-efficient alternative of Hurt
+//!   et al. (ICC '99): one tile array evaluated over `2n-1` diagonal steps,
+//!   with each diagonal processed by one of two "copies" (before/after the
+//!   wrap point) gated on the diagonal register. `O(n²)` area, but up to
+//!   `2n` wave steps on the path.
+//!
+//! Both are bit-exact with
+//! [`WavefrontAllocator::allocate_with_diagonal`](noc_core::WavefrontAllocator)
+//! at the registered diagonal, and advance the diagonal register only when
+//! at least one request is present — matching how the behavioural switch
+//! allocator invokes its wavefront core (it early-returns on empty requests
+//! without touching state).
+//!
+//! The diagonal register is one-hot with all-zeros meaning diagonal 0, so a
+//! power-on all-`false` flop state equals the models' reset state.
+
+use crate::netlist::{NetId, Netlist};
+
+/// An instantiated wavefront block.
+pub struct WavefrontHw {
+    /// Grant matrix, row-major: `grants[i * n + j]`.
+    pub grants: Vec<NetId>,
+}
+
+/// Builds the one-hot diagonal register (all-zero ≡ diagonal 0), returning
+/// the *effective* one-hot vector, and wires its advance-on-request update.
+fn diagonal_register(nl: &mut Netlist, n: usize, any_req: NetId) -> Vec<NetId> {
+    let (handles, q): (Vec<usize>, Vec<NetId>) = (0..n).map(|_| nl.dff_deferred()).unzip();
+    let any_ptr = nl.or_tree(&q);
+    let none_ptr = nl.not(any_ptr);
+    let mut eff = q.clone();
+    eff[0] = nl.or2(q[0], none_ptr);
+    // next[d] = any_req ? eff[d-1] : q[d] (cyclic rotate by one).
+    for d in 0..n {
+        let rotated = eff[(d + n - 1) % n];
+        let next = nl.mux2(q[d], rotated, any_req);
+        nl.connect_dff(handles[d], next);
+    }
+    eff
+}
+
+/// Evaluates one full wave starting at diagonal `start` over evolving
+/// row/column-free chains, writing grants into `grid[i * n + j]`.
+fn wave_from(nl: &mut Netlist, reqs: &[NetId], n: usize, start: usize, grid: &mut [NetId]) {
+    let one = nl.const1();
+    let mut row_free = vec![one; n];
+    let mut col_free = vec![one; n];
+    for k in 0..n {
+        let d = (start + k) % n;
+        for i in 0..n {
+            let j = (d + n - i) % n;
+            let grant = nl.and_tree(&[reqs[i * n + j], row_free[i], col_free[j]]);
+            let taken = nl.not(grant);
+            row_free[i] = nl.and2(row_free[i], taken);
+            col_free[j] = nl.and2(col_free[j], taken);
+            grid[i * n + j] = grant;
+        }
+    }
+}
+
+/// Replicated-array wavefront over an `n × n` request matrix (row-major
+/// `reqs[i * n + j]`). See the module docs for the area/delay trade-off.
+pub fn build_wavefront(nl: &mut Netlist, reqs: &[NetId], n: usize) -> WavefrontHw {
+    assert_eq!(reqs.len(), n * n, "request matrix must be n*n");
+    if n == 1 {
+        return WavefrontHw {
+            grants: vec![reqs[0]],
+        };
+    }
+    let any_req = nl.or_tree(reqs);
+    let eff = diagonal_register(nl, n, any_req);
+    let zero = nl.const0();
+    let mut replicas: Vec<Vec<NetId>> = Vec::with_capacity(n);
+    for start in 0..n {
+        let mut grid = vec![zero; n * n];
+        wave_from(nl, reqs, n, start, &mut grid);
+        replicas.push(grid);
+    }
+    let mut grants = Vec::with_capacity(n * n);
+    for cell in 0..n * n {
+        let per_diag: Vec<NetId> = (0..n).map(|d| replicas[d][cell]).collect();
+        grants.push(nl.onehot_mux(&eff, &per_diag));
+    }
+    WavefrontHw { grants }
+}
+
+/// Unrolled (Hurt et al.) wavefront: a single tile array stepped through
+/// `2n - 1` diagonals, with each tile instantiated twice — once for the
+/// pre-wrap pass (enabled when the wave has already started by that
+/// diagonal) and once for the post-wrap pass (enabled otherwise).
+pub fn build_wavefront_unrolled(nl: &mut Netlist, reqs: &[NetId], n: usize) -> WavefrontHw {
+    assert_eq!(reqs.len(), n * n, "request matrix must be n*n");
+    if n == 1 {
+        return WavefrontHw {
+            grants: vec![reqs[0]],
+        };
+    }
+    let any_req = nl.or_tree(reqs);
+    let eff = diagonal_register(nl, n, any_req);
+    // started[d]: the priority diagonal is <= d, i.e. diagonal d belongs to
+    // the first (pre-wrap) pass.
+    let started = nl.prefix_or(&eff);
+    let one = nl.const1();
+    let mut row_free = vec![one; n];
+    let mut col_free = vec![one; n];
+    let mut acc: Vec<Option<NetId>> = vec![None; n * n];
+    for step in 0..(2 * n - 1) {
+        let d = step % n;
+        let enable = if step < n {
+            started[d]
+        } else {
+            nl.not(started[d])
+        };
+        for i in 0..n {
+            let j = (d + n - i) % n;
+            let grant = nl.and_tree(&[reqs[i * n + j], row_free[i], col_free[j], enable]);
+            let taken = nl.not(grant);
+            row_free[i] = nl.and2(row_free[i], taken);
+            col_free[j] = nl.and2(col_free[j], taken);
+            acc[i * n + j] = Some(match acc[i * n + j] {
+                None => grant,
+                Some(prev) => nl.or2(prev, grant),
+            });
+        }
+    }
+    WavefrontHw {
+        grants: acc.into_iter().map(Option::unwrap).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::{BitMatrix, WavefrontAllocator};
+
+    fn netlist(n: usize, unrolled: bool) -> Netlist {
+        let mut nl = Netlist::new("wf_test");
+        let reqs = nl.inputs_vec(n * n);
+        let wf = if unrolled {
+            build_wavefront_unrolled(&mut nl, &reqs, n)
+        } else {
+            build_wavefront(&mut nl, &reqs, n)
+        };
+        for &g in &wf.grants {
+            nl.output(g);
+        }
+        nl.validate().unwrap();
+        nl
+    }
+
+    /// Random request streams: netlist grants equal the model's pure
+    /// function at the model's current diagonal, with the diagonal
+    /// advancing only on non-empty requests.
+    fn check_stream(n: usize, unrolled: bool) {
+        let nl = netlist(n, unrolled);
+        let model = WavefrontAllocator::new(n, n);
+        let mut state = vec![false; nl.dffs().len()];
+        let mut diagonal = 0usize;
+        let mut x = 0x7afeu64;
+        for step in 0..300 {
+            let mut req = BitMatrix::new(n, n);
+            let mut inputs = vec![false; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(99991);
+                    if (x >> 40) & 3 == 0 {
+                        req.set(i, j, true);
+                        inputs[i * n + j] = true;
+                    }
+                }
+            }
+            let (outs, next) = nl.eval(&inputs, &state);
+            let want = model.allocate_with_diagonal(&req, diagonal);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        outs[i * n + j],
+                        want.get(i, j),
+                        "n={n} unrolled={unrolled} step={step} diag={diagonal} ({i},{j})"
+                    );
+                }
+            }
+            if req.count_ones() > 0 {
+                diagonal = (diagonal + 1) % n;
+            }
+            state = next;
+        }
+    }
+
+    #[test]
+    fn replicated_matches_model() {
+        for n in [1, 2, 3, 4, 5] {
+            check_stream(n, false);
+        }
+    }
+
+    #[test]
+    fn unrolled_matches_model() {
+        for n in [1, 2, 3, 4, 5] {
+            check_stream(n, true);
+        }
+    }
+
+    #[test]
+    fn unrolled_is_smaller_than_replicated() {
+        for n in [4usize, 8] {
+            let r = netlist(n, false);
+            let u = netlist(n, true);
+            assert!(
+                u.instance_count() < r.instance_count(),
+                "n={n}: unrolled {} !< replicated {}",
+                u.instance_count(),
+                r.instance_count()
+            );
+        }
+    }
+}

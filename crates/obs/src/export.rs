@@ -1,0 +1,448 @@
+//! Machine-readable exporters: long-format CSV, JSON lines, and the
+//! Chrome Trace Event Format.
+//!
+//! The CSV and JSONL encoders share one long (tidy) schema —
+//! `record,cycle,router,port,vc,name,value` — so counters and sampled
+//! gauges coexist in a single file that loads directly into pandas or
+//! DuckDB. The Chrome encoder emits a JSON object with a `traceEvents`
+//! array loadable in `chrome://tracing` or Perfetto: one complete (`"X"`)
+//! slice per flit event on a `pid = router`, `tid = port·256 + vc` lane,
+//! plus one async `"b"`/`"e"` pair per packet spanning injection to last
+//! ejection.
+
+use crate::event::{FlitEvent, FlitEventKind};
+use crate::metrics::{MetricsRegistry, RouterObs};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One row of the long-format export.
+struct Row<'a> {
+    record: &'a str,
+    cycle: Option<u64>,
+    router: usize,
+    port: Option<usize>,
+    vc: Option<usize>,
+    name: &'a str,
+    value: f64,
+}
+
+fn rows<'a>(
+    routers: &'a [RouterObs],
+    registry: Option<&'a MetricsRegistry>,
+) -> impl Iterator<Item = Row<'a>> + 'a {
+    let counters = routers.iter().enumerate().flat_map(|(r, obs)| {
+        let per_vc = obs.vc.iter().enumerate().flat_map(move |(idx, s)| {
+            let (port, vc) = (idx / obs.vcs, idx % obs.vcs);
+            [
+                ("active", s.active),
+                ("credit_stall", s.credit_stall),
+                ("vca_stall", s.vca_stall),
+                ("sa_stall", s.sa_stall),
+                ("empty", s.empty),
+            ]
+            .into_iter()
+            .map(move |(name, v)| Row {
+                record: "counter",
+                cycle: None,
+                router: r,
+                port: Some(port),
+                vc: Some(vc),
+                name,
+                value: v as f64,
+            })
+        });
+        let per_port = obs.out_flits.iter().enumerate().map(move |(p, &v)| Row {
+            record: "counter",
+            cycle: None,
+            router: r,
+            port: Some(p),
+            vc: None,
+            name: "out_flits",
+            value: v as f64,
+        });
+        per_vc.chain(per_port)
+    });
+    let gauges = registry
+        .map(|m| m.samples.as_slice())
+        .unwrap_or(&[])
+        .iter()
+        .flat_map(|s| {
+            [
+                ("occupancy", s.occupancy as f64),
+                ("busy_vcs", s.busy_vcs as f64),
+                ("utilization", s.utilization),
+            ]
+            .into_iter()
+            .map(|(name, value)| Row {
+                record: "gauge",
+                cycle: Some(s.cycle),
+                router: s.router as usize,
+                port: None,
+                vc: None,
+                name,
+                value,
+            })
+        });
+    counters.chain(gauges)
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Encodes the metrics as long-format CSV with a header row.
+pub fn metrics_csv(routers: &[RouterObs], registry: Option<&MetricsRegistry>) -> String {
+    let mut out = String::from("record,cycle,router,port,vc,name,value\n");
+    for row in rows(routers, registry) {
+        let opt = |o: Option<u64>| o.map(|v| v.to_string()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            row.record,
+            opt(row.cycle),
+            row.router,
+            opt(row.port.map(|p| p as u64)),
+            opt(row.vc.map(|v| v as u64)),
+            row.name,
+            fmt_value(row.value)
+        );
+    }
+    out
+}
+
+/// Encodes the metrics as JSON lines (one object per row of the same long
+/// schema; absent coordinates are omitted).
+pub fn metrics_jsonl(routers: &[RouterObs], registry: Option<&MetricsRegistry>) -> String {
+    let mut out = String::new();
+    for row in rows(routers, registry) {
+        let _ = write!(out, "{{\"record\":\"{}\"", row.record);
+        if let Some(c) = row.cycle {
+            let _ = write!(out, ",\"cycle\":{c}");
+        }
+        let _ = write!(out, ",\"router\":{}", row.router);
+        if let Some(p) = row.port {
+            let _ = write!(out, ",\"port\":{p}");
+        }
+        if let Some(v) = row.vc {
+            let _ = write!(out, ",\"vc\":{v}");
+        }
+        let _ = writeln!(out, ",\"name\":\"{}\",\"value\":{}}}", row.name, row.value);
+    }
+    out
+}
+
+/// Encodes a flit-event trace in the Chrome Trace Event Format.
+pub fn chrome_trace(events: &[FlitEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    // Packet lifetime spans: injection of the head flit to the last
+    // ejection seen.
+    let mut spans: HashMap<u64, (u64, u64)> = HashMap::new();
+    for ev in events {
+        if ev.kind == FlitEventKind::Inject {
+            spans.entry(ev.packet_id).or_insert((ev.cycle, ev.cycle));
+        }
+        if ev.kind == FlitEventKind::Eject {
+            spans
+                .entry(ev.packet_id)
+                .and_modify(|s| s.1 = s.1.max(ev.cycle))
+                .or_insert((ev.cycle, ev.cycle));
+        }
+    }
+    let mut span_list: Vec<_> = spans.into_iter().collect();
+    span_list.sort_unstable();
+    for (pid, (start, end)) in span_list {
+        for (ph, ts) in [("b", start), ("e", end.max(start + 1))] {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"packet\",\"cat\":\"packet\",\"ph\":\"{ph}\",\
+                 \"id\":\"{pid:x}\",\"ts\":{ts},\"pid\":0,\"tid\":0}}"
+            );
+        }
+    }
+    for ev in events {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"flit\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\
+             \"pid\":{},\"tid\":{},\"args\":{{\"packet\":\"{:x}\",\"flit\":{}}}}}",
+            ev.kind.name(),
+            ev.cycle,
+            ev.router,
+            (ev.port as u32) * 256 + ev.vc as u32,
+            ev.packet_id,
+            ev.flit_index
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Minimal JSON syntax checker (no extensions, no trailing garbage). Used
+/// by tests to prove the Chrome trace and JSON summaries are well-formed
+/// without an external parser.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                skip_ws(b, i);
+                parse_value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                parse_value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, "true"),
+        Some(b'f') => parse_lit(b, i, "false"),
+        Some(b'n') => parse_lit(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        _ => Err(format!("unexpected byte at {i}")),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*i + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 2,
+                Some(b'u') => {
+                    if b.len() < *i + 6 || !b[*i + 2..*i + 6].iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {i}"));
+                    }
+                    *i += 6;
+                }
+                _ => return Err(format!("bad escape at byte {i}")),
+            },
+            0x00..=0x1f => return Err(format!("control character in string at byte {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StallCounters;
+
+    fn sample_obs() -> Vec<RouterObs> {
+        let mut a = RouterObs::new(2, 2);
+        a.out_flits = vec![10, 3];
+        a.vc[0] = StallCounters {
+            active: 5,
+            credit_stall: 1,
+            vca_stall: 2,
+            sa_stall: 3,
+            empty: 89,
+        };
+        let b = RouterObs::new(2, 2);
+        vec![a, b]
+    }
+
+    #[test]
+    fn csv_has_uniform_field_counts() {
+        let mut m = MetricsRegistry::new(5, 2);
+        m.sample(5, [(3u32, 1u32, 8u64, 2usize), (0, 0, 0, 2)].into_iter());
+        let csv = metrics_csv(&sample_obs(), Some(&m));
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header, "record,cycle,router,port,vc,name,value");
+        let cols = header.split(',').count();
+        let mut n = 0;
+        for l in lines {
+            assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+            n += 1;
+        }
+        // 2 routers × (2 ports × 2 vcs × 5 counters + 2 out_flits) + 2
+        // gauges × 3 values.
+        assert_eq!(n, 2 * (2 * 2 * 5 + 2) + 2 * 3);
+        assert!(csv.contains("counter,,0,0,0,credit_stall,1"));
+        assert!(csv.contains("gauge,5,0,,,occupancy,3"));
+    }
+
+    #[test]
+    fn jsonl_rows_are_valid_json() {
+        let mut m = MetricsRegistry::new(5, 2);
+        m.sample(5, [(3u32, 1u32, 8u64, 2usize), (0, 0, 0, 2)].into_iter());
+        let jsonl = metrics_jsonl(&sample_obs(), Some(&m));
+        let mut n = 0;
+        for line in jsonl.lines() {
+            validate_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            n += 1;
+        }
+        assert_eq!(n, 2 * (2 * 2 * 5 + 2) + 2 * 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_packet_spans() {
+        let mk = |cycle, kind, packet_id| FlitEvent {
+            cycle,
+            kind,
+            router: 1,
+            port: 2,
+            vc: 1,
+            packet_id,
+            flit_index: 0,
+        };
+        let events = vec![
+            mk(10, FlitEventKind::Inject, 7),
+            mk(11, FlitEventKind::VcaRequest, 7),
+            mk(12, FlitEventKind::SwitchTraversal, 7),
+            mk(20, FlitEventKind::Eject, 7),
+        ];
+        let trace = chrome_trace(&events);
+        validate_json(&trace).unwrap();
+        assert!(trace.contains("\"ph\":\"b\""));
+        assert!(trace.contains("\"ph\":\"e\""));
+        assert!(trace.contains("\"name\":\"switch_traversal\""));
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        validate_json(&chrome_trace(&[])).unwrap();
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "{\"a\":[1,2.5,-3e2,true,false,null,\"x\\n\"]}",
+            "  42  ",
+            "\"\\u00e9\"",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01x",
+            "\"unterminated",
+            "{}extra",
+            "{'a':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Flit-level observability for the NoC simulator.
+//!
+//! Three layers, usable independently:
+//!
+//! - [`event`]: a [`TraceSink`] trait receiving one [`FlitEvent`] per
+//!   flit-lifecycle step (injection, routing, VC allocation, switch
+//!   allocation, switch traversal, ejection). The sink is selected at
+//!   compile time through a generic parameter on the simulator, and the
+//!   no-op sink ([`NopSink`]) advertises `ACTIVE = false` so every
+//!   instrumentation site folds to nothing — tracing costs zero when off.
+//! - [`metrics`]: always-on per-router counters ([`RouterObs`]) with
+//!   **stall-cause attribution** — every input VC is classified each cycle
+//!   as moving a flit, stalled on credits, stalled on VC allocation,
+//!   stalled on switch allocation, or empty — plus an opt-in sampled
+//!   time series ([`MetricsRegistry`]) of buffer occupancy and channel
+//!   utilization.
+//! - [`export`]: machine-readable encoders — long-format CSV and JSON
+//!   lines for the metrics, and the Chrome Trace Event Format (loadable
+//!   in `chrome://tracing` / Perfetto) for the packet timeline.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+
+pub use event::{CountingSink, FlitEvent, FlitEventKind, NopSink, TraceSink, VecSink};
+pub use export::{chrome_trace, metrics_csv, metrics_jsonl, validate_json};
+pub use metrics::{GaugeSample, MetricsRegistry, RouterBreakdown, RouterObs, StallCounters};

@@ -26,6 +26,9 @@ pub use config::SimConfig;
 pub use network::Network;
 pub use packet::{Flit, PacketKind};
 pub use routing::RoutingKind;
-pub use sim::{latency_curve, run_sim, saturation_rate, zero_load_latency, SimResult};
+pub use sim::{
+    latency_curve, run_sim, run_sim_observed, saturation_rate, summarize, zero_load_latency,
+    ObservedRun, SimResult,
+};
 pub use topology::{Topology, TopologyKind};
 pub use traffic::TrafficPattern;

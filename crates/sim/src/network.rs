@@ -6,6 +6,9 @@ use crate::router::{Router, RouterConfig, RouterStats};
 use crate::stats::NetStats;
 use crate::terminal::{RouterProbe, Terminal};
 use crate::topology::Topology;
+use noc_obs::{
+    FlitEvent, FlitEventKind, MetricsRegistry, NopSink, RouterBreakdown, RouterObs, TraceSink,
+};
 
 /// An event in flight on a link or credit wire.
 #[derive(Clone, Debug)]
@@ -61,8 +64,9 @@ impl TimingWheel {
     }
 }
 
-/// A complete simulated network.
-pub struct Network {
+/// A complete simulated network, generic over the trace sink. The default
+/// [`NopSink`] compiles all flit-event instrumentation away.
+pub struct Network<S: TraceSink = NopSink> {
     /// Topology in use.
     pub topo: Topology,
     cfg: SimConfig,
@@ -76,11 +80,23 @@ pub struct Network {
     pub now: u64,
     /// Measurement statistics.
     pub stats: NetStats,
+    /// Flit-event sink.
+    pub sink: S,
+    /// Opt-in sampled time series (see [`Network::enable_metrics`]).
+    pub metrics: Option<MetricsRegistry>,
 }
 
-impl Network {
-    /// Builds a network in its reset state.
+impl Network<NopSink> {
+    /// Builds an untraced network in its reset state.
     pub fn new(cfg: SimConfig) -> Self {
+        Network::with_sink(cfg, NopSink)
+    }
+}
+
+impl<S: TraceSink> Network<S> {
+    /// Builds a network in its reset state, reporting flit events to
+    /// `sink`.
+    pub fn with_sink(cfg: SimConfig, sink: S) -> Self {
         let topo = cfg.topology.build();
         let spec = cfg.vc_spec();
         let routing = cfg.routing();
@@ -119,7 +135,15 @@ impl Network {
             rev,
             now: 0,
             stats,
+            sink,
+            metrics: None,
         }
+    }
+
+    /// Turns on occupancy / channel-utilization sampling every
+    /// `sample_interval` cycles.
+    pub fn enable_metrics(&mut self, sample_interval: u64) {
+        self.metrics = Some(MetricsRegistry::new(sample_interval, self.routers.len()));
     }
 
     /// The active configuration.
@@ -159,6 +183,17 @@ impl Network {
                     self.terminals[term].receive(&flit, now);
                     // Ideal sink: return the credit immediately.
                     let (router, port) = self.topo.terminal_attach(term);
+                    if S::ACTIVE {
+                        self.sink.record(FlitEvent {
+                            cycle: now,
+                            kind: FlitEventKind::Eject,
+                            router: router as u32,
+                            port: port as u16,
+                            vc: vc as u16,
+                            packet_id: flit.packet_id,
+                            flit_index: flit.flit_index as u32,
+                        });
+                    }
                     self.wheel
                         .schedule(now, 1, Event::CreditToRouter { router, port, vc });
                 }
@@ -186,6 +221,17 @@ impl Network {
             let out = terminals[t].step(topo, &RouterProbe(&routers[router]), now);
             if let Some((vc, flit)) = out.flit {
                 self.stats.record_flit_injected(now);
+                if S::ACTIVE {
+                    self.sink.record(FlitEvent {
+                        cycle: now,
+                        kind: FlitEventKind::Inject,
+                        router: router as u32,
+                        port: port as u16,
+                        vc: vc as u16,
+                        packet_id: flit.packet_id,
+                        flit_index: flit.flit_index as u32,
+                    });
+                }
                 self.wheel.schedule(
                     now,
                     1,
@@ -201,7 +247,8 @@ impl Network {
 
         // --- routers --------------------------------------------------------
         for r in 0..self.routers.len() {
-            let outputs = self.routers[r].step(&self.topo, now);
+            let (routers, topo, sink) = (&mut self.routers, &self.topo, &mut self.sink);
+            let outputs = routers[r].step_traced(topo, now, sink);
             for of in outputs.flits {
                 if let Some(term) = self.topo.port_terminal(r, of.port) {
                     self.wheel.schedule(
@@ -245,6 +292,24 @@ impl Network {
                 }
             }
         }
+
+        // --- sampled time series -------------------------------------------
+        if let Some(m) = &mut self.metrics {
+            if m.due(now) {
+                let routers = &self.routers;
+                m.sample(
+                    now,
+                    routers.iter().map(|r| {
+                        (
+                            r.buffered_flits() as u32,
+                            r.busy_vcs() as u32,
+                            r.obs.total_out_flits(),
+                            r.ports(),
+                        )
+                    }),
+                );
+            }
+        }
         self.now += 1;
     }
 
@@ -270,10 +335,35 @@ impl Network {
             agg.spec_grants += r.stats.spec_grants;
             agg.spec_masked += r.stats.spec_masked;
             agg.spec_invalid += r.stats.spec_invalid;
+            agg.spec_requests += r.stats.spec_requests;
             agg.vca_grants += r.stats.vca_grants;
             agg.vca_requests += r.stats.vca_requests;
         }
         agg
+    }
+
+    /// Snapshot of every router's observability counters, in router-id
+    /// order (feeds the `noc-obs` exporters).
+    pub fn router_obs(&self) -> Vec<RouterObs> {
+        self.routers.iter().map(|r| r.obs.clone()).collect()
+    }
+
+    /// Per-router digests: link throughput since reset and the
+    /// worst-stalled input port.
+    pub fn router_breakdowns(&self) -> Vec<RouterBreakdown> {
+        let cycles = self.now.max(1) as f64;
+        self.routers
+            .iter()
+            .map(|r| {
+                let (worst_port, worst_port_stall) = r.obs.worst_port_stall();
+                RouterBreakdown {
+                    router: r.id,
+                    throughput: r.obs.total_out_flits() as f64 / cycles,
+                    worst_port,
+                    worst_port_stall,
+                }
+            })
+            .collect()
     }
 
     /// Total request-queue backlog across terminals (saturation indicator).

@@ -18,7 +18,9 @@ pub enum PacketKind {
 }
 
 impl PacketKind {
-    /// Number of flits in a packet of this kind.
+    /// Number of flits in a packet of this kind (never zero, so there is
+    /// deliberately no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> usize {
         match self {
             PacketKind::ReadRequest | PacketKind::WriteReply => 1,

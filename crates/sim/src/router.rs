@@ -15,6 +15,7 @@ use noc_core::{
     SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests, VcAllocSpec, VcAllocator,
     VcRequest,
 };
+use noc_obs::{FlitEvent, FlitEventKind, NopSink, RouterObs, TraceSink};
 use std::collections::VecDeque;
 
 /// Router microarchitecture configuration.
@@ -94,6 +95,12 @@ pub struct RouterStats {
     /// Speculative grants that survived masking but failed validation
     /// (VC allocation lost or no credit).
     pub spec_invalid: u64,
+    /// Speculative switch requests issued (one per head flit per cycle in
+    /// which it bid for the switch alongside VC allocation). Every
+    /// speculative request either loses switch arbitration outright or
+    /// lands in exactly one of `spec_grants`, `spec_masked`,
+    /// `spec_invalid`, so their sum never exceeds this.
+    pub spec_requests: u64,
     /// VC allocation grants.
     pub vca_grants: u64,
     /// VC allocation requests (one per head flit per cycle spent waiting);
@@ -123,6 +130,9 @@ pub struct Router {
     st_stage: Vec<(usize, usize)>,
     /// Statistics.
     pub stats: RouterStats,
+    /// Always-on observability counters (per-port flit counts and
+    /// per-input-VC stall-cause attribution).
+    pub obs: RouterObs,
 }
 
 impl Router {
@@ -153,6 +163,7 @@ impl Router {
             sa,
             st_stage: Vec::new(),
             stats: RouterStats::default(),
+            obs: RouterObs::new(ports, vcs),
             cfg,
         }
     }
@@ -203,12 +214,45 @@ impl Router {
         );
     }
 
+    /// Runs one cycle without tracing (the common fast path).
+    pub fn step(&mut self, topo: &Topology, now: u64) -> RouterOutputs {
+        self.step_traced(topo, now, &mut NopSink)
+    }
+
     /// Runs one cycle: switch traversal for last cycle's grants, then VC
     /// allocation and speculative switch allocation in parallel (stage 1
-    /// for the flits still queued).
-    pub fn step(&mut self, topo: &Topology, _now: u64) -> RouterOutputs {
+    /// for the flits still queued). Every pipeline step is reported to
+    /// `sink`; with [`NopSink`] the instrumentation compiles away.
+    pub fn step_traced<S: TraceSink>(
+        &mut self,
+        topo: &Topology,
+        now: u64,
+        sink: &mut S,
+    ) -> RouterOutputs {
         let mut out = RouterOutputs::default();
         let v = self.vcs;
+        let n = self.ports * v;
+        let id = self.id as u32;
+        let ev = move |kind, port: usize, vc: usize, f: &Flit| FlitEvent {
+            cycle: now,
+            kind,
+            router: id,
+            port: port as u16,
+            vc: vc as u16,
+            packet_id: f.packet_id,
+            flit_index: f.flit_index as u32,
+        };
+        macro_rules! trace {
+            ($kind:expr, $port:expr, $vc:expr, $flit:expr) => {
+                if S::ACTIVE {
+                    sink.record(ev($kind, $port, $vc, $flit));
+                }
+            };
+        }
+
+        // Input VCs that pushed a flit into the switch this cycle (for
+        // stall attribution).
+        let mut moved = vec![false; n];
 
         // ---- Stage 2: switch traversal of last cycle's grants ----------
         let grants = std::mem::take(&mut self.st_stage);
@@ -226,6 +270,8 @@ impl Router {
                 self.out_vc[out_flat].owner = None;
                 self.in_out_vc[in_flat] = None;
             }
+            moved[in_flat] = true;
+            self.obs.out_flits[out_port] += 1;
             // Lookahead routing for the next router (head flits on network
             // links only; ejected flits need no further routing).
             if flit.head {
@@ -239,8 +285,20 @@ impl Router {
                     );
                     flit.lookahead = la;
                     flit.route_state = rs;
+                    if S::ACTIVE {
+                        sink.record(FlitEvent {
+                            router: link.to_router as u32,
+                            ..ev(FlitEventKind::Route, la.out_port, 0, &flit)
+                        });
+                    }
                 }
             }
+            trace!(
+                FlitEventKind::SwitchTraversal,
+                out_port,
+                out_flat % v,
+                &flit
+            );
             out.flits.push(OutgoingFlit {
                 port: out_port,
                 vc: out_flat % v,
@@ -249,7 +307,6 @@ impl Router {
         }
 
         // ---- Stage 1a: VC allocation ------------------------------------
-        let n = self.ports * v;
         let mut vca_reqs: Vec<Option<VcRequest>> = vec![None; n];
         for in_flat in 0..n {
             if self.in_out_vc[in_flat].is_some() {
@@ -266,6 +323,7 @@ impl Router {
                     f.lookahead.resource_class,
                 ));
                 self.stats.vca_requests += 1;
+                trace!(FlitEventKind::VcaRequest, in_flat / v, in_flat % v, f);
             }
         }
         let mut va_winner = vec![false; n];
@@ -289,6 +347,11 @@ impl Router {
                     self.out_vc[out_flat].owner = Some(in_flat);
                     va_winner[in_flat] = true;
                     self.stats.vca_grants += 1;
+                    if S::ACTIVE {
+                        if let Some(f) = self.in_buf[in_flat].front() {
+                            trace!(FlitEventKind::VcaGrant, in_flat / v, in_flat % v, f);
+                        }
+                    }
                 }
             }
         }
@@ -297,6 +360,10 @@ impl Router {
         let mut nonspec = SwitchRequests::new(self.ports, v);
         let mut spec = SwitchRequests::new(self.ports, v);
         let mut any_req = false;
+        // Stall attribution inputs: why each input VC did (or could) bid.
+        let mut credit_blocked = vec![false; n];
+        let mut bid = vec![false; n];
+        let mut spec_bid = vec![false; n];
         for in_flat in 0..n {
             if self.in_buf[in_flat].is_empty() {
                 continue;
@@ -308,6 +375,14 @@ impl Router {
                     if self.out_vc[out_flat].credits > 0 {
                         nonspec.request(in_flat / v, in_flat % v, out_flat / v);
                         any_req = true;
+                        bid[in_flat] = true;
+                        if S::ACTIVE {
+                            if let Some(f) = self.in_buf[in_flat].front() {
+                                trace!(FlitEventKind::SaRequest, in_flat / v, in_flat % v, f);
+                            }
+                        }
+                    } else {
+                        credit_blocked[in_flat] = true;
                     }
                 }
                 _ => {
@@ -319,18 +394,37 @@ impl Router {
                             if f.head || va_winner[in_flat] {
                                 spec.request(in_flat / v, in_flat % v, f.lookahead.out_port);
                                 any_req = true;
+                                spec_bid[in_flat] = true;
+                                self.stats.spec_requests += 1;
+                                trace!(FlitEventKind::SaSpecRequest, in_flat / v, in_flat % v, f);
                             }
                         }
                     }
                 }
             }
         }
+        let mut granted = vec![false; n];
         if any_req {
             let res = self.sa.allocate(&nonspec, &spec);
             self.stats.spec_masked += res.masked.len() as u64;
+            if S::ACTIVE {
+                for g in &res.masked {
+                    let in_flat = g.in_port * v + g.vc;
+                    if let Some(f) = self.in_buf[in_flat].front() {
+                        trace!(FlitEventKind::SaSpecMasked, g.in_port, g.vc, f);
+                    }
+                }
+            }
             for g in &res.nonspec {
                 self.stats.nonspec_grants += 1;
-                self.st_stage.push((g.in_port * v + g.vc, g.out_port));
+                let in_flat = g.in_port * v + g.vc;
+                granted[in_flat] = true;
+                self.st_stage.push((in_flat, g.out_port));
+                if S::ACTIVE {
+                    if let Some(f) = self.in_buf[in_flat].front() {
+                        trace!(FlitEventKind::SaGrant, g.in_port, g.vc, f);
+                    }
+                }
             }
             for g in &res.spec {
                 let in_flat = g.in_port * v + g.vc;
@@ -339,15 +433,57 @@ impl Router {
                 let valid = va_winner[in_flat]
                     && self.in_out_vc[in_flat]
                         .is_some_and(|of| of / v == g.out_port && self.out_vc[of].credits > 0);
-                if valid {
+                let kind = if valid {
                     self.stats.spec_grants += 1;
+                    granted[in_flat] = true;
                     self.st_stage.push((in_flat, g.out_port));
+                    FlitEventKind::SaSpecGrant
                 } else {
                     self.stats.spec_invalid += 1;
+                    FlitEventKind::SaSpecInvalid
+                };
+                if S::ACTIVE {
+                    if let Some(f) = self.in_buf[in_flat].front() {
+                        trace!(kind, g.in_port, g.vc, f);
+                    }
                 }
             }
         }
+
+        // ---- Stall-cause attribution ------------------------------------
+        // Each input VC lands in exactly one bucket per cycle. A VC that
+        // pushed a flit into the switch, or just won the switch for next
+        // cycle, is "active"; otherwise the blocker is whichever stage
+        // refused it this cycle.
+        for in_flat in 0..n {
+            let s = &mut self.obs.vc[in_flat];
+            if moved[in_flat] || granted[in_flat] {
+                s.active += 1;
+            } else if self.in_buf[in_flat].is_empty() {
+                s.empty += 1;
+            } else if credit_blocked[in_flat] {
+                s.credit_stall += 1;
+            } else if bid[in_flat] || (spec_bid[in_flat] && va_winner[in_flat]) {
+                // Bid for the switch with all resources in hand, lost
+                // arbitration (or, for a fresh VA winner, lost / was masked
+                // on the speculative path).
+                s.sa_stall += 1;
+            } else {
+                // Still waiting for an output VC.
+                s.vca_stall += 1;
+            }
+        }
         out
+    }
+
+    /// Flits currently buffered across all input VCs.
+    pub fn buffered_flits(&self) -> usize {
+        self.in_buf.iter().map(VecDeque::len).sum()
+    }
+
+    /// Input VCs currently holding at least one flit.
+    pub fn busy_vcs(&self) -> usize {
+        self.in_buf.iter().filter(|b| !b.is_empty()).count()
     }
 
     /// True if the router holds no flits and no in-flight grants (used by
@@ -517,6 +653,129 @@ mod tests {
         // Same output VC -> strictly serialized.
         assert_eq!(sent[0].2, sent[1].2);
         assert!(sent[1].0 > sent[0].0);
+    }
+
+    #[test]
+    fn speculation_accounting_identity_for_lone_request() {
+        // A lone speculative request wins its arbitration, so it must land
+        // in exactly one outcome bucket and the accounting identity
+        // `spec_grants + spec_masked + spec_invalid == spec_requests`
+        // holds with equality — in both speculation schemes.
+        for mode in [SpecMode::Pessimistic, SpecMode::Conventional] {
+            let (mut r, topo) = mesh_router(mode);
+            r.accept_flit(0, 0, head_flit(63, 1));
+            r.step(&topo, 0);
+            let s = r.stats;
+            assert_eq!(s.spec_requests, 1, "{mode:?}");
+            assert_eq!(s.spec_grants, 1, "{mode:?}: lone spec request must win");
+            assert_eq!(s.spec_masked, 0, "{mode:?}");
+            assert_eq!(s.spec_invalid, 0, "{mode:?}");
+            assert_eq!(
+                s.spec_grants + s.spec_masked + s.spec_invalid,
+                s.spec_requests,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_masking_is_counted_exactly() {
+        // An established packet's non-speculative request masks a fresh
+        // head's speculative grant for the same output port. Every spec
+        // request in this scenario wins its own arbitration, so the
+        // accounting identity holds with equality and the masked grant is
+        // classified as masked, not invalid.
+        for mode in [SpecMode::Pessimistic, SpecMode::Conventional] {
+            let (mut r, topo) = mesh_router(mode);
+            // 2-flit packet on port 2 establishes a stream to out port 1.
+            for i in 0..2 {
+                let mut f = head_flit(63, 1);
+                f.kind = PacketKind::WriteRequest;
+                f.flit_index = i;
+                f.head = i == 0;
+                f.tail = i == 1;
+                r.accept_flit(2, 0, f);
+            }
+            r.step(&topo, 0); // head wins VA + speculative SA
+            assert_eq!(r.stats.spec_requests, 1, "{mode:?}");
+            assert_eq!(r.stats.spec_grants, 1, "{mode:?}");
+            // Fresh head on port 3 contends with the body flit's
+            // non-speculative request for out port 1 next cycle.
+            let mut g = head_flit(63, 1);
+            g.packet_id = 7;
+            r.accept_flit(3, 0, g);
+            r.step(&topo, 1);
+            let s = r.stats;
+            assert_eq!(s.spec_requests, 2, "{mode:?}");
+            assert_eq!(s.nonspec_grants, 1, "{mode:?}: body wins non-speculatively");
+            assert_eq!(s.spec_masked, 1, "{mode:?}: contending spec grant masked");
+            assert_eq!(s.spec_invalid, 0, "{mode:?}");
+            assert_eq!(
+                s.spec_grants + s.spec_masked + s.spec_invalid,
+                s.spec_requests,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_outcomes_never_exceed_requests_under_contention() {
+        // Two heads racing for the same output VC: one spec request loses
+        // switch arbitration outright (no outcome bucket), so the sum of
+        // outcomes stays strictly below the request count while the run
+        // still delivers both flits.
+        for mode in [SpecMode::Pessimistic, SpecMode::Conventional] {
+            let (mut r, topo) = mesh_router(mode);
+            let mut f0 = head_flit(63, 1);
+            f0.packet_id = 1;
+            let mut f1 = head_flit(63, 1);
+            f1.packet_id = 2;
+            r.accept_flit(2, 0, f0);
+            r.accept_flit(3, 0, f1);
+            let mut sent = 0;
+            for t in 0..10 {
+                sent += r.step(&topo, t).flits.len();
+            }
+            assert_eq!(sent, 2, "{mode:?}");
+            let s = r.stats;
+            assert!(s.spec_requests >= 2, "{mode:?}: {s:?}");
+            assert!(
+                s.spec_grants + s.spec_masked + s.spec_invalid <= s.spec_requests,
+                "{mode:?}: outcome buckets exceed requests: {s:?}"
+            );
+            assert!(s.spec_grants >= 1, "{mode:?}: someone must cut through");
+        }
+    }
+
+    #[test]
+    fn nonspeculative_mode_issues_no_spec_requests() {
+        let (mut r, topo) = mesh_router(SpecMode::NonSpeculative);
+        r.accept_flit(0, 0, head_flit(63, 1));
+        for t in 0..6 {
+            r.step(&topo, t);
+        }
+        let s = r.stats;
+        assert_eq!(s.spec_requests, 0);
+        assert_eq!(s.spec_grants + s.spec_masked + s.spec_invalid, 0);
+        assert!(s.nonspec_grants >= 1);
+    }
+
+    #[test]
+    fn stall_attribution_partitions_cycles() {
+        let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
+        r.accept_flit(0, 0, head_flit(63, 1));
+        let total = 6u64;
+        for t in 0..total {
+            r.step(&topo, t);
+        }
+        for (idx, s) in r.obs.vc.iter().enumerate() {
+            assert_eq!(s.cycles(), total, "vc slot {idx}");
+        }
+        // The lone flit's VC: VA+spec-SA cycle and ST cycle are active,
+        // the remaining cycles empty.
+        let s = &r.obs.vc[0];
+        assert_eq!(s.active, 2, "{s:?}");
+        assert_eq!(s.empty, total - 2, "{s:?}");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 use crate::config::SimConfig;
 use crate::network::Network;
 use crate::router::RouterStats;
+use noc_obs::{MetricsRegistry, RouterBreakdown, RouterObs, TraceSink};
+use std::fmt::Write as _;
 
 /// Average latency beyond which a run is declared saturated.
 pub const LATENCY_CAP: f64 = 400.0;
@@ -31,6 +33,116 @@ pub struct SimResult {
     pub stable: bool,
     /// Aggregated router counters.
     pub router_stats: RouterStats,
+    /// Per-router digests (throughput and worst-stalled port), in
+    /// router-id order.
+    pub routers: Vec<RouterBreakdown>,
+}
+
+impl SimResult {
+    /// Highest per-router link throughput (flits/cycle); NaN without
+    /// breakdown data.
+    pub fn max_router_throughput(&self) -> f64 {
+        self.routers
+            .iter()
+            .map(|r| r.throughput)
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// Lowest per-router link throughput (flits/cycle); NaN without
+    /// breakdown data.
+    pub fn min_router_throughput(&self) -> f64 {
+        self.routers
+            .iter()
+            .map(|r| r.throughput)
+            .fold(f64::NAN, f64::min)
+    }
+
+    /// The router with the worst-stalled input port, as
+    /// `(router, port, stall fraction)`.
+    pub fn worst_stall(&self) -> Option<(usize, usize, f64)> {
+        self.routers
+            .iter()
+            .max_by(|a, b| a.worst_port_stall.total_cmp(&b.worst_port_stall))
+            .map(|r| (r.router, r.worst_port, r.worst_port_stall))
+    }
+
+    /// Serializes the result (including the per-router breakdown) as one
+    /// JSON object.
+    pub fn to_json(&self) -> String {
+        // JSON has no NaN/inf literals; map them to null.
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let s = &self.router_stats;
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"offered\":{},\"avg_latency\":{},\"request_latency\":{},\"reply_latency\":{},\
+             \"latency_std_dev\":{},\"latency_p99\":{},\"throughput\":{},\"stable\":{}",
+            num(self.offered),
+            num(self.avg_latency),
+            num(self.request_latency),
+            num(self.reply_latency),
+            num(self.latency_std_dev),
+            num(self.latency_p99),
+            num(self.throughput),
+            self.stable
+        );
+        let _ = write!(
+            out,
+            ",\"router_stats\":{{\"nonspec_grants\":{},\"spec_requests\":{},\"spec_grants\":{},\
+             \"spec_masked\":{},\"spec_invalid\":{},\"vca_requests\":{},\"vca_grants\":{}}}",
+            s.nonspec_grants,
+            s.spec_requests,
+            s.spec_grants,
+            s.spec_masked,
+            s.spec_invalid,
+            s.vca_requests,
+            s.vca_grants
+        );
+        if !self.routers.is_empty() {
+            let _ = write!(
+                out,
+                ",\"max_router_throughput\":{},\"min_router_throughput\":{}",
+                num(self.max_router_throughput()),
+                num(self.min_router_throughput())
+            );
+            out.push_str(",\"routers\":[");
+            for (i, r) in self.routers.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"router\":{},\"throughput\":{},\"worst_port\":{},\"worst_port_stall\":{}}}",
+                    r.router,
+                    num(r.throughput),
+                    r.worst_port,
+                    num(r.worst_port_stall)
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Everything produced by an observed run: the summary, the sink with its
+/// recorded events, the sampled time series, and each router's counters.
+pub struct ObservedRun<S: TraceSink> {
+    /// Standard run summary.
+    pub result: SimResult,
+    /// The trace sink, with whatever it recorded.
+    pub sink: S,
+    /// Sampled time series, if sampling was enabled.
+    pub metrics: Option<MetricsRegistry>,
+    /// Per-router observability counters.
+    pub router_obs: Vec<RouterObs>,
 }
 
 /// Runs one simulation: `warmup` cycles to reach steady state, then a
@@ -39,6 +151,37 @@ pub fn run_sim(cfg: &SimConfig, warmup: u64, measure: u64) -> SimResult {
     let mut net = Network::new(cfg.clone());
     net.stats.set_window(warmup, warmup + measure);
     net.run(warmup + measure);
+    summarize(&net)
+}
+
+/// As [`run_sim`], but reporting flit events to `sink` and, when
+/// `sample_interval` is set, collecting the occupancy/utilization time
+/// series.
+pub fn run_sim_observed<S: TraceSink>(
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    sink: S,
+    sample_interval: Option<u64>,
+) -> ObservedRun<S> {
+    let mut net = Network::with_sink(cfg.clone(), sink);
+    if let Some(interval) = sample_interval {
+        net.enable_metrics(interval);
+    }
+    net.stats.set_window(warmup, warmup + measure);
+    net.run(warmup + measure);
+    let result = summarize(&net);
+    ObservedRun {
+        result,
+        router_obs: net.router_obs(),
+        metrics: net.metrics,
+        sink: net.sink,
+    }
+}
+
+/// Builds a [`SimResult`] from a network that has finished running.
+pub fn summarize<S: TraceSink>(net: &Network<S>) -> SimResult {
+    let cfg = net.config();
     let terminals = net.topo.num_terminals();
     let avg = net.stats.avg_latency();
     let throughput = net.stats.throughput(terminals);
@@ -56,6 +199,7 @@ pub fn run_sim(cfg: &SimConfig, warmup: u64, measure: u64) -> SimResult {
         throughput,
         stable,
         router_stats: net.router_stats(),
+        routers: net.router_breakdowns(),
     }
 }
 

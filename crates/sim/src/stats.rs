@@ -148,7 +148,10 @@ impl NetStats {
     }
 
     /// Fairness indicator: max/min per-source average latency over sources
-    /// that delivered packets (NaN without per-source data).
+    /// that delivered packets. NaN without per-source data, and NaN when
+    /// the minimum average latency is zero (a same-cycle delivery would
+    /// otherwise make the ratio infinite and poison downstream
+    /// aggregation).
     pub fn source_latency_spread(&self) -> f64 {
         let lats: Vec<f64> = self
             .per_source_latency()
@@ -160,6 +163,9 @@ impl NetStats {
         }
         let max = lats.iter().cloned().fold(0.0f64, f64::max);
         let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        if min <= 0.0 {
+            return f64::NAN;
+        }
         max / min
     }
 
@@ -208,6 +214,29 @@ mod tests {
         assert!(s.class_avg_latency(0).is_nan());
         assert!(s.latency_std_dev().is_nan());
         assert!(s.latency_percentile(0.99).is_nan());
+    }
+
+    #[test]
+    fn source_latency_spread_guards_zero_latency() {
+        // Regression: a source whose only packet had zero latency used to
+        // drive max/min to +inf; it must yield NaN instead.
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        s.init_sources(2);
+        s.record_packet_from(100, 100, 0, 0); // zero-latency delivery
+        s.record_packet_from(200, 150, 0, 1); // 50-cycle delivery
+        assert!(
+            s.source_latency_spread().is_nan(),
+            "spread {} should be NaN, not inf",
+            s.source_latency_spread()
+        );
+        // The normal case still works.
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        s.init_sources(2);
+        s.record_packet_from(100, 90, 0, 0); // 10 cycles
+        s.record_packet_from(200, 170, 0, 1); // 30 cycles
+        assert!((s.source_latency_spread() - 3.0).abs() < 1e-12);
     }
 
     #[test]

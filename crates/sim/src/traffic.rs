@@ -26,7 +26,8 @@ impl TrafficPattern {
     pub fn dest(self, src: usize, n: usize, rng: &mut impl Rng) -> usize {
         debug_assert!(n.is_power_of_two());
         let bits = n.trailing_zeros() as usize;
-        let d = match self {
+
+        match self {
             TrafficPattern::UniformRandom => {
                 // Uniform over the n-1 other terminals.
                 let mut d = rng.gen_range(0..n - 1);
@@ -44,8 +45,7 @@ impl TrafficPattern {
             }
             TrafficPattern::Tornado => (src + n / 2 - 1) % n,
             TrafficPattern::Shuffle => ((src << 1) | (src >> (bits - 1))) & (n - 1),
-        };
-        d
+        }
     }
 
     /// Label used in benchmark output.

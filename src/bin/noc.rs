@@ -11,7 +11,8 @@
 //! parsing is deliberately dependency-free.
 
 use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
-use noc_sim::{run_sim, SimConfig, TopologyKind, TrafficPattern};
+use noc_obs::{chrome_trace, metrics_csv, metrics_jsonl, VecSink};
+use noc_sim::{run_sim, run_sim_observed, SimConfig, TopologyKind, TrafficPattern};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -22,6 +23,7 @@ USAGE:
   noc sim     [--topology mesh|fbfly|torus] [--vcs C] [--rate R] [--sa KIND]
               [--vca KIND] [--spec nonspec|spec_gnt|spec_req] [--pattern P]
               [--buf-depth N] [--burst B] [--warmup N] [--measure N] [--seed S]
+              [--trace FILE] [--metrics FILE] [--sample-interval N] [--json]
   noc synth   (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--alloc KIND]
               [--dense] [--spec nonspec|spec_gnt|spec_req]
   noc quality (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--rate R]
@@ -33,8 +35,17 @@ USAGE:
 KIND (allocator): sep_if_rr sep_if_m sep_of_rr sep_of_m wf
 PATTERN:          uniform bitcomp transpose tornado shuffle
 
+Observability (noc sim):
+  --trace FILE            write a Chrome Trace Event Format flit timeline
+                          (load in chrome://tracing or Perfetto)
+  --metrics FILE          write counters + sampled gauges; .json/.jsonl
+                          selects JSON lines, anything else CSV
+  --sample-interval N     gauge sampling period in cycles (default 100)
+  --json                  print the run summary as one JSON object
+
 Examples:
   noc sim --topology fbfly --vcs 4 --rate 0.3 --sa wf
+  noc sim --rate 0.25 --metrics out.csv --trace trace.json --json
   noc synth vca --topology mesh --vcs 2 --alloc sep_if_rr
   noc quality swa --topology fbfly --vcs 4 --rate 0.5 --trials 5000
   noc verilog swa --vcs 2 --alloc sep_if_rr > swa.v
@@ -56,8 +67,8 @@ impl Args {
                 if key == "help" {
                     return Err(HELP.to_string());
                 }
-                if key == "dense" {
-                    flags.insert("dense".to_string(), "true".to_string());
+                if key == "dense" || key == "json" {
+                    flags.insert(key.to_string(), "true".to_string());
                     continue;
                 }
                 let v = it
@@ -155,6 +166,9 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     };
     let warmup: u64 = args.get("warmup", 3000u64)?;
     let measure: u64 = args.get("measure", 6000u64)?;
+    let trace_path = args.flags.get("trace").cloned();
+    let metrics_path = args.flags.get("metrics").cloned();
+    let sample_interval: u64 = args.get("sample-interval", 100u64)?;
     eprintln!(
         "simulating {} @ {} flits/cycle/terminal ({} + {} cycles)...",
         cfg.label(),
@@ -162,7 +176,36 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         warmup,
         measure
     );
-    let r = run_sim(&cfg, warmup, measure);
+    let r = if trace_path.is_some() || metrics_path.is_some() {
+        let run = run_sim_observed(
+            &cfg,
+            warmup,
+            measure,
+            VecSink::default(),
+            metrics_path.as_ref().map(|_| sample_interval),
+        );
+        if let Some(path) = &trace_path {
+            std::fs::write(path, chrome_trace(&run.sink.events))
+                .map_err(|e| format!("writing trace '{path}': {e}"))?;
+            eprintln!("wrote {} flit events to {path}", run.sink.events.len());
+        }
+        if let Some(path) = &metrics_path {
+            let text = if path.ends_with(".json") || path.ends_with(".jsonl") {
+                metrics_jsonl(&run.router_obs, run.metrics.as_ref())
+            } else {
+                metrics_csv(&run.router_obs, run.metrics.as_ref())
+            };
+            std::fs::write(path, text).map_err(|e| format!("writing metrics '{path}': {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        run.result
+    } else {
+        run_sim(&cfg, warmup, measure)
+    };
+    if args.flags.contains_key("json") {
+        println!("{}", r.to_json());
+        return Ok(());
+    }
     println!("offered          {:.4} flits/cycle/terminal", r.offered);
     println!("accepted         {:.4} flits/cycle/terminal", r.throughput);
     println!(
@@ -185,6 +228,19 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
             s.vca_grants,
             s.vca_requests as f64 / s.vca_grants as f64
         );
+    }
+    if !r.routers.is_empty() {
+        println!(
+            "router traffic   {:.2}..{:.2} flits/cycle (min..max per router)",
+            r.min_router_throughput(),
+            r.max_router_throughput()
+        );
+        if let Some((router, port, stall)) = r.worst_stall() {
+            println!(
+                "worst stall      router {router} port {port}: stalled {:.1}% of cycles",
+                stall * 100.0
+            );
+        }
     }
     Ok(())
 }
@@ -386,6 +442,13 @@ mod tests {
         let a = args("synth vca --dense --vcs 2");
         assert!(a.flags.contains_key("dense"));
         assert_eq!(a.positional, vec!["synth", "vca"]);
+    }
+
+    #[test]
+    fn json_is_a_bare_flag() {
+        let a = args("sim --json --rate 0.2");
+        assert!(a.flags.contains_key("json"));
+        assert!((a.get::<f64>("rate", 0.0).unwrap() - 0.2).abs() < 1e-12);
     }
 
     #[test]
