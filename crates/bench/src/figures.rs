@@ -348,6 +348,10 @@ mod tests {
             latency_p99: 32.0,
             throughput: offered,
             stable,
+            ci95: f64::NAN,
+            seeds: 1,
+            warmup_detected: None,
+            hist: Default::default(),
             router_stats: Default::default(),
             routers: Vec::new(),
         };

@@ -7,8 +7,13 @@
 //! index and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub mod figures;
+pub mod harness;
 pub mod points;
 
+pub use harness::{
+    compare_baseline, parse_report, report_filename, run_bench, workload_matrix, BaselineSummary,
+    BenchParams, BenchReport, WorkloadResult,
+};
 pub use points::{DesignPoint, DESIGN_POINTS};
 
 /// Reads an environment-variable override for experiment sizing, so the

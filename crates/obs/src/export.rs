@@ -189,160 +189,60 @@ pub fn chrome_trace(events: &[FlitEvent]) -> String {
     out
 }
 
-/// Minimal JSON syntax checker (no extensions, no trailing garbage). Used
-/// by tests to prove the Chrome trace and JSON summaries are well-formed
-/// without an external parser.
-pub fn validate_json(s: &str) -> Result<(), String> {
-    let b = s.as_bytes();
-    let mut i = 0usize;
-    skip_ws(b, &mut i);
-    parse_value(b, &mut i)?;
-    skip_ws(b, &mut i);
-    if i != b.len() {
-        return Err(format!("trailing data at byte {i}"));
+/// Encodes an [`HdrHistogram`](crate::HdrHistogram) as CSV: one row per
+/// non-empty bucket with cumulative counts and quantiles, ready for
+/// plotting a latency CDF.
+pub fn histogram_csv(hist: &crate::HdrHistogram) -> String {
+    let mut out = String::from("bucket_lower,bucket_upper,count,cumulative,quantile\n");
+    let total = hist.total().max(1) as f64;
+    let mut cumulative = 0u64;
+    for (lower, upper, count) in hist.iter_buckets() {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{lower},{upper},{count},{cumulative},{:.6}",
+            cumulative as f64 / total
+        );
     }
-    Ok(())
+    out
 }
 
-fn skip_ws(b: &[u8], i: &mut usize) {
-    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
-        *i += 1;
-    }
-}
-
-fn parse_value(b: &[u8], i: &mut usize) -> Result<(), String> {
-    match b.get(*i) {
-        Some(b'{') => {
-            *i += 1;
-            skip_ws(b, i);
-            if b.get(*i) == Some(&b'}') {
-                *i += 1;
-                return Ok(());
+/// Encodes a percentile table (as produced by
+/// [`HdrHistogram::percentile_table`](crate::HdrHistogram::percentile_table))
+/// as one JSON object, `{"p50": .., "p99": ..}`, with NaN mapped to
+/// `null`. Quantiles are named by their value in basis points of 100
+/// (`0.999` → `"p999"`, `1.0` → `"max"`).
+pub fn percentile_table_json(table: &[(f64, f64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (q, v)) in table.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = if *q >= 1.0 {
+            "max".to_string()
+        } else {
+            // 0.5 -> p50, 0.99 -> p99, 0.999 -> p999.
+            let pct = q * 100.0;
+            if pct.fract().abs() < 1e-9 {
+                format!("p{}", pct.round() as u64)
+            } else {
+                format!("p{}", (q * 1000.0).round() as u64)
             }
-            loop {
-                skip_ws(b, i);
-                parse_string(b, i)?;
-                skip_ws(b, i);
-                if b.get(*i) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {i}"));
-                }
-                *i += 1;
-                skip_ws(b, i);
-                parse_value(b, i)?;
-                skip_ws(b, i);
-                match b.get(*i) {
-                    Some(b',') => *i += 1,
-                    Some(b'}') => {
-                        *i += 1;
-                        return Ok(());
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *i += 1;
-            skip_ws(b, i);
-            if b.get(*i) == Some(&b']') {
-                *i += 1;
-                return Ok(());
-            }
-            loop {
-                skip_ws(b, i);
-                parse_value(b, i)?;
-                skip_ws(b, i);
-                match b.get(*i) {
-                    Some(b',') => *i += 1,
-                    Some(b']') => {
-                        *i += 1;
-                        return Ok(());
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
-                }
-            }
-        }
-        Some(b'"') => parse_string(b, i),
-        Some(b't') => parse_lit(b, i, "true"),
-        Some(b'f') => parse_lit(b, i, "false"),
-        Some(b'n') => parse_lit(b, i, "null"),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
-        _ => Err(format!("unexpected byte at {i}")),
-    }
-}
-
-fn parse_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
-    if b[*i..].starts_with(lit.as_bytes()) {
-        *i += lit.len();
-        Ok(())
-    } else {
-        Err(format!("bad literal at byte {i}"))
-    }
-}
-
-fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
-    if b.get(*i) != Some(&b'"') {
-        return Err(format!("expected string at byte {i}"));
-    }
-    *i += 1;
-    while let Some(&c) = b.get(*i) {
-        match c {
-            b'"' => {
-                *i += 1;
-                return Ok(());
-            }
-            b'\\' => match b.get(*i + 1) {
-                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 2,
-                Some(b'u') => {
-                    if b.len() < *i + 6 || !b[*i + 2..*i + 6].iter().all(u8::is_ascii_hexdigit) {
-                        return Err(format!("bad \\u escape at byte {i}"));
-                    }
-                    *i += 6;
-                }
-                _ => return Err(format!("bad escape at byte {i}")),
-            },
-            0x00..=0x1f => return Err(format!("control character in string at byte {i}")),
-            _ => *i += 1,
+        };
+        if v.is_finite() {
+            let _ = write!(out, "\"{name}\":{v}");
+        } else {
+            let _ = write!(out, "\"{name}\":null");
         }
     }
-    Err("unterminated string".to_string())
-}
-
-fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
-    let start = *i;
-    if b.get(*i) == Some(&b'-') {
-        *i += 1;
-    }
-    let digits = |b: &[u8], i: &mut usize| {
-        let s = *i;
-        while *i < b.len() && b[*i].is_ascii_digit() {
-            *i += 1;
-        }
-        *i > s
-    };
-    if !digits(b, i) {
-        return Err(format!("bad number at byte {start}"));
-    }
-    if b.get(*i) == Some(&b'.') {
-        *i += 1;
-        if !digits(b, i) {
-            return Err(format!("bad fraction at byte {start}"));
-        }
-    }
-    if matches!(b.get(*i), Some(b'e' | b'E')) {
-        *i += 1;
-        if matches!(b.get(*i), Some(b'+' | b'-')) {
-            *i += 1;
-        }
-        if !digits(b, i) {
-            return Err(format!("bad exponent at byte {start}"));
-        }
-    }
-    Ok(())
+    out.push('}');
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::validate_json;
     use crate::metrics::StallCounters;
 
     fn sample_obs() -> Vec<RouterObs> {
@@ -420,6 +320,30 @@ mod tests {
     #[test]
     fn empty_trace_still_valid() {
         validate_json(&chrome_trace(&[])).unwrap();
+    }
+
+    #[test]
+    fn histogram_csv_rows_are_cumulative() {
+        let mut h = crate::HdrHistogram::new();
+        for v in [2u64, 2, 9, 40, 40, 700] {
+            h.record(v);
+        }
+        let csv = histogram_csv(&h);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "bucket_lower,bucket_upper,count,cumulative,quantile"
+        );
+        let last = lines.last().unwrap();
+        assert!(last.ends_with(",6,1.000000"), "last row: {last}");
+    }
+
+    #[test]
+    fn percentile_table_json_names_and_nulls() {
+        let table = [(0.5, 12.0), (0.9, 20.0), (0.999, 31.5), (1.0, f64::NAN)];
+        let json = percentile_table_json(&table);
+        validate_json(&json).unwrap();
+        assert_eq!(json, "{\"p50\":12,\"p90\":20,\"p999\":31.5,\"max\":null}");
     }
 
     #[test]

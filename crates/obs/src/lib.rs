@@ -17,11 +17,27 @@
 //! - [`export`]: machine-readable encoders — long-format CSV and JSON
 //!   lines for the metrics, and the Chrome Trace Event Format (loadable
 //!   in `chrome://tracing` / Perfetto) for the packet timeline.
+//! - [`hist`]: a log-linear HDR-style latency histogram with bounded
+//!   relative error, exact low-latency buckets, and interpolated
+//!   percentile queries — the substrate for every reported quantile.
+//! - [`profile`]: self-profiling. A [`PhaseProfiler`] attributes
+//!   wall-time and event rates to the router pipeline phases (routing,
+//!   VC allocation, switch allocation, traversal, credits); the no-op
+//!   implementation compiles every clock read away, mirroring the sink
+//!   design.
+//! - [`json`]: a tiny strict JSON reader, so bench baselines and JSON
+//!   summaries can be parsed without external dependencies.
 
 pub mod event;
 pub mod export;
+pub mod hist;
+pub mod json;
 pub mod metrics;
+pub mod profile;
 
 pub use event::{CountingSink, FlitEvent, FlitEventKind, NopSink, TraceSink, VecSink};
-pub use export::{chrome_trace, metrics_csv, metrics_jsonl, validate_json};
+pub use export::{chrome_trace, histogram_csv, metrics_csv, metrics_jsonl, percentile_table_json};
+pub use hist::{HdrHistogram, DEFAULT_QUANTILES};
+pub use json::{validate_json, JsonValue};
 pub use metrics::{GaugeSample, MetricsRegistry, RouterBreakdown, RouterObs, StallCounters};
+pub use profile::{NopProfiler, Phase, PhaseProfiler, Profiler, PHASES};

@@ -18,6 +18,7 @@ pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod stats;
+pub mod steady;
 pub mod terminal;
 pub mod topology;
 pub mod traffic;
@@ -27,8 +28,8 @@ pub use network::Network;
 pub use packet::{Flit, PacketKind};
 pub use routing::RoutingKind;
 pub use sim::{
-    latency_curve, run_sim, run_sim_observed, saturation_rate, summarize, zero_load_latency,
-    ObservedRun, SimResult,
+    latency_curve, run_many, run_sim, run_sim_auto, run_sim_observed, run_sim_profiled,
+    run_sim_replicated, saturation_rate, summarize, zero_load_latency, ObservedRun, SimResult,
 };
 pub use topology::{Topology, TopologyKind};
 pub use traffic::TrafficPattern;

@@ -7,8 +7,10 @@ use crate::stats::NetStats;
 use crate::terminal::{RouterProbe, Terminal};
 use crate::topology::Topology;
 use noc_obs::{
-    FlitEvent, FlitEventKind, MetricsRegistry, NopSink, RouterBreakdown, RouterObs, TraceSink,
+    FlitEvent, FlitEventKind, MetricsRegistry, NopProfiler, NopSink, Phase, PhaseProfiler,
+    RouterBreakdown, RouterObs, TraceSink,
 };
+use std::time::Instant;
 
 /// An event in flight on a link or credit wire.
 #[derive(Clone, Debug)]
@@ -159,9 +161,19 @@ impl<S: TraceSink> Network<S> {
 
     /// Runs one network cycle.
     pub fn step(&mut self) {
+        self.step_profiled(&mut NopProfiler)
+    }
+
+    /// Runs one network cycle, attributing wall time to pipeline phases.
+    /// With [`NopProfiler`] every clock read compiles away and this is the
+    /// plain [`Network::step`] fast path.
+    pub fn step_profiled<P: PhaseProfiler>(&mut self, prof: &mut P) {
         let now = self.now;
         // --- deliver link/credit events landing this cycle ----------------
+        let wheel_timer = P::ACTIVE.then(Instant::now);
+        let mut wheel_events = 0u64;
         for ev in self.wheel.take(now) {
+            wheel_events += 1;
             match ev {
                 Event::FlitToRouter {
                     router,
@@ -201,6 +213,9 @@ impl<S: TraceSink> Network<S> {
                     self.terminals[term].accept_credit(vc);
                 }
             }
+        }
+        if let Some(t) = wheel_timer {
+            prof.record(Phase::Credit, t.elapsed().as_nanos() as u64, wheel_events);
         }
 
         // --- terminals: traffic generation and injection -------------------
@@ -248,7 +263,7 @@ impl<S: TraceSink> Network<S> {
         // --- routers --------------------------------------------------------
         for r in 0..self.routers.len() {
             let (routers, topo, sink) = (&mut self.routers, &self.topo, &mut self.sink);
-            let outputs = routers[r].step_traced(topo, now, sink);
+            let outputs = routers[r].step_profiled(topo, now, sink, prof);
             for of in outputs.flits {
                 if let Some(term) = self.topo.port_terminal(r, of.port) {
                     self.wheel.schedule(

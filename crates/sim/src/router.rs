@@ -15,8 +15,11 @@ use noc_core::{
     SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests, VcAllocSpec, VcAllocator,
     VcRequest,
 };
-use noc_obs::{FlitEvent, FlitEventKind, NopSink, RouterObs, TraceSink};
+use noc_obs::{
+    FlitEvent, FlitEventKind, NopProfiler, NopSink, Phase, PhaseProfiler, RouterObs, TraceSink,
+};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Router microarchitecture configuration.
 #[derive(Clone, Debug)]
@@ -216,18 +219,32 @@ impl Router {
 
     /// Runs one cycle without tracing (the common fast path).
     pub fn step(&mut self, topo: &Topology, now: u64) -> RouterOutputs {
-        self.step_traced(topo, now, &mut NopSink)
+        self.step_profiled(topo, now, &mut NopSink, &mut NopProfiler)
     }
 
-    /// Runs one cycle: switch traversal for last cycle's grants, then VC
-    /// allocation and speculative switch allocation in parallel (stage 1
-    /// for the flits still queued). Every pipeline step is reported to
-    /// `sink`; with [`NopSink`] the instrumentation compiles away.
+    /// Runs one cycle, reporting pipeline steps to `sink`; with
+    /// [`NopSink`] the instrumentation compiles away.
     pub fn step_traced<S: TraceSink>(
         &mut self,
         topo: &Topology,
         now: u64,
         sink: &mut S,
+    ) -> RouterOutputs {
+        self.step_profiled(topo, now, sink, &mut NopProfiler)
+    }
+
+    /// Runs one cycle: switch traversal for last cycle's grants, then VC
+    /// allocation and speculative switch allocation in parallel (stage 1
+    /// for the flits still queued). Every pipeline step is reported to
+    /// `sink`, and wall time per pipeline phase to `prof`; with
+    /// [`NopSink`] / [`NopProfiler`] the instrumentation (including every
+    /// clock read) compiles away.
+    pub fn step_profiled<S: TraceSink, P: PhaseProfiler>(
+        &mut self,
+        topo: &Topology,
+        now: u64,
+        sink: &mut S,
+        prof: &mut P,
     ) -> RouterOutputs {
         let mut out = RouterOutputs::default();
         let v = self.vcs;
@@ -255,7 +272,11 @@ impl Router {
         let mut moved = vec![false; n];
 
         // ---- Stage 2: switch traversal of last cycle's grants ----------
+        let st_timer = P::ACTIVE.then(Instant::now);
+        let mut route_nanos = 0u64;
+        let mut route_events = 0u64;
         let grants = std::mem::take(&mut self.st_stage);
+        let st_flits = grants.len() as u64;
         for (in_flat, out_port) in grants {
             let out_flat = self.in_out_vc[in_flat].expect("ST without an output VC");
             debug_assert_eq!(out_flat / v, out_port);
@@ -276,6 +297,7 @@ impl Router {
             // links only; ejected flits need no further routing).
             if flit.head {
                 if let Some(link) = topo.link(self.id, out_port) {
+                    let route_timer = P::ACTIVE.then(Instant::now);
                     let (la, rs) = route_at(
                         topo,
                         self.cfg.routing,
@@ -283,6 +305,10 @@ impl Router {
                         flit.dest,
                         flit.route_state,
                     );
+                    if let Some(t) = route_timer {
+                        route_nanos += t.elapsed().as_nanos() as u64;
+                        route_events += 1;
+                    }
                     flit.lookahead = la;
                     flit.route_state = rs;
                     if S::ACTIVE {
@@ -305,8 +331,20 @@ impl Router {
                 flit,
             });
         }
+        if let Some(t) = st_timer {
+            // Lookahead route computation happens *during* traversal, so
+            // attribute its share separately and the remainder to ST.
+            let total = t.elapsed().as_nanos() as u64;
+            prof.record(Phase::Route, route_nanos, route_events);
+            prof.record(
+                Phase::Traversal,
+                total.saturating_sub(route_nanos),
+                st_flits,
+            );
+        }
 
         // ---- Stage 1a: VC allocation ------------------------------------
+        let va_timer = P::ACTIVE.then(Instant::now);
         let mut vca_reqs: Vec<Option<VcRequest>> = vec![None; n];
         for in_flat in 0..n {
             if self.in_out_vc[in_flat].is_some() {
@@ -356,7 +394,13 @@ impl Router {
             }
         }
 
+        if let Some(t) = va_timer {
+            let reqs = vca_reqs.iter().filter(|r| r.is_some()).count() as u64;
+            prof.record(Phase::VcAlloc, t.elapsed().as_nanos() as u64, reqs);
+        }
+
         // ---- Stage 1b: switch allocation --------------------------------
+        let sa_timer = P::ACTIVE.then(Instant::now);
         let mut nonspec = SwitchRequests::new(self.ports, v);
         let mut spec = SwitchRequests::new(self.ports, v);
         let mut any_req = false;
@@ -448,6 +492,10 @@ impl Router {
                     }
                 }
             }
+        }
+        if let Some(t) = sa_timer {
+            let reqs = bid.iter().chain(&spec_bid).filter(|&&b| b).count() as u64;
+            prof.record(Phase::SwAlloc, t.elapsed().as_nanos() as u64, reqs);
         }
 
         // ---- Stall-cause attribution ------------------------------------

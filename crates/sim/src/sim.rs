@@ -4,8 +4,15 @@
 use crate::config::SimConfig;
 use crate::network::Network;
 use crate::router::RouterStats;
-use noc_obs::{MetricsRegistry, RouterBreakdown, RouterObs, TraceSink};
+use crate::steady;
+use noc_obs::{
+    percentile_table_json, HdrHistogram, MetricsRegistry, Profiler, RouterBreakdown, RouterObs,
+    TraceSink, DEFAULT_QUANTILES,
+};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Average latency beyond which a run is declared saturated.
 pub const LATENCY_CAP: f64 = 400.0;
@@ -24,13 +31,28 @@ pub struct SimResult {
     pub reply_latency: f64,
     /// Sample standard deviation of packet latency (cycles).
     pub latency_std_dev: f64,
-    /// 99th-percentile packet latency (power-of-two bucket upper bound).
+    /// 99th-percentile packet latency, interpolated from the log-linear
+    /// histogram (≤ ~3% relative error).
     pub latency_p99: f64,
     /// Accepted throughput, flits/cycle/terminal.
     pub throughput: f64,
     /// True if the network kept up with the offered load (latency under
     /// [`LATENCY_CAP`] and no unbounded source backlog).
     pub stable: bool,
+    /// Half-width of the 95% confidence interval on `avg_latency` — from
+    /// replicate means ([`run_sim_replicated`]) or batch means over the
+    /// latency timeline ([`run_sim_auto`]); NaN for plain single runs,
+    /// which carry no interval estimate.
+    pub ci95: f64,
+    /// Independent seeds aggregated into this result (1 for single runs).
+    pub seeds: usize,
+    /// Warmup cycle count chosen by MSER steady-state detection, when a
+    /// driver detected it ([`run_sim_auto`] / [`run_sim_replicated`]);
+    /// `None` when the warmup was fixed by the caller.
+    pub warmup_detected: Option<u64>,
+    /// Full latency histogram over the measurement window (merged across
+    /// replicates for replicated runs).
+    pub hist: HdrHistogram,
     /// Aggregated router counters.
     pub router_stats: RouterStats,
     /// Per-router digests (throughput and worst-stalled port), in
@@ -91,6 +113,19 @@ impl SimResult {
             num(self.latency_p99),
             num(self.throughput),
             self.stable
+        );
+        let _ = write!(
+            out,
+            ",\"ci95\":{},\"seeds\":{},\"warmup_detected\":{}",
+            num(self.ci95),
+            self.seeds,
+            self.warmup_detected
+                .map_or_else(|| "null".to_string(), |w| w.to_string())
+        );
+        let _ = write!(
+            out,
+            ",\"percentiles\":{}",
+            percentile_table_json(&self.hist.percentile_table(&DEFAULT_QUANTILES))
         );
         let _ = write!(
             out,
@@ -189,6 +224,23 @@ pub fn summarize<S: TraceSink>(net: &Network<S>) -> SimResult {
     // latency bounded.
     let backlog = net.total_backlog() as f64 / terminals as f64;
     let stable = avg.is_finite() && avg < LATENCY_CAP && backlog < 12.0;
+    // With a latency timeline enabled, a batch-means confidence interval
+    // comes for free; plain runs report NaN (no interval estimate).
+    let ci95 = if net.stats.timeline_window() > 0 {
+        let finite: Vec<f64> = net
+            .stats
+            .timeline_means()
+            .into_iter()
+            .filter(|m| m.is_finite())
+            .collect();
+        if finite.len() >= 2 * MIN_BATCHES {
+            steady::ci95_half_width(&steady::batch_means(&finite, MIN_BATCHES))
+        } else {
+            f64::NAN
+        }
+    } else {
+        f64::NAN
+    };
     SimResult {
         offered: cfg.injection_rate,
         avg_latency: avg,
@@ -198,6 +250,10 @@ pub fn summarize<S: TraceSink>(net: &Network<S>) -> SimResult {
         latency_p99: net.stats.latency_percentile(0.99),
         throughput,
         stable,
+        ci95,
+        seeds: 1,
+        warmup_detected: None,
+        hist: net.stats.histogram().clone(),
         router_stats: net.router_stats(),
         routers: net.router_breakdowns(),
     }
@@ -208,22 +264,175 @@ pub const DEFAULT_WARMUP: u64 = 5_000;
 /// Default measurement window.
 pub const DEFAULT_MEASURE: u64 = 10_000;
 
-/// Runs one simulation per injection rate, in parallel across OS threads
-/// (each run is independent and deterministic).
-pub fn latency_curve(base: &SimConfig, rates: &[f64], warmup: u64, measure: u64) -> Vec<SimResult> {
-    let mut results: Vec<Option<SimResult>> = vec![None; rates.len()];
+/// Batches used for batch-means confidence intervals.
+const MIN_BATCHES: usize = 20;
+
+/// Timeline window length (cycles) for a run of `total` cycles: ~1% of
+/// the run, clamped so short tests still get several windows and long
+/// runs keep per-window counts meaningful.
+fn timeline_window_for(total: u64) -> u64 {
+    (total / 100).clamp(50, 1_000)
+}
+
+/// Runs `jobs` independent closures on a bounded worker pool (at most
+/// [`std::thread::available_parallelism`] OS threads) and collects their
+/// results in index order. Shared by [`latency_curve`] and
+/// [`run_sim_replicated`]; previously every job spawned its own thread,
+/// which oversubscribed small CI machines on wide sweeps.
+pub fn run_many<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(jobs);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<T>> = (0..jobs).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
-        for (slot, &rate) in results.iter_mut().zip(rates) {
-            let cfg = SimConfig {
-                injection_rate: rate,
-                ..base.clone()
-            };
-            scope.spawn(move || {
-                *slot = Some(run_sim(&cfg, warmup, measure));
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                if slots[i].set(f(i)).is_err() {
+                    unreachable!("job {i} claimed twice");
+                }
             });
         }
     });
-    results.into_iter().map(Option::unwrap).collect()
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("worker died before finishing job"))
+        .collect()
+}
+
+/// Runs one simulation per injection rate, in parallel on a bounded
+/// worker pool (each run is independent and deterministic).
+pub fn latency_curve(base: &SimConfig, rates: &[f64], warmup: u64, measure: u64) -> Vec<SimResult> {
+    run_many(rates.len(), |i| {
+        let cfg = SimConfig {
+            injection_rate: rates[i],
+            ..base.clone()
+        };
+        run_sim(&cfg, warmup, measure)
+    })
+}
+
+/// Detects the warmup transient of `cfg` with a pilot run of `total`
+/// cycles: the run records a latency timeline, and MSER truncation picks
+/// the first window of the steady state. Returns the warmup in cycles
+/// (a multiple of the timeline window).
+fn detect_warmup(cfg: &SimConfig, total: u64) -> u64 {
+    let window = timeline_window_for(total);
+    let mut pilot = Network::new(cfg.clone());
+    pilot.stats.set_window(0, total);
+    pilot.stats.enable_timeline(window);
+    pilot.run(total);
+    steady::mser_truncation(&pilot.stats.timeline_means()) as u64 * window
+}
+
+/// Runs one simulation of `total` cycles with automatic steady-state
+/// detection: a pilot run finds the initialization transient (MSER over
+/// windowed latency means), then a second run measures only
+/// `[warmup, total)`. The result carries the detected warmup and a
+/// batch-means 95% confidence interval on the mean latency.
+pub fn run_sim_auto(cfg: &SimConfig, total: u64) -> SimResult {
+    let warmup = detect_warmup(cfg, total);
+    let mut net = Network::new(cfg.clone());
+    net.stats.set_window(warmup, total);
+    net.stats.enable_timeline(timeline_window_for(total));
+    net.run(total);
+    let mut res = summarize(&net);
+    res.warmup_detected = Some(warmup);
+    res
+}
+
+/// Runs `n_seeds` independent replications of `cfg` (seeds
+/// `cfg.seed, cfg.seed+1, ...`, so an `n`-seed run nests inside an
+/// `m`-seed run for `n < m`), each measuring `[warmup, total)` with the
+/// warmup detected once by a pilot run. Latency-style metrics are
+/// averaged across replicates (mean of means) with a Student-t 95%
+/// confidence interval; histograms are merged, so percentiles reflect
+/// the pooled latency distribution; router counters are summed; the run
+/// is stable only if every replicate was.
+pub fn run_sim_replicated(cfg: &SimConfig, total: u64, n_seeds: usize) -> SimResult {
+    let n = n_seeds.max(1);
+    let warmup = detect_warmup(cfg, total);
+    let runs = run_many(n, |i| {
+        let cfg_i = SimConfig {
+            seed: cfg.seed.wrapping_add(i as u64),
+            ..cfg.clone()
+        };
+        let mut net = Network::new(cfg_i);
+        net.stats.set_window(warmup, total);
+        net.run(total);
+        summarize(&net)
+    });
+    let mean_of = |get: fn(&SimResult) -> f64| {
+        let xs: Vec<f64> = runs.iter().map(get).filter(|x| x.is_finite()).collect();
+        if xs.is_empty() {
+            f64::NAN
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let rep_means: Vec<f64> = runs.iter().map(|r| r.avg_latency).collect();
+    let mut hist = HdrHistogram::new();
+    let mut router_stats = RouterStats::default();
+    for r in &runs {
+        hist.merge(&r.hist);
+        router_stats.nonspec_grants += r.router_stats.nonspec_grants;
+        router_stats.spec_grants += r.router_stats.spec_grants;
+        router_stats.spec_masked += r.router_stats.spec_masked;
+        router_stats.spec_invalid += r.router_stats.spec_invalid;
+        router_stats.spec_requests += r.router_stats.spec_requests;
+        router_stats.vca_grants += r.router_stats.vca_grants;
+        router_stats.vca_requests += r.router_stats.vca_requests;
+    }
+    SimResult {
+        offered: cfg.injection_rate,
+        avg_latency: mean_of(|r| r.avg_latency),
+        request_latency: mean_of(|r| r.request_latency),
+        reply_latency: mean_of(|r| r.reply_latency),
+        latency_std_dev: mean_of(|r| r.latency_std_dev),
+        latency_p99: hist.percentile(0.99),
+        throughput: mean_of(|r| r.throughput),
+        stable: runs.iter().all(|r| r.stable),
+        ci95: steady::ci95_half_width(&rep_means),
+        seeds: n,
+        warmup_detected: Some(warmup),
+        hist,
+        router_stats,
+        routers: runs
+            .into_iter()
+            .next()
+            .map(|r| r.routers)
+            .unwrap_or_default(),
+    }
+}
+
+/// Runs one simulation with phase profiling on: the returned [`Profiler`]
+/// attributes wall time and event counts to the router pipeline phases
+/// and is stamped with the run's totals, so shares and cycles/sec are
+/// ready to read. The [`SimResult`] is identical to [`run_sim`]'s (the
+/// profiled path executes the same cycle-level logic).
+pub fn run_sim_profiled(cfg: &SimConfig, warmup: u64, measure: u64) -> (SimResult, Profiler) {
+    let mut net = Network::new(cfg.clone());
+    net.stats.set_window(warmup, warmup + measure);
+    let mut prof = Profiler::default();
+    let start = Instant::now();
+    for _ in 0..warmup + measure {
+        net.step_profiled(&mut prof);
+    }
+    prof.wall_nanos = start.elapsed().as_nanos() as u64;
+    prof.cycles = warmup + measure;
+    (summarize(&net), prof)
 }
 
 /// Measures the zero-load latency: the average packet latency at a very

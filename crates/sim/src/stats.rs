@@ -1,5 +1,7 @@
 //! Measurement-window statistics.
 
+use noc_obs::HdrHistogram;
+
 /// Latency and throughput accumulators over a measurement window.
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
@@ -21,13 +23,19 @@ pub struct NetStats {
     pub flits_injected: u64,
     /// Sum of squared latencies, for the variance estimate.
     latency_sq_sum: u128,
-    /// Latency histogram in power-of-two buckets (`hist[i]` counts
-    /// latencies in `[2^i, 2^(i+1))`), for percentile estimates.
-    hist: [u64; 24],
+    /// Log-linear latency histogram (bounded ~3% relative error, exact
+    /// below 32 cycles) for percentile estimates.
+    hist: HdrHistogram,
     /// Per-source latency sums/counts (initialized by
     /// [`NetStats::init_sources`]), for network-level fairness analysis.
     src_latency_sum: Vec<u64>,
     src_packets: Vec<u64>,
+    /// Timeline window length in cycles; 0 disables the timeline.
+    timeline_window: u64,
+    /// Per-timeline-window latency sums and packet counts, indexed by
+    /// `eject_cycle / timeline_window` (only for in-window packets).
+    timeline_sum: Vec<u64>,
+    timeline_count: Vec<u64>,
 }
 
 impl NetStats {
@@ -41,6 +49,34 @@ impl NetStats {
     pub fn init_sources(&mut self, n: usize) {
         self.src_latency_sum = vec![0; n];
         self.src_packets = vec![0; n];
+    }
+
+    /// Enables the latency timeline: packets are additionally binned into
+    /// consecutive `window`-cycle intervals, feeding steady-state
+    /// detection and batch-means confidence intervals.
+    pub fn enable_timeline(&mut self, window: u64) {
+        self.timeline_window = window.max(1);
+    }
+
+    /// Timeline window length in cycles (0 when disabled).
+    pub fn timeline_window(&self) -> u64 {
+        self.timeline_window
+    }
+
+    /// Mean latency per timeline window (NaN for windows that delivered
+    /// nothing); empty unless [`NetStats::enable_timeline`] was called.
+    pub fn timeline_means(&self) -> Vec<f64> {
+        self.timeline_sum
+            .iter()
+            .zip(&self.timeline_count)
+            .map(|(&s, &c)| {
+                if c == 0 {
+                    f64::NAN
+                } else {
+                    s as f64 / c as f64
+                }
+            })
+            .collect()
     }
 
     #[inline]
@@ -67,8 +103,16 @@ impl NetStats {
             self.class_latency_sum[msg_class] += lat;
             self.class_packets[msg_class] += 1;
             self.latency_sq_sum += (lat as u128) * (lat as u128);
-            let bucket = (64 - (lat.max(1)).leading_zeros() as usize - 1).min(23);
-            self.hist[bucket] += 1;
+            self.hist.record(lat);
+            if let Some(win) = now.checked_div(self.timeline_window) {
+                let idx = win as usize;
+                if idx >= self.timeline_sum.len() {
+                    self.timeline_sum.resize(idx + 1, 0);
+                    self.timeline_count.resize(idx + 1, 0);
+                }
+                self.timeline_sum[idx] += lat;
+                self.timeline_count[idx] += 1;
+            }
         }
     }
 
@@ -115,20 +159,19 @@ impl NetStats {
         var.sqrt()
     }
 
-    /// Approximate latency percentile (power-of-two histogram resolution).
-    /// `q` in (0, 1]; returns an upper bound of the bucket containing the
-    /// quantile.
+    /// Latency percentile from the log-linear histogram, with
+    /// within-bucket linear interpolation. `q` must be in `(0, 1]`
+    /// (`q = 0` has no defined order statistic and panics); the estimate
+    /// deviates from the exact order statistic by at most
+    /// [`HdrHistogram::REL_ERROR`] relative (exact below 32 cycles).
+    /// Returns NaN when no packets were delivered.
     pub fn latency_percentile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q));
-        let target = (self.packets as f64 * q).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.hist.iter().enumerate() {
-            seen += c;
-            if seen >= target && c > 0 {
-                return (1u64 << (i + 1)) as f64;
-            }
-        }
-        f64::NAN
+        self.hist.percentile(q)
+    }
+
+    /// Read access to the latency histogram.
+    pub fn histogram(&self) -> &HdrHistogram {
+        &self.hist
     }
 
     /// Per-source average latencies (NaN for sources with no packets);
@@ -217,6 +260,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "percentile q must be in (0, 1]")]
+    fn percentile_rejects_zero() {
+        // The old contract silently accepted q = 0 and returned the first
+        // non-empty bucket's upper bound; it must panic now.
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        s.record_packet(100, 90, 0);
+        s.latency_percentile(0.0);
+    }
+
+    #[test]
     fn source_latency_spread_guards_zero_latency() {
         // Regression: a source whose only packet had zero latency used to
         // drive max/min to +inf; it must yield NaN instead.
@@ -261,16 +315,34 @@ mod tests {
     }
 
     #[test]
-    fn percentile_brackets_the_max() {
+    fn percentiles_are_exact_for_small_latencies() {
+        // The power-of-two histogram this replaces reported p99 = 128 for
+        // a 100-cycle tail; the log-linear one is exact below 32 cycles
+        // and within ~3% above.
         let mut s = NetStats::default();
         s.set_window(0, 1000);
         for lat in [5u64, 6, 7, 8, 100] {
             s.record_packet(500, 500 - lat, 0);
         }
-        // p50 falls in the [4,8) bucket -> upper bound 8 or 16.
-        let p50 = s.latency_percentile(0.5);
-        assert!(p50 <= 16.0, "{p50}");
-        // p100 must cover the 100-cycle outlier: bucket [64,128) -> 128.
-        assert_eq!(s.latency_percentile(1.0), 128.0);
+        assert_eq!(s.latency_percentile(0.2), 5.0);
+        assert_eq!(s.latency_percentile(0.4), 6.0);
+        assert_eq!(s.latency_percentile(0.8), 8.0);
+        let p100 = s.latency_percentile(1.0);
+        assert_eq!(p100, 100.0, "tail must be exact, not a pow2 bound");
+    }
+
+    #[test]
+    fn timeline_bins_latency_by_eject_cycle() {
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        s.enable_timeline(100);
+        s.record_packet(50, 40, 0); // window 0, lat 10
+        s.record_packet(60, 40, 0); // window 0, lat 20
+        s.record_packet(250, 200, 0); // window 2, lat 50
+        let means = s.timeline_means();
+        assert_eq!(means.len(), 3);
+        assert!((means[0] - 15.0).abs() < 1e-12);
+        assert!(means[1].is_nan());
+        assert!((means[2] - 50.0).abs() < 1e-12);
     }
 }

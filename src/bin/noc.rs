@@ -3,6 +3,7 @@
 //! Subcommands:
 //!
 //! * `noc sim`     — run one network simulation and print latency/throughput
+//! * `noc bench`   — run the perf-regression workload matrix
 //! * `noc synth`   — synthesize a VC or switch allocator design point
 //! * `noc quality` — measure open-loop matching quality
 //! * `noc verilog` — emit structural Verilog for a design point
@@ -10,9 +11,13 @@
 //! Run `noc help` (or any subcommand with `--help`) for flags. Argument
 //! parsing is deliberately dependency-free.
 
+use noc_bench::{compare_baseline, parse_report, report_filename, run_bench, BenchParams};
 use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
-use noc_obs::{chrome_trace, metrics_csv, metrics_jsonl, VecSink};
-use noc_sim::{run_sim, run_sim_observed, SimConfig, TopologyKind, TrafficPattern};
+use noc_obs::{chrome_trace, metrics_csv, metrics_jsonl, VecSink, PHASES};
+use noc_sim::{
+    run_sim, run_sim_observed, run_sim_profiled, run_sim_replicated, SimConfig, TopologyKind,
+    TrafficPattern,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -23,7 +28,10 @@ USAGE:
   noc sim     [--topology mesh|fbfly|torus] [--vcs C] [--rate R] [--sa KIND]
               [--vca KIND] [--spec nonspec|spec_gnt|spec_req] [--pattern P]
               [--buf-depth N] [--burst B] [--warmup N] [--measure N] [--seed S]
-              [--trace FILE] [--metrics FILE] [--sample-interval N] [--json]
+              [--seeds N] [--profile] [--trace FILE] [--metrics FILE]
+              [--sample-interval N] [--json]
+  noc bench   [--quick] [--out DIR] [--baseline FILE] [--tolerance PCT]
+              [--reps N]
   noc synth   (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--alloc KIND]
               [--dense] [--spec nonspec|spec_gnt|spec_req]
   noc quality (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--rate R]
@@ -43,9 +51,27 @@ Observability (noc sim):
   --sample-interval N     gauge sampling period in cycles (default 100)
   --json                  print the run summary as one JSON object
 
+Statistics (noc sim):
+  --seeds N               replicate the run over N seeds: auto-detected
+                          warmup (MSER), mean latency with a 95% CI
+  --profile               attribute simulator wall time to the router
+                          pipeline phases and print per-phase shares
+
+Benchmarking (noc bench):
+  runs a fixed workload matrix (mesh + flattened butterfly at three load
+  points) and writes BENCH_<unix>.json (schema noc-bench/v1)
+  --quick                 CI-sized runs (500+1500 cycles, median of 3)
+  --out DIR               directory for the report (default .)
+  --baseline FILE         compare cycles/sec against a previous report;
+                          exits nonzero on regression
+  --tolerance PCT         allowed slowdown vs baseline (default 15)
+  --reps N                timed repetitions per workload (median wins)
+
 Examples:
   noc sim --topology fbfly --vcs 4 --rate 0.3 --sa wf
   noc sim --rate 0.25 --metrics out.csv --trace trace.json --json
+  noc sim --rate 0.15 --seeds 8 --json
+  noc bench --quick --baseline results/bench_baseline.json
   noc synth vca --topology mesh --vcs 2 --alloc sep_if_rr
   noc quality swa --topology fbfly --vcs 4 --rate 0.5 --trials 5000
   noc verilog swa --vcs 2 --alloc sep_if_rr > swa.v
@@ -67,7 +93,7 @@ impl Args {
                 if key == "help" {
                     return Err(HELP.to_string());
                 }
-                if key == "dense" || key == "json" {
+                if key == "dense" || key == "json" || key == "quick" || key == "profile" {
                     flags.insert(key.to_string(), "true".to_string());
                     continue;
                 }
@@ -169,6 +195,11 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     let trace_path = args.flags.get("trace").cloned();
     let metrics_path = args.flags.get("metrics").cloned();
     let sample_interval: u64 = args.get("sample-interval", 100u64)?;
+    let seeds: usize = args.get("seeds", 1usize)?;
+    let want_profile = args.flags.contains_key("profile");
+    if seeds > 1 && (want_profile || trace_path.is_some() || metrics_path.is_some()) {
+        return Err("--seeds cannot be combined with --profile, --trace or --metrics".to_string());
+    }
     eprintln!(
         "simulating {} @ {} flits/cycle/terminal ({} + {} cycles)...",
         cfg.label(),
@@ -176,6 +207,7 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         warmup,
         measure
     );
+    let mut profile = None;
     let r = if trace_path.is_some() || metrics_path.is_some() {
         let run = run_sim_observed(
             &cfg,
@@ -199,11 +231,22 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
             eprintln!("wrote metrics to {path}");
         }
         run.result
+    } else if seeds > 1 {
+        // Replicated run: warmup is detected automatically (MSER), so the
+        // --warmup flag only contributes to the total cycle count.
+        run_sim_replicated(&cfg, warmup + measure, seeds)
+    } else if want_profile {
+        let (r, prof) = run_sim_profiled(&cfg, warmup, measure);
+        profile = Some(prof);
+        r
     } else {
         run_sim(&cfg, warmup, measure)
     };
     if args.flags.contains_key("json") {
-        println!("{}", r.to_json());
+        match &profile {
+            Some(p) => println!("{{\"result\":{},\"profile\":{}}}", r.to_json(), p.to_json()),
+            None => println!("{}", r.to_json()),
+        }
         return Ok(());
     }
     println!("offered          {:.4} flits/cycle/terminal", r.offered);
@@ -216,6 +259,15 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         "  requests       {:.2} cycles / replies {:.2} cycles",
         r.request_latency, r.reply_latency
     );
+    if r.seeds > 1 {
+        println!(
+            "replication      {} seeds, 95% CI on latency ±{:.2} cycles",
+            r.seeds, r.ci95
+        );
+    }
+    if let Some(w) = r.warmup_detected {
+        println!("warmup detected  {w} cycles (MSER steady-state truncation)");
+    }
     println!("stable           {}", r.stable);
     let s = r.router_stats;
     println!(
@@ -240,6 +292,72 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
                 "worst stall      router {router} port {port}: stalled {:.1}% of cycles",
                 stall * 100.0
             );
+        }
+    }
+    if let Some(p) = &profile {
+        println!(
+            "simulator speed  {:.2} Mcycles/sec ({} cycles in {:.1} ms)",
+            p.cycles_per_sec() / 1e6,
+            p.cycles,
+            p.wall_nanos as f64 / 1e6
+        );
+        let shares = p.shares();
+        for phase in PHASES {
+            println!(
+                "  {:<14} {:>5.1}% of wall time, {} events",
+                phase.name(),
+                shares[phase as usize] * 100.0,
+                p.events(phase)
+            );
+        }
+        println!(
+            "  {:<14} {:>5.1}% (traffic generation, event scheduling, stats)",
+            "other",
+            p.other_share() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let mut params = if args.flags.contains_key("quick") {
+        BenchParams::quick()
+    } else {
+        BenchParams::full()
+    };
+    params.reps = args.get("reps", params.reps)?;
+    let out_dir: String = args.get("out", ".".to_string())?;
+    let tolerance: f64 = args.get("tolerance", 15.0)?;
+    eprintln!(
+        "running bench matrix ({} mode, {} rep(s) per workload)...",
+        if params.quick { "quick" } else { "full" },
+        params.reps
+    );
+    let report = run_bench(&params, |line| eprintln!("  {line}"));
+    let path = std::path::Path::new(&out_dir).join(report_filename(report.created_unix));
+    std::fs::write(&path, report.to_json())
+        .map_err(|e| format!("writing report '{}': {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    if let Some(bpath) = args.flags.get("baseline") {
+        let text = std::fs::read_to_string(bpath)
+            .map_err(|e| format!("reading baseline '{bpath}': {e}"))?;
+        let baseline = parse_report(&text)?;
+        match compare_baseline(&report, &baseline, tolerance) {
+            Ok(lines) => {
+                println!("baseline check passed (tolerance {tolerance}%):");
+                for l in lines {
+                    println!("  {l}");
+                }
+            }
+            Err(regressions) => {
+                let mut msg =
+                    format!("performance regression vs '{bpath}' (tolerance {tolerance}%):");
+                for l in &regressions {
+                    msg.push_str("\n  ");
+                    msg.push_str(l);
+                }
+                return Err(msg);
+            }
         }
     }
     Ok(())
@@ -376,6 +494,7 @@ fn main() -> ExitCode {
         .unwrap_or("help");
     let result = match cmd {
         "sim" => cmd_sim(&args),
+        "bench" => cmd_bench(&args),
         "synth" => cmd_synth(&args),
         "quality" => cmd_quality(&args),
         "verilog" => cmd_verilog(&args),
