@@ -70,9 +70,9 @@ impl Arbiter for TreeArbiter {
             }
         }
         let g = self.root.arbitrate(&group_active)?;
-        let local = self.leaves[g]
-            .arbitrate(&self.group_requests(requests, g))
-            .expect("root granted a group with no requests");
+        // The root only grants groups with at least one active request, so
+        // the leaf arbitration cannot come back empty.
+        let local = self.leaves[g].arbitrate(&self.group_requests(requests, g))?;
         Some(g * self.group_size + local)
     }
 

@@ -79,6 +79,39 @@ proptest! {
     }
 
     #[test]
+    fn round_robin_and_matrix_are_starvation_free(
+        n in 2usize..16,
+        p in 0usize..16,
+        noise in proptest::collection::vec(proptest::bool::ANY, 256)
+    ) {
+        // A persistent requester competing against arbitrary other traffic
+        // must be granted within n rounds (every granted competitor moves
+        // behind it in priority, so at most n-1 grants can precede it).
+        let p = p % n;
+        for kind in [ArbiterKind::RoundRobin, ArbiterKind::Matrix] {
+            let mut arb = kind.build(n);
+            let mut served_at = None;
+            for round in 0..n {
+                let mut req = Bits::from_indices(
+                    n,
+                    (0..n).filter(|&i| noise[(round * n + i) % noise.len()]),
+                );
+                req.set(p, true);
+                let w = arb.arbitrate(&req).expect("non-empty request set");
+                arb.update(w);
+                if w == p {
+                    served_at = Some(round);
+                    break;
+                }
+            }
+            prop_assert!(
+                served_at.is_some(),
+                "{kind:?}: requester {p} starved for {n} rounds"
+            );
+        }
+    }
+
+    #[test]
     fn tree_arbiter_valid_for_any_group_shape(
         groups in 1usize..6,
         group_size in 1usize..6,

@@ -1,5 +1,7 @@
 //! Criterion benchmarks: synthesis-flow speed of the hardware cost model.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use noc_core::{AllocatorKind, VcAllocSpec};
 use noc_hw::builders::vc_alloc::vc_allocator_netlist;

@@ -6,6 +6,8 @@
 //! across widths, and the (absence of) matching-quality impact of the
 //! arbiter kind inside separable allocators.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_bench::env_usize;
 use noc_core::AllocatorKind;
 use noc_core::VcAllocSpec;

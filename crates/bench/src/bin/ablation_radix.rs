@@ -5,6 +5,8 @@
 //! VCs"; this sweep provides exactly that for the three switch-allocator
 //! architectures.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_bench::env_usize;
 use noc_core::SwitchAllocatorKind;
 use noc_hw::builders::sw_alloc::switch_allocator_netlist;

@@ -7,6 +7,8 @@
 //! delay, the unrolled array on area. This sweep reproduces that
 //! comparison across block sizes.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_hw::builders::wavefront::{build_wavefront, build_wavefront_unrolled};
 use noc_hw::{Netlist, Synthesizer};
 

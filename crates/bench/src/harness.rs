@@ -155,10 +155,12 @@ pub fn run_bench(params: &BenchParams, mut progress: impl FnMut(&str)) -> BenchR
     let mut workloads = Vec::new();
     for (name, cfg) in workload_matrix() {
         let mut times = Vec::new();
-        let mut result = None;
-        for _ in 0..params.reps.max(1) {
+        let t0 = Instant::now();
+        let mut result = run_sim(&cfg, params.warmup, params.measure);
+        times.push(t0.elapsed().as_nanos() as u64);
+        for _ in 1..params.reps.max(1) {
             let t0 = Instant::now();
-            result = Some(run_sim(&cfg, params.warmup, params.measure));
+            result = run_sim(&cfg, params.warmup, params.measure);
             times.push(t0.elapsed().as_nanos() as u64);
         }
         times.sort_unstable();
@@ -172,7 +174,7 @@ pub fn run_bench(params: &BenchParams, mut progress: impl FnMut(&str)) -> BenchR
         ));
         workloads.push(WorkloadResult {
             name,
-            result: result.expect("reps >= 1"),
+            result,
             cycles,
             wall_nanos,
             cycles_per_sec,

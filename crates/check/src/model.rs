@@ -1,0 +1,160 @@
+//! Route models the static checker can walk.
+//!
+//! The checker normally replays the simulator's own routing functions
+//! ([`RouteModel::Simulator`]); the other variants are deliberately broken
+//! routing relations used as negative fixtures — designs the checker must
+//! classify as deadlock-prone.
+
+use noc_sim::packet::{Lookahead, RouteState};
+use noc_sim::routing::{route_at, RoutingKind, RC_MIN, RC_NONMIN};
+use noc_sim::Topology;
+
+/// A routing relation to analyze.
+#[derive(Clone, Copy, Debug)]
+pub enum RouteModel {
+    /// One of the simulator's routing functions (DOR, UGAL, torus dateline).
+    Simulator(RoutingKind),
+    /// Negative fixture: shortest-direction torus DOR with **no** dateline
+    /// classes — every hop stays in resource class 0, so each ring's
+    /// channels form a dependency cycle (the classic Dally–Seitz example).
+    TorusNoDateline,
+    /// Negative fixture: torus DOR whose resource class alternates on every
+    /// hop. Each individual transition is legal under the rc_succ mask
+    /// `[[false, true], [true, false]]`, but on an even-length ring the
+    /// alternation closes a dependency cycle — deadlock that only the
+    /// global CDG analysis can see.
+    AlternatingClass,
+}
+
+impl RouteModel {
+    /// Display name for reports.
+    pub fn label(&self) -> String {
+        match self {
+            RouteModel::Simulator(RoutingKind::DimensionOrder) => "dor".to_string(),
+            RouteModel::Simulator(RoutingKind::Ugal { threshold }) => format!("ugal{threshold}"),
+            RouteModel::Simulator(RoutingKind::TorusDateline) => "torus-dateline".to_string(),
+            RouteModel::TorusNoDateline => "torus-no-dateline".to_string(),
+            RouteModel::AlternatingClass => "alternating-class".to_string(),
+        }
+    }
+
+    /// Every distinct injection-time routing state a packet from `src` to
+    /// `dest` can start with. UGAL enumerates the minimal route plus one
+    /// Valiant route per non-degenerate intermediate; the deterministic
+    /// models have a single state.
+    pub fn initial_states(&self, topo: &Topology, src: usize, dest: usize) -> Vec<RouteState> {
+        match self {
+            RouteModel::Simulator(RoutingKind::Ugal { .. }) => {
+                let (src_r, _) = topo.terminal_attach(src);
+                let (dest_r, _) = topo.terminal_attach(dest);
+                let mut states = vec![RouteState::default()];
+                for i in 0..topo.num_routers() {
+                    if i != src_r && i != dest_r {
+                        states.push(RouteState {
+                            intermediate: Some(i),
+                            ..RouteState::default()
+                        });
+                    }
+                }
+                states
+            }
+            _ => vec![RouteState::default()],
+        }
+    }
+}
+
+/// Resource class of the VC a packet occupies at its injection channel —
+/// mirrors `Terminal::try_start` in `noc-sim`.
+pub fn injection_class(model: &RouteModel, state: &RouteState) -> usize {
+    match model {
+        RouteModel::Simulator(RoutingKind::Ugal { .. }) => {
+            if state.intermediate.is_some() {
+                RC_NONMIN
+            } else {
+                RC_MIN
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// One routing decision at `router` for a packet in resource class
+/// `current_rc` heading to terminal `dest`.
+pub fn route_step(
+    topo: &Topology,
+    model: &RouteModel,
+    router: usize,
+    dest: usize,
+    current_rc: usize,
+    state: RouteState,
+) -> (Lookahead, RouteState) {
+    match model {
+        RouteModel::Simulator(kind) => route_at(topo, *kind, router, dest, state),
+        RouteModel::TorusNoDateline => {
+            let (la, state) = torus_shortest(topo, router, dest, state);
+            (
+                Lookahead {
+                    resource_class: 0,
+                    ..la
+                },
+                state,
+            )
+        }
+        RouteModel::AlternatingClass => {
+            let (la, state) = torus_shortest(topo, router, dest, state);
+            (
+                Lookahead {
+                    resource_class: 1 - current_rc,
+                    ..la
+                },
+                state,
+            )
+        }
+    }
+}
+
+/// Shortest-direction torus DOR (ties toward +), resource class left at 0 —
+/// the direction logic of the simulator's dateline router without its class
+/// discipline.
+fn torus_shortest(
+    topo: &Topology,
+    router: usize,
+    dest: usize,
+    state: RouteState,
+) -> (Lookahead, RouteState) {
+    let (dest_router, tp) = topo.terminal_attach(dest);
+    if router == dest_router {
+        return (
+            Lookahead {
+                out_port: tp,
+                resource_class: 0,
+            },
+            state,
+        );
+    }
+    let (w, h) = (topo.width, topo.height);
+    let (x, y) = topo.coords(router);
+    let (tx, ty) = topo.coords(dest_router);
+    let out_port = if x != tx {
+        let fwd = (tx + w - x) % w;
+        if fwd <= w - fwd {
+            1
+        } else {
+            2
+        }
+    } else {
+        let fwd = (ty + h - y) % h;
+        if fwd <= h - fwd {
+            3
+        } else {
+            4
+        }
+    };
+    (
+        Lookahead {
+            out_port,
+            resource_class: 0,
+        },
+        state,
+    )
+}

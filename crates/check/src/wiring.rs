@@ -1,0 +1,242 @@
+//! Allocator-wiring validation.
+//!
+//! Static structural checks (stage dimensions, wavefront matrix shape) plus
+//! randomized behavioural cross-checks that the allocator implementations in
+//! `noc-core` honour the structural guarantees the router relies on: VC
+//! grants legal under the sparse class mask, switch grants conflict-free,
+//! and the two speculation masking schemes of §5.2 consistent between
+//! `spec.rs` and `switch.rs`.
+
+use noc_arbiter::ArbiterKind;
+use noc_core::{
+    validate_switch_grants, validate_vc_grants, AllocatorKind, BitMatrix, DenseVcAllocator,
+    SparseVcAllocator, SpecMode, SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests,
+    VcAllocSpec, VcAllocator, VcRequest,
+};
+use rand::{Rng, SeedableRng};
+
+/// Outcome of the wiring checks for one spec.
+#[derive(Debug, Default)]
+pub struct WiringReport {
+    /// Violations of structural guarantees.
+    pub errors: Vec<String>,
+    /// Checks performed (for the rendered report).
+    pub info: Vec<String>,
+}
+
+const ROUNDS: usize = 60;
+
+/// Runs every wiring check against `spec`.
+pub fn validate_wiring(spec: &VcAllocSpec) -> WiringReport {
+    let mut rep = WiringReport::default();
+    dimension_checks(spec, &mut rep);
+    vc_allocation_checks(spec, &mut rep);
+    switch_allocation_checks(spec, &mut rep);
+    speculation_mask_checks(spec, &mut rep);
+    rep
+}
+
+/// Separable stage dimensions and wavefront matrix shape (§2, Figure 8).
+fn dimension_checks(spec: &VcAllocSpec, rep: &mut WiringReport) {
+    let p = spec.ports();
+    let v = spec.total_vcs();
+    let sparse = SparseVcAllocator::new(spec.clone(), AllocatorKind::SepIfRr);
+    let expect_sub = p * spec.resource_classes() * spec.vcs_per_class();
+    if sparse.sub_width() != expect_sub {
+        rep.errors.push(format!(
+            "sparse sub-allocator width {} != P*R*C = {expect_sub}",
+            sparse.sub_width()
+        ));
+    }
+    // Canonical VC-allocator core: a P*V x P*V allocation problem.
+    let n = p * v;
+    for kind in AllocatorKind::COST_FIGURE_KINDS {
+        let a = kind.build(n, n);
+        if a.num_requesters() != n || a.num_resources() != n {
+            rep.errors.push(format!(
+                "{}: built {}x{} core for a {n}x{n} VC-allocation problem",
+                kind.label(),
+                a.num_requesters(),
+                a.num_resources()
+            ));
+        }
+    }
+    for kind in switch_kinds() {
+        let a = kind.build(p, v);
+        if a.ports() != p || a.vcs() != v {
+            rep.errors.push(format!(
+                "{}: switch allocator reports {}x{} for a P={p}, V={v} router",
+                kind.label(),
+                a.ports(),
+                a.vcs()
+            ));
+        }
+    }
+    rep.info.push(format!(
+        "wiring: stage dimensions OK (VC core {n}x{n}, sparse sub-width {expect_sub}, \
+         switch P={p} V={v})"
+    ));
+}
+
+fn switch_kinds() -> Vec<SwitchAllocatorKind> {
+    vec![
+        SwitchAllocatorKind::SepIf(ArbiterKind::RoundRobin),
+        SwitchAllocatorKind::SepIf(ArbiterKind::Matrix),
+        SwitchAllocatorKind::SepOf(ArbiterKind::RoundRobin),
+        SwitchAllocatorKind::SepOf(ArbiterKind::Matrix),
+        SwitchAllocatorKind::Wavefront,
+    ]
+}
+
+/// Random legal VC requests under `spec`'s class structure.
+fn random_vc_round(spec: &VcAllocSpec, rng: &mut impl Rng) -> (Vec<Option<VcRequest>>, BitMatrix) {
+    let p = spec.ports();
+    let v = spec.total_vcs();
+    let mut requests: Vec<Option<VcRequest>> = vec![None; p * v];
+    for (g, slot) in requests.iter_mut().enumerate() {
+        if !rng.gen_bool(0.4) {
+            continue;
+        }
+        let (_, ir, _) = spec.vc_class(g % v);
+        let succs = spec.rc_successors(ir);
+        if succs.is_empty() {
+            continue; // unreachable: try_new rejects dead-end classes
+        }
+        // A random non-empty subset of the legal successor classes.
+        let mut classes: Vec<usize> = succs
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.5))
+            .collect();
+        if classes.is_empty() {
+            classes.push(succs[rng.gen_range(0..succs.len())]);
+        }
+        *slot = Some(VcRequest {
+            out_port: rng.gen_range(0..p),
+            classes,
+        });
+    }
+    let mut free = BitMatrix::new(p, v);
+    for port in 0..p {
+        for vc in 0..v {
+            free.set(port, vc, rng.gen_bool(0.6));
+        }
+    }
+    (requests, free)
+}
+
+/// Dense and sparse VC allocators produce legal grants for every core
+/// architecture.
+fn vc_allocation_checks(spec: &VcAllocSpec, rep: &mut WiringReport) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_c4ec);
+    let mut checked = 0usize;
+    for kind in AllocatorKind::COST_FIGURE_KINDS {
+        let mut dense = DenseVcAllocator::new(spec.clone(), kind);
+        let mut sparse = SparseVcAllocator::new(spec.clone(), kind);
+        for round in 0..ROUNDS {
+            let (requests, free) = random_vc_round(spec, &mut rng);
+            for (name, alloc) in [
+                ("dense", &mut dense as &mut dyn VcAllocator),
+                ("sparse", &mut sparse as &mut dyn VcAllocator),
+            ] {
+                let grants = alloc.allocate(&requests, &free);
+                if let Err(e) = validate_vc_grants(spec, &requests, &free, &grants) {
+                    rep.errors.push(format!(
+                        "{name} VC allocator ({}) round {round}: {e}",
+                        kind.label()
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+    rep.info.push(format!(
+        "wiring: {checked} randomized VC-allocation rounds validated \
+         (dense + sparse, all core architectures)"
+    ));
+}
+
+fn random_switch_round(p: usize, v: usize, rng: &mut impl Rng) -> SwitchRequests {
+    let mut reqs = SwitchRequests::new(p, v);
+    for i in 0..p {
+        for vc in 0..v {
+            if rng.gen_bool(0.35) {
+                reqs.request(i, vc, rng.gen_range(0..p));
+            }
+        }
+    }
+    reqs
+}
+
+/// Switch allocators honour the one-grant-per-port constraints.
+fn switch_allocation_checks(spec: &VcAllocSpec, rep: &mut WiringReport) {
+    let (p, v) = (spec.ports(), spec.total_vcs());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_5a11);
+    let mut checked = 0usize;
+    for kind in switch_kinds() {
+        let mut alloc = kind.build(p, v);
+        for round in 0..ROUNDS {
+            let reqs = random_switch_round(p, v, &mut rng);
+            let grants = alloc.allocate(&reqs);
+            if let Err(e) = validate_switch_grants(&reqs, &grants) {
+                rep.errors.push(format!(
+                    "switch allocator {} round {round}: {e}",
+                    kind.label()
+                ));
+            }
+            checked += 1;
+        }
+    }
+    rep.info.push(format!(
+        "wiring: {checked} randomized switch-allocation rounds validated"
+    ));
+}
+
+/// The §5.2 masking schemes never let a speculative grant displace
+/// non-speculative traffic, and the pessimistic mask really is request-based.
+fn speculation_mask_checks(spec: &VcAllocSpec, rep: &mut WiringReport) {
+    let (p, v) = (spec.ports(), spec.total_vcs());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_59ec);
+    let kind = SwitchAllocatorKind::SepIf(ArbiterKind::RoundRobin);
+    let mut checked = 0usize;
+    for mode in [SpecMode::Conventional, SpecMode::Pessimistic] {
+        let mut alloc = SpeculativeSwitchAllocator::new(kind, p, v, mode);
+        for round in 0..ROUNDS {
+            let ns = random_switch_round(p, v, &mut rng);
+            let sp = random_switch_round(p, v, &mut rng);
+            let r = alloc.allocate(&ns, &sp);
+            let mut in_used = vec![false; p];
+            let mut out_used = vec![false; p];
+            for g in r.nonspec.iter().chain(&r.spec) {
+                if std::mem::replace(&mut in_used[g.in_port], true) {
+                    rep.errors.push(format!(
+                        "{} round {round}: two combined grants at input {}",
+                        mode.label(),
+                        g.in_port
+                    ));
+                }
+                if std::mem::replace(&mut out_used[g.out_port], true) {
+                    rep.errors.push(format!(
+                        "{} round {round}: two combined grants at output {}",
+                        mode.label(),
+                        g.out_port
+                    ));
+                }
+            }
+            if mode == SpecMode::Pessimistic {
+                for g in &r.spec {
+                    if ns.input_active(g.in_port) || ns.output_requested(g.out_port) {
+                        rep.errors.push(format!(
+                            "spec_req round {round}: surviving speculative grant \
+                             {g:?} touches a non-speculatively requested port"
+                        ));
+                    }
+                }
+            }
+            checked += 1;
+        }
+    }
+    rep.info.push(format!(
+        "wiring: {checked} speculation-mask rounds validated (spec_gnt + spec_req)"
+    ));
+}

@@ -53,9 +53,11 @@ impl AugmentingPathAllocator {
                 continue;
             }
             visited[c] = true;
-            if col_match[c].is_none()
-                || Self::augment(requests, col_match[c].unwrap(), col_match, visited)
-            {
+            let freed = match col_match[c] {
+                None => true,
+                Some(owner) => Self::augment(requests, owner, col_match, visited),
+            };
+            if freed {
                 col_match[c] = Some(r);
                 return true;
             }

@@ -43,6 +43,6 @@ pub use switch::{
 };
 pub use vc::{
     validate_vc_grants, DenseVcAllocator, MatrixVcAllocator, OutVc, SeparableVcAllocator,
-    SparseVcAllocator, VcAllocSpec, VcAllocator, VcRequest,
+    SparseVcAllocator, SpecError, VcAllocSpec, VcAllocator, VcRequest,
 };
 pub use wavefront::{DiagonalPolicy, WavefrontAllocator};

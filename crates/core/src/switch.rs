@@ -213,7 +213,7 @@ impl SwitchAllocator for SepIfSwitchAllocator {
             .map(|i| {
                 self.input_arbs[i]
                     .arbitrate(&requests.active_vcs(i))
-                    .map(|v| (v, requests.get(i, v).unwrap()))
+                    .and_then(|v| requests.get(i, v).map(|out| (v, out)))
             })
             .collect();
         // Stage 2: arbitration among forwarded requests at each output.
@@ -226,7 +226,8 @@ impl SwitchAllocator for SepIfSwitchAllocator {
                 }
             }
             if let Some(i) = self.output_arbs[o].arbitrate(&incoming) {
-                let (v, _) = winners[i].unwrap();
+                // `incoming` only carries inputs with a stage-1 winner.
+                let Some((v, _)) = winners[i] else { continue };
                 grants.push(SwitchGrant {
                     in_port: i,
                     vc: v,
@@ -307,7 +308,10 @@ impl SwitchAllocator for SepOfSwitchAllocator {
                 }
             }
             if let Some(v) = self.vc_arbs[i].arbitrate(&candidates) {
-                let o = requests.get(i, v).unwrap();
+                // `candidates` only carries VCs with a live request.
+                let Some(o) = requests.get(i, v) else {
+                    continue;
+                };
                 grants.push(SwitchGrant {
                     in_port: i,
                     vc: v,
@@ -380,9 +384,11 @@ impl SwitchAllocator for WavefrontSwitchAllocator {
         let mut grants = Vec::new();
         for (i, o) in port_grants.iter_set() {
             let arb = &mut self.presel[i * self.ports + o];
-            let v = arb
-                .arbitrate(&requests.vcs_for_output(i, o))
-                .expect("wavefront granted a port pair with no requesting VC");
+            // The wavefront core only grants port pairs that requested.
+            let Some(v) = arb.arbitrate(&requests.vcs_for_output(i, o)) else {
+                debug_assert!(false, "wavefront granted a port pair with no requesting VC");
+                continue;
+            };
             arb.update(v);
             grants.push(SwitchGrant {
                 in_port: i,

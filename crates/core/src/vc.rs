@@ -35,11 +35,116 @@ pub struct VcAllocSpec {
     rc_succ: Vec<Vec<bool>>,
 }
 
+/// Why a [`VcAllocSpec`] could not be constructed. Produced by
+/// [`VcAllocSpec::try_new`]; static-analysis tooling (`noc check`) reports
+/// these instead of aborting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// One of the `P`/`M`/`R`/`C` dimensions is zero.
+    ZeroDimension {
+        /// Name of the offending dimension (`ports`, `msg_classes`, ...).
+        dimension: &'static str,
+    },
+    /// The transition relation is not `R × R`.
+    TransitionShape {
+        /// Rows supplied.
+        rows: usize,
+        /// Columns of the first short/long row, if the row count matched.
+        bad_row: Option<(usize, usize)>,
+        /// Expected side length (`R`).
+        expected: usize,
+    },
+    /// A resource class has no successor, so packets holding it could
+    /// never acquire a VC at the next hop.
+    DeadEndClass {
+        /// The successor-less resource class.
+        class: usize,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ZeroDimension { dimension } => {
+                write!(f, "spec dimension '{dimension}' must be nonzero")
+            }
+            SpecError::TransitionShape {
+                rows,
+                bad_row: Some((row, cols)),
+                expected,
+            } => write!(
+                f,
+                "rc_succ row {row} has {cols} entries, expected {expected} \
+                 (relation must be {expected}x{expected}, got {rows} rows)"
+            ),
+            SpecError::TransitionShape { rows, expected, .. } => write!(
+                f,
+                "rc_succ has {rows} rows, expected {expected} \
+                 (one row per resource class)"
+            ),
+            SpecError::DeadEndClass { class } => {
+                write!(f, "resource class {class} has no successor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 impl VcAllocSpec {
+    /// Creates a spec with an explicit resource-class transition relation,
+    /// reporting rather than panicking on invalid input: the dimensions
+    /// must be nonzero, `rc_succ` must be `R × R`, and every class needs at
+    /// least one successor (otherwise packets in it could never move).
+    pub fn try_new(
+        ports: usize,
+        msg_classes: usize,
+        resource_classes: usize,
+        vcs_per_class: usize,
+        rc_succ: Vec<Vec<bool>>,
+    ) -> Result<Self, SpecError> {
+        for (dimension, value) in [
+            ("ports", ports),
+            ("msg_classes", msg_classes),
+            ("resource_classes", resource_classes),
+            ("vcs_per_class", vcs_per_class),
+        ] {
+            if value == 0 {
+                return Err(SpecError::ZeroDimension { dimension });
+            }
+        }
+        if rc_succ.len() != resource_classes {
+            return Err(SpecError::TransitionShape {
+                rows: rc_succ.len(),
+                bad_row: None,
+                expected: resource_classes,
+            });
+        }
+        for (from, row) in rc_succ.iter().enumerate() {
+            if row.len() != resource_classes {
+                return Err(SpecError::TransitionShape {
+                    rows: rc_succ.len(),
+                    bad_row: Some((from, row.len())),
+                    expected: resource_classes,
+                });
+            }
+            if !row.iter().any(|&b| b) {
+                return Err(SpecError::DeadEndClass { class: from });
+            }
+        }
+        Ok(VcAllocSpec {
+            ports,
+            msg_classes,
+            resource_classes,
+            vcs_per_class,
+            rc_succ,
+        })
+    }
+
     /// Creates a spec with an explicit resource-class transition relation.
     ///
-    /// Panics unless `rc_succ` is `R × R` and every class has at least one
-    /// successor (otherwise packets in it could never move).
+    /// Panicking wrapper around [`VcAllocSpec::try_new`] for call sites
+    /// with statically valid configurations.
     pub fn new(
         ports: usize,
         msg_classes: usize,
@@ -47,21 +152,9 @@ impl VcAllocSpec {
         vcs_per_class: usize,
         rc_succ: Vec<Vec<bool>>,
     ) -> Self {
-        assert!(ports > 0 && msg_classes > 0 && resource_classes > 0 && vcs_per_class > 0);
-        assert_eq!(rc_succ.len(), resource_classes);
-        for (from, row) in rc_succ.iter().enumerate() {
-            assert_eq!(row.len(), resource_classes);
-            assert!(
-                row.iter().any(|&b| b),
-                "resource class {from} has no successor"
-            );
-        }
-        VcAllocSpec {
-            ports,
-            msg_classes,
-            resource_classes,
-            vcs_per_class,
-            rc_succ,
+        match Self::try_new(ports, msg_classes, resource_classes, vcs_per_class, rc_succ) {
+            Ok(spec) => spec,
+            Err(e) => panic!("invalid VcAllocSpec: {e}"),
         }
     }
 
@@ -431,13 +524,19 @@ impl VcAllocator for SeparableVcAllocator {
             let mut i = 0;
             while i < by_input.len() {
                 let g = by_input[i].0;
-                let req = requests[g].as_ref().unwrap();
-                let mut won = noc_arbiter::Bits::new(v);
                 let mut j = i;
                 while j < by_input.len() && by_input[j].0 == g {
-                    debug_assert_eq!(by_input[j].1 / v, req.out_port);
-                    won.set(by_input[j].1 % v, true);
                     j += 1;
+                }
+                // Stage-1 winners can only come from live requests.
+                let Some(req) = requests[g].as_ref() else {
+                    i = j;
+                    continue;
+                };
+                let mut won = noc_arbiter::Bits::new(v);
+                for k in i..j {
+                    debug_assert_eq!(by_input[k].1 / v, req.out_port);
+                    won.set(by_input[k].1 % v, true);
                 }
                 i = j;
                 if let Some(ov) = self.input_arbs[g].arbitrate(&won) {
@@ -729,6 +828,38 @@ pub fn validate_vc_grants(
 mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn try_new_reports_descriptive_errors() {
+        let ok = VcAllocSpec::try_new(5, 2, 1, 2, vec![vec![true]]);
+        assert!(ok.is_ok());
+        let e = VcAllocSpec::try_new(0, 2, 1, 2, vec![vec![true]]).unwrap_err();
+        assert_eq!(e, SpecError::ZeroDimension { dimension: "ports" });
+        assert!(e.to_string().contains("ports"));
+        let e = VcAllocSpec::try_new(5, 2, 2, 2, vec![vec![true, true]]).unwrap_err();
+        assert!(matches!(e, SpecError::TransitionShape { rows: 1, .. }));
+        let e = VcAllocSpec::try_new(5, 2, 2, 2, vec![vec![true], vec![true, true]]).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                SpecError::TransitionShape {
+                    bad_row: Some((0, 1)),
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        let e = VcAllocSpec::try_new(5, 2, 2, 2, vec![vec![true, true], vec![false, false]])
+            .unwrap_err();
+        assert_eq!(e, SpecError::DeadEndClass { class: 1 });
+        assert_eq!(e.to_string(), "resource class 1 has no successor");
+    }
+
+    #[test]
+    #[should_panic(expected = "resource class 0 has no successor")]
+    fn new_panics_with_descriptive_message() {
+        VcAllocSpec::new(5, 1, 1, 1, vec![vec![false]]);
+    }
 
     #[test]
     fn spec_arithmetic() {

@@ -159,7 +159,10 @@ pub fn build_arbiter(nl: &mut Netlist, kind: HwArbiterKind, reqs: &[NetId]) -> H
                     let mut terms = vec![reqs[i]];
                     for j in 0..n {
                         if j != i {
-                            terms.push(nl.or2(not_req[j], beats[i][j].unwrap()));
+                            let Some(b) = beats[i][j] else {
+                                unreachable!("beats state exists for every i != j pair")
+                            };
+                            terms.push(nl.or2(not_req[j], b));
                         }
                     }
                     nl.and_tree(&terms)

@@ -116,12 +116,16 @@ pub fn critical_path_cells(netlist: &Netlist, arrival: &[f64], endpoint: NetId) 
     while let Some(ci) = driver[net] {
         path.push(ci);
         let c = &netlist.cells()[ci];
-        // Follow the latest-arriving input.
-        net = *c
+        // Follow the latest-arriving input; constant generators end the
+        // path.
+        let Some(&next) = c
             .inputs
             .iter()
-            .max_by(|&&a, &&b| arrival[a].partial_cmp(&arrival[b]).unwrap())
-            .expect("cell with no inputs");
+            .max_by(|&&a, &&b| arrival[a].total_cmp(&arrival[b]))
+        else {
+            break;
+        };
+        net = next;
     }
     path
 }

@@ -1,6 +1,8 @@
 //! Property-based netlist ↔ behavioural equivalence for switch allocators:
 //! random request streams, carrying hardware state across cycles.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_core::{SwitchAllocatorKind, SwitchRequests};
 use noc_hw::builders::sw_alloc::switch_allocator_netlist;
 use proptest::prelude::*;

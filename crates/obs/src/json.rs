@@ -219,9 +219,10 @@ fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
                     if b.len() < *i + 6 || !b[*i + 2..*i + 6].iter().all(u8::is_ascii_hexdigit) {
                         return Err(format!("bad \\u escape at byte {i}"));
                     }
-                    let code =
-                        u32::from_str_radix(std::str::from_utf8(&b[*i + 2..*i + 6]).unwrap(), 16)
-                            .unwrap();
+                    let code = std::str::from_utf8(&b[*i + 2..*i + 6])
+                        .ok()
+                        .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+                        .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
                     // Surrogates are passed through as the replacement
                     // character; nothing in this workspace emits them.
                     let ch = char::from_u32(code).unwrap_or('\u{fffd}');

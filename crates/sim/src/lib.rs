@@ -22,6 +22,7 @@ pub mod steady;
 pub mod terminal;
 pub mod topology;
 pub mod traffic;
+pub mod verify;
 
 pub use config::SimConfig;
 pub use network::Network;
@@ -33,3 +34,4 @@ pub use sim::{
 };
 pub use topology::{Topology, TopologyKind};
 pub use traffic::TrafficPattern;
+pub use verify::{run_sim_verified, InvariantChecker, NopChecker, StrictChecker, VerifyReport};

@@ -6,6 +6,7 @@ use crate::router::{Router, RouterConfig, RouterStats};
 use crate::stats::NetStats;
 use crate::terminal::{RouterProbe, Terminal};
 use crate::topology::Topology;
+use crate::verify::{InvariantChecker, NopChecker};
 use noc_obs::{
     FlitEvent, FlitEventKind, MetricsRegistry, NopProfiler, NopSink, Phase, PhaseProfiler,
     RouterBreakdown, RouterObs, TraceSink,
@@ -168,6 +169,19 @@ impl<S: TraceSink> Network<S> {
     /// With [`NopProfiler`] every clock read compiles away and this is the
     /// plain [`Network::step`] fast path.
     pub fn step_profiled<P: PhaseProfiler>(&mut self, prof: &mut P) {
+        self.step_checked(prof, &mut NopChecker)
+    }
+
+    /// Runs one network cycle with the runtime invariant checker attached.
+    /// With [`NopChecker`] (the [`Network::step`] / [`Network::step_profiled`]
+    /// path) every check compiles away; an active checker additionally runs
+    /// the per-router matching-legality invariants and a whole-network
+    /// credit-conservation audit after the cycle.
+    pub fn step_checked<P: PhaseProfiler, K: InvariantChecker>(
+        &mut self,
+        prof: &mut P,
+        chk: &mut K,
+    ) {
         let now = self.now;
         // --- deliver link/credit events landing this cycle ----------------
         let wheel_timer = P::ACTIVE.then(Instant::now);
@@ -276,7 +290,9 @@ impl<S: TraceSink> Network<S> {
                         },
                     );
                 } else {
-                    let link = self.topo.link(r, of.port).expect("network port");
+                    let Some(link) = self.topo.link(r, of.port) else {
+                        unreachable!("flit sent to port {} of router {r} with no link", of.port)
+                    };
                     self.wheel.schedule(
                         now,
                         link.latency,
@@ -294,7 +310,9 @@ impl<S: TraceSink> Network<S> {
                     self.wheel
                         .schedule(now, 1, Event::CreditToTerminal { term, vc: in_vc });
                 } else {
-                    let (ur, up, lat) = self.rev[r][in_port].expect("upstream link");
+                    let Some((ur, up, lat)) = self.rev[r][in_port] else {
+                        unreachable!("credit return on port {in_port} of router {r} with no link")
+                    };
                     self.wheel.schedule(
                         now,
                         lat,
@@ -306,6 +324,29 @@ impl<S: TraceSink> Network<S> {
                     );
                 }
             }
+        }
+
+        // --- runtime invariants --------------------------------------------
+        if K::ACTIVE {
+            for r in &self.routers {
+                r.check_invariants(chk);
+            }
+            self.audit_credit_conservation(chk);
+        }
+        #[cfg(debug_assertions)]
+        if !K::ACTIVE {
+            // Debug builds run the (cheap) router-local invariants on the
+            // ordinary step path too, so the whole test suite exercises
+            // them; the credit audit stays opt-in via an active checker.
+            let mut strict = crate::verify::StrictChecker::default();
+            for r in &self.routers {
+                r.check_invariants(&mut strict);
+            }
+            assert!(
+                strict.violations.is_empty(),
+                "cycle {now}: router invariant violations: {:?}",
+                strict.violations
+            );
         }
 
         // --- sampled time series -------------------------------------------
@@ -326,6 +367,97 @@ impl<S: TraceSink> Network<S> {
             }
         }
         self.now += 1;
+    }
+
+    /// Verifies credit conservation on every channel: upstream credits plus
+    /// in-flight flits plus downstream occupancy plus in-flight return
+    /// credits must equal the buffer depth, for router→router links,
+    /// terminal injection channels and terminal ejection channels alike.
+    fn audit_credit_conservation<K: InvariantChecker>(&self, chk: &mut K) {
+        use std::collections::HashMap;
+        let depth = self.cfg.buf_depth;
+        let Some(first) = self.routers.first() else {
+            return;
+        };
+        let vcs = first.vcs();
+        // One pass over the timing wheel counts every in-flight event.
+        let mut flit_to_router: HashMap<(usize, usize, usize), usize> = HashMap::new();
+        let mut credit_to_router: HashMap<(usize, usize, usize), usize> = HashMap::new();
+        let mut flit_to_term: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut credit_to_term: HashMap<(usize, usize), usize> = HashMap::new();
+        for slot in &self.wheel.slots {
+            for ev in slot {
+                match ev {
+                    Event::FlitToRouter {
+                        router, port, vc, ..
+                    } => *flit_to_router.entry((*router, *port, *vc)).or_default() += 1,
+                    Event::CreditToRouter { router, port, vc } => {
+                        *credit_to_router.entry((*router, *port, *vc)).or_default() += 1
+                    }
+                    Event::FlitToTerminal { term, vc, .. } => {
+                        *flit_to_term.entry((*term, *vc)).or_default() += 1
+                    }
+                    Event::CreditToTerminal { term, vc } => {
+                        *credit_to_term.entry((*term, *vc)).or_default() += 1
+                    }
+                }
+            }
+        }
+        let count3 = |m: &HashMap<(usize, usize, usize), usize>, k| m.get(&k).copied().unwrap_or(0);
+        let count2 = |m: &HashMap<(usize, usize), usize>, k| m.get(&k).copied().unwrap_or(0);
+        let mut checks = 0u64;
+        for r in 0..self.routers.len() {
+            for p in 0..self.topo.ports {
+                if let Some(l) = self.topo.link(r, p) {
+                    for vc in 0..vcs {
+                        checks += 1;
+                        let total = self.routers[r].output_credits(p, vc)
+                            + count3(&flit_to_router, (l.to_router, l.to_port, vc))
+                            + self.routers[l.to_router].input_occupancy(l.to_port, vc)
+                            + count3(&credit_to_router, (r, p, vc));
+                        if total != depth {
+                            chk.violation(format!(
+                                "cycle {}: credit conservation broken on link \
+                                 {r}:{p} -> {}:{} vc {vc}: credits + in-flight + \
+                                 occupancy = {total}, buffer depth {depth}",
+                                self.now, l.to_router, l.to_port
+                            ));
+                        }
+                    }
+                } else if let Some(term) = self.topo.port_terminal(r, p) {
+                    for vc in 0..vcs {
+                        checks += 2;
+                        // Ejection channel (ideal sink: no terminal buffer).
+                        let eject = self.routers[r].output_credits(p, vc)
+                            + count2(&flit_to_term, (term, vc))
+                            + count3(&credit_to_router, (r, p, vc));
+                        if eject != depth {
+                            chk.violation(format!(
+                                "cycle {}: credit conservation broken on ejection \
+                                 channel {r}:{p} -> terminal {term} vc {vc}: \
+                                 credits + in-flight = {eject}, buffer depth {depth}",
+                                self.now
+                            ));
+                        }
+                        // Injection channel.
+                        let inject = self.terminals[term].credits(vc)
+                            + count3(&flit_to_router, (r, p, vc))
+                            + self.routers[r].input_occupancy(p, vc)
+                            + count2(&credit_to_term, (term, vc));
+                        if inject != depth {
+                            chk.violation(format!(
+                                "cycle {}: credit conservation broken on injection \
+                                 channel terminal {term} -> {r}:{p} vc {vc}: \
+                                 credits + in-flight + occupancy = {inject}, \
+                                 buffer depth {depth}",
+                                self.now
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        chk.add_checks(checks);
     }
 
     /// Runs `cycles` network cycles.

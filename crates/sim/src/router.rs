@@ -10,6 +10,7 @@
 use crate::packet::Flit;
 use crate::routing::{route_at, RoutingKind};
 use crate::topology::Topology;
+use crate::verify::InvariantChecker;
 use noc_core::{
     AllocatorKind, BitMatrix, DenseVcAllocator, OutVc, SparseVcAllocator, SpecMode,
     SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests, VcAllocSpec, VcAllocator,
@@ -195,6 +196,12 @@ impl Router {
             .sum()
     }
 
+    /// Credits currently available at output VC `(port, vc)` — free buffer
+    /// slots in the downstream input VC.
+    pub fn output_credits(&self, port: usize, vc: usize) -> usize {
+        self.out_vc[port * self.vcs + vc].credits
+    }
+
     /// Accepts a flit delivered by a link into input VC `(port, vc)`.
     pub fn accept_flit(&mut self, port: usize, vc: usize, flit: Flit) {
         let idx = port * self.vcs + vc;
@@ -278,11 +285,13 @@ impl Router {
         let grants = std::mem::take(&mut self.st_stage);
         let st_flits = grants.len() as u64;
         for (in_flat, out_port) in grants {
-            let out_flat = self.in_out_vc[in_flat].expect("ST without an output VC");
+            let Some(out_flat) = self.in_out_vc[in_flat] else {
+                unreachable!("ST without an output VC")
+            };
             debug_assert_eq!(out_flat / v, out_port);
-            let mut flit = self.in_buf[in_flat]
-                .pop_front()
-                .expect("ST grant with empty buffer");
+            let Some(mut flit) = self.in_buf[in_flat].pop_front() else {
+                unreachable!("ST grant with empty buffer")
+            };
             let st = &mut self.out_vc[out_flat];
             assert!(st.credits > 0, "ST without downstream credit");
             st.credits -= 1;
@@ -522,6 +531,157 @@ impl Router {
             }
         }
         out
+    }
+
+    /// Runs the router-local runtime invariants against the post-step
+    /// state: switch-grant matching legality (at most one grant per input
+    /// VC and per output port, each backed by an output VC, a downstream
+    /// credit and a buffered flit), the input-VC/output-VC ownership
+    /// bijection, buffer/credit bounds, and the no-flit-without-VC rule.
+    /// With a `!ACTIVE` checker this compiles to nothing.
+    pub fn check_invariants<K: InvariantChecker>(&self, chk: &mut K) {
+        if !K::ACTIVE {
+            return;
+        }
+        let v = self.vcs;
+        let n = self.ports * v;
+        let depth = self.cfg.buf_depth;
+        let mut checks = 0u64;
+
+        // Matching legality over the grants traversing next cycle.
+        let mut in_used = vec![false; n];
+        let mut out_used = vec![false; self.ports];
+        for &(in_flat, out_port) in &self.st_stage {
+            checks += 5;
+            if std::mem::replace(&mut in_used[in_flat], true) {
+                chk.violation(format!(
+                    "router {}: two switch grants for input VC ({}, {})",
+                    self.id,
+                    in_flat / v,
+                    in_flat % v
+                ));
+            }
+            if std::mem::replace(&mut out_used[out_port], true) {
+                chk.violation(format!(
+                    "router {}: two switch grants for output port {out_port}",
+                    self.id
+                ));
+            }
+            match self.in_out_vc[in_flat] {
+                None => chk.violation(format!(
+                    "router {}: switch grant without an output VC at input ({}, {})",
+                    self.id,
+                    in_flat / v,
+                    in_flat % v
+                )),
+                Some(of) => {
+                    if of / v != out_port {
+                        chk.violation(format!(
+                            "router {}: switch grant to port {out_port} but input ({}, {}) \
+                             holds output VC ({}, {})",
+                            self.id,
+                            in_flat / v,
+                            in_flat % v,
+                            of / v,
+                            of % v
+                        ));
+                    }
+                    if self.out_vc[of].credits == 0 {
+                        chk.violation(format!(
+                            "router {}: switch grant for input ({}, {}) with zero \
+                             downstream credits",
+                            self.id,
+                            in_flat / v,
+                            in_flat % v
+                        ));
+                    }
+                    if self.out_vc[of].owner != Some(in_flat) {
+                        chk.violation(format!(
+                            "router {}: granted input ({}, {}) does not own its output VC",
+                            self.id,
+                            in_flat / v,
+                            in_flat % v
+                        ));
+                    }
+                }
+            }
+            if self.in_buf[in_flat].is_empty() {
+                chk.violation(format!(
+                    "router {}: switch grant with empty buffer at input ({}, {})",
+                    self.id,
+                    in_flat / v,
+                    in_flat % v
+                ));
+            }
+        }
+
+        // Ownership bijection, buffer bounds, no-flit-without-VC.
+        for in_flat in 0..n {
+            checks += 2;
+            match self.in_out_vc[in_flat] {
+                Some(of) => {
+                    if self.out_vc[of].owner != Some(in_flat) {
+                        chk.violation(format!(
+                            "router {}: input ({}, {}) holds output VC ({}, {}) it \
+                             does not own",
+                            self.id,
+                            in_flat / v,
+                            in_flat % v,
+                            of / v,
+                            of % v
+                        ));
+                    }
+                }
+                None => {
+                    if self.in_buf[in_flat].front().is_some_and(|f| !f.head) {
+                        chk.violation(format!(
+                            "router {}: body flit at head of input ({}, {}) without \
+                             an output VC",
+                            self.id,
+                            in_flat / v,
+                            in_flat % v
+                        ));
+                    }
+                }
+            }
+            if self.in_buf[in_flat].len() > depth {
+                chk.violation(format!(
+                    "router {}: input ({}, {}) holds {} flits, buffer depth {}",
+                    self.id,
+                    in_flat / v,
+                    in_flat % v,
+                    self.in_buf[in_flat].len(),
+                    depth
+                ));
+            }
+        }
+        for out_flat in 0..n {
+            checks += 2;
+            let s = &self.out_vc[out_flat];
+            if s.credits > depth {
+                chk.violation(format!(
+                    "router {}: output VC ({}, {}) has {} credits, buffer depth {}",
+                    self.id,
+                    out_flat / v,
+                    out_flat % v,
+                    s.credits,
+                    depth
+                ));
+            }
+            if let Some(owner) = s.owner {
+                if self.in_out_vc.get(owner).copied().flatten() != Some(out_flat) {
+                    chk.violation(format!(
+                        "router {}: output VC ({}, {}) owned by input {} which does \
+                         not hold it",
+                        self.id,
+                        out_flat / v,
+                        out_flat % v,
+                        owner
+                    ));
+                }
+            }
+        }
+        chk.add_checks(checks);
     }
 
     /// Flits currently buffered across all input VCs.

@@ -122,9 +122,9 @@ pub fn route_at(
                 debug_assert_ne!(y, ty, "route_at called at target router");
                 tx_col(topo, x, ty)
             };
-            let out_port = topo
-                .port_towards(router, next)
-                .expect("fbfly routers are fully connected per dimension");
+            let Some(out_port) = topo.port_towards(router, next) else {
+                unreachable!("fbfly routers are fully connected per dimension")
+            };
             (
                 Lookahead {
                     out_port,

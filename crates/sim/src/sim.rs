@@ -308,7 +308,12 @@ where
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("worker died before finishing job"))
+        .map(|s| {
+            // `thread::scope` propagates worker panics, so every slot is
+            // filled once the scope returns.
+            s.into_inner()
+                .unwrap_or_else(|| unreachable!("scoped workers fill every slot before join"))
+        })
         .collect()
 }
 

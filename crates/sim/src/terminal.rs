@@ -118,6 +118,12 @@ impl Terminal {
         self.credits[vc] += 1;
     }
 
+    /// Credits currently held for router-input VC `vc` (used by the
+    /// runtime credit-conservation audit).
+    pub fn credits(&self, vc: usize) -> usize {
+        self.credits[vc]
+    }
+
     /// Handles an ejected flit; on a request tail, queues the reply for the
     /// next cycle. Returns the flit for stats processing.
     pub fn receive(&mut self, flit: &Flit, now: u64) {

@@ -172,11 +172,9 @@ impl Topology {
                 let r = y * w + x;
                 for (k, ox) in (0..w).filter(|&ox| ox != x).enumerate() {
                     let to = y * w + ox;
-                    // Reverse port index at the destination.
-                    let back = (0..w)
-                        .filter(|&bx| bx != ox)
-                        .position(|bx| bx == x)
-                        .unwrap();
+                    // Reverse port index at the destination: position of x
+                    // in 0..w with ox skipped.
+                    let back = if x < ox { x } else { x - 1 };
                     links[r][c + k] = Some(Link {
                         to_router: to,
                         to_port: c + back,
@@ -185,10 +183,7 @@ impl Topology {
                 }
                 for (k, oy) in (0..h).filter(|&oy| oy != y).enumerate() {
                     let to = oy * w + x;
-                    let back = (0..h)
-                        .filter(|&by| by != oy)
-                        .position(|by| by == y)
-                        .unwrap();
+                    let back = if y < oy { y } else { y - 1 };
                     links[r][c + (w - 1) + k] = Some(Link {
                         to_router: to,
                         to_port: c + (w - 1) + back,

@@ -1,6 +1,8 @@
 //! Torus dateline-routing extension (§4.2's other resource-class example):
 //! topology, routing and full-network behaviour.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_sim::packet::RouteState;
 use noc_sim::routing::{route_at, RoutingKind};
 use noc_sim::{run_sim, Network, SimConfig, Topology, TopologyKind};

@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo run --release --example design_space [mesh|fbfly] [C]`.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
 use noc_hw::builders::sw_alloc::synthesize_switch_allocator;
 use noc_hw::builders::vc_alloc::synthesize_vc_allocator;

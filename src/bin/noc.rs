@@ -3,6 +3,8 @@
 //! Subcommands:
 //!
 //! * `noc sim`     — run one network simulation and print latency/throughput
+//! * `noc check`   — statically verify a design (deadlock freedom, liveness,
+//!   allocator wiring)
 //! * `noc bench`   — run the perf-regression workload matrix
 //! * `noc synth`   — synthesize a VC or switch allocator design point
 //! * `noc quality` — measure open-loop matching quality
@@ -11,12 +13,15 @@
 //! Run `noc help` (or any subcommand with `--help`) for flags. Argument
 //! parsing is deliberately dependency-free.
 
-use noc_bench::{compare_baseline, parse_report, report_filename, run_bench, BenchParams};
+use noc_bench::{
+    compare_baseline, parse_report, report_filename, run_bench, workload_matrix, BenchParams,
+};
+use noc_check::{check_design, check_fixture, fixtures, RouteModel};
 use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
 use noc_obs::{chrome_trace, metrics_csv, metrics_jsonl, VecSink, PHASES};
 use noc_sim::{
-    run_sim, run_sim_observed, run_sim_profiled, run_sim_replicated, SimConfig, TopologyKind,
-    TrafficPattern,
+    run_sim, run_sim_observed, run_sim_profiled, run_sim_replicated, run_sim_verified, SimConfig,
+    TopologyKind, TrafficPattern,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -29,7 +34,9 @@ USAGE:
               [--vca KIND] [--spec nonspec|spec_gnt|spec_req] [--pattern P]
               [--buf-depth N] [--burst B] [--warmup N] [--measure N] [--seed S]
               [--seeds N] [--profile] [--trace FILE] [--metrics FILE]
-              [--sample-interval N] [--json]
+              [--sample-interval N] [--json] [--verify]
+  noc check   [--topology mesh|fbfly|torus] [--vcs C] [--all]
+              [--fixture no-dateline|cyclic-vc]
   noc bench   [--quick] [--out DIR] [--baseline FILE] [--tolerance PCT]
               [--reps N]
   noc synth   (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--alloc KIND]
@@ -56,6 +63,19 @@ Statistics (noc sim):
                           warmup (MSER), mean latency with a 95% CI
   --profile               attribute simulator wall time to the router
                           pipeline phases and print per-phase shares
+  --verify                run with the per-cycle invariant checker enabled
+                          (matching legality, credit conservation,
+                          no-flit-without-VC); exits nonzero on violations
+
+Static analysis (noc check):
+  checks deadlock freedom (channel-dependency graph over the sparse VC
+  transition masks; prints a minimal offending cycle), VC reachability /
+  starvation / dateline discipline, and allocator wiring; exits nonzero
+  if any checked design fails
+  --all                   check the paper's designs (mesh, fbfly, torus at
+                          C = 1, 2, 4) and every bench-matrix workload
+  --fixture NAME          check a deliberately deadlocked negative fixture
+                          (no-dateline | cyclic-vc) — expected to FAIL
 
 Benchmarking (noc bench):
   runs a fixed workload matrix (mesh + flattened butterfly at three load
@@ -69,6 +89,9 @@ Benchmarking (noc bench):
 
 Examples:
   noc sim --topology fbfly --vcs 4 --rate 0.3 --sa wf
+  noc sim --rate 0.2 --verify
+  noc check --all
+  noc check --fixture no-dateline
   noc sim --rate 0.25 --metrics out.csv --trace trace.json --json
   noc sim --rate 0.15 --seeds 8 --json
   noc bench --quick --baseline results/bench_baseline.json
@@ -93,7 +116,13 @@ impl Args {
                 if key == "help" {
                     return Err(HELP.to_string());
                 }
-                if key == "dense" || key == "json" || key == "quick" || key == "profile" {
+                if key == "dense"
+                    || key == "json"
+                    || key == "quick"
+                    || key == "profile"
+                    || key == "verify"
+                    || key == "all"
+                {
                     flags.insert(key.to_string(), "true".to_string());
                     continue;
                 }
@@ -197,8 +226,15 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     let sample_interval: u64 = args.get("sample-interval", 100u64)?;
     let seeds: usize = args.get("seeds", 1usize)?;
     let want_profile = args.flags.contains_key("profile");
+    let want_verify = args.flags.contains_key("verify");
     if seeds > 1 && (want_profile || trace_path.is_some() || metrics_path.is_some()) {
         return Err("--seeds cannot be combined with --profile, --trace or --metrics".to_string());
+    }
+    if want_verify && (seeds > 1 || want_profile || trace_path.is_some() || metrics_path.is_some())
+    {
+        return Err(
+            "--verify cannot be combined with --seeds, --profile, --trace or --metrics".to_string(),
+        );
     }
     eprintln!(
         "simulating {} @ {} flits/cycle/terminal ({} + {} cycles)...",
@@ -208,7 +244,12 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         measure
     );
     let mut profile = None;
-    let r = if trace_path.is_some() || metrics_path.is_some() {
+    let mut verify_report = None;
+    let r = if want_verify {
+        let (r, rep) = run_sim_verified(&cfg, warmup, measure);
+        verify_report = Some(rep);
+        r
+    } else if trace_path.is_some() || metrics_path.is_some() {
         let run = run_sim_observed(
             &cfg,
             warmup,
@@ -242,6 +283,20 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     } else {
         run_sim(&cfg, warmup, measure)
     };
+    if let Some(rep) = &verify_report {
+        eprintln!(
+            "invariants       {} checks, {} violations",
+            rep.checks, rep.total_violations
+        );
+        if !rep.passed() {
+            let mut msg = format!("{} runtime invariant violation(s):", rep.total_violations);
+            for v in rep.violations.iter().take(10) {
+                msg.push_str("\n  ");
+                msg.push_str(v);
+            }
+            return Err(msg);
+        }
+    }
     if args.flags.contains_key("json") {
         match &profile {
             Some(p) => println!("{{\"result\":{},\"profile\":{}}}", r.to_json(), p.to_json()),
@@ -315,6 +370,52 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
             "other",
             p.other_share() * 100.0
         );
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let c: usize = args.get("vcs", 2)?;
+    let mut reports = Vec::new();
+    if let Some(name) = args.flags.get("fixture") {
+        let f = fixtures::by_name(name, c)
+            .ok_or_else(|| format!("unknown fixture '{name}' (no-dateline | cyclic-vc)"))?;
+        reports.push(check_fixture(&f));
+    } else if args.flags.contains_key("all") {
+        // The paper's designs across topologies and VC counts...
+        for topo in ["mesh", "fbfly", "torus"] {
+            for c in [1usize, 2, 4] {
+                reports.push(check_fixture(&fixtures::paper_design(topo, c)));
+            }
+        }
+        // ...plus every configuration the bench matrix actually simulates.
+        for (name, cfg) in workload_matrix() {
+            let topo = cfg.topology.build();
+            let model = RouteModel::Simulator(cfg.routing());
+            reports.push(check_design(&name, &topo, &model, &cfg.vc_spec()));
+        }
+    } else {
+        let label = match args.topology()? {
+            TopologyKind::Mesh8x8 => "mesh",
+            TopologyKind::FlattenedButterfly4x4 => "fbfly",
+            TopologyKind::Torus8x8 => "torus",
+        };
+        reports.push(check_fixture(&fixtures::paper_design(label, c)));
+    }
+    let mut failed = 0usize;
+    for rep in &reports {
+        print!("{}", rep.render());
+        if !rep.passed() {
+            failed += 1;
+        }
+    }
+    println!(
+        "{}/{} design(s) passed",
+        reports.len() - failed,
+        reports.len()
+    );
+    if failed > 0 {
+        return Err(format!("{failed} design(s) failed verification"));
     }
     Ok(())
 }
@@ -494,6 +595,7 @@ fn main() -> ExitCode {
         .unwrap_or("help");
     let result = match cmd {
         "sim" => cmd_sim(&args),
+        "check" => cmd_check(&args),
         "bench" => cmd_bench(&args),
         "synth" => cmd_synth(&args),
         "quality" => cmd_quality(&args),
@@ -568,6 +670,28 @@ mod tests {
         let a = args("sim --json --rate 0.2");
         assert!(a.flags.contains_key("json"));
         assert!((a.get::<f64>("rate", 0.0).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_and_all_are_bare_flags() {
+        let a = args("sim --verify --rate 0.2");
+        assert!(a.flags.contains_key("verify"));
+        assert!((a.get::<f64>("rate", 0.0).unwrap() - 0.2).abs() < 1e-12);
+        let a = args("check --all");
+        assert!(a.flags.contains_key("all"));
+        assert_eq!(a.positional, vec!["check"]);
+    }
+
+    #[test]
+    fn check_fixture_takes_a_value() {
+        let a = args("check --fixture no-dateline --vcs 2");
+        assert_eq!(
+            a.flags.get("fixture").map(String::as_str),
+            Some("no-dateline")
+        );
+        assert!(fixtures::by_name("no-dateline", 2).is_some());
+        assert!(fixtures::by_name("cyclic-vc", 2).is_some());
+        assert!(fixtures::by_name("bogus", 2).is_none());
     }
 
     #[test]

@@ -1,11 +1,49 @@
 //! Property-based tests over the core allocation invariants (proptest).
 
-use noc_core::{AllocatorKind, BitMatrix, MaxSizeAllocator};
+use noc_core::{Allocator, AllocatorKind, AugmentingPathAllocator, BitMatrix, MaxSizeAllocator};
 use proptest::prelude::*;
+
+/// Brute-force maximum matching by exhaustive row-by-row search — the
+/// ground-truth oracle for small matrices.
+fn brute_force_max_matching(req: &BitMatrix) -> usize {
+    fn go(req: &BitMatrix, row: usize, used_cols: &mut [bool]) -> usize {
+        if row == req.num_rows() {
+            return 0;
+        }
+        // Either skip this row...
+        let mut best = go(req, row + 1, used_cols);
+        // ...or match it to any free requested column.
+        for c in req.row(row).iter_set() {
+            if !used_cols[c] {
+                used_cols[c] = true;
+                best = best.max(1 + go(req, row + 1, used_cols));
+                used_cols[c] = false;
+            }
+        }
+        best
+    }
+    go(req, 0, &mut vec![false; req.num_cols()])
+}
 
 /// Strategy: a request matrix up to 12×12 with arbitrary density.
 fn request_matrix() -> impl Strategy<Value = BitMatrix> {
     (1usize..=12, 1usize..=12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(move |bits| {
+            let mut m = BitMatrix::new(rows, cols);
+            for (i, b) in bits.iter().enumerate() {
+                if *b {
+                    m.set(i / cols, i % cols, true);
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Strategy: a small request matrix (≤5×5) where brute-force optimal
+/// matching is affordable.
+fn small_request_matrix() -> impl Strategy<Value = BitMatrix> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(rows, cols)| {
         proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(move |bits| {
             let mut m = BitMatrix::new(rows, cols);
             for (i, b) in bits.iter().enumerate() {
@@ -74,6 +112,18 @@ proptest! {
         // And the maximum allocator achieves it.
         let mut ms = AllocatorKind::MaxSize.build(req.num_rows(), req.num_cols());
         prop_assert_eq!(ms.allocate(&req).count_ones(), best);
+    }
+
+    #[test]
+    fn augmenting_path_matches_brute_force_optimum(req in small_request_matrix()) {
+        // The augmenting-path allocator with an unbounded budget and the
+        // max-size oracle must both achieve the exhaustive-search optimum.
+        let best = brute_force_max_matching(&req);
+        prop_assert_eq!(MaxSizeAllocator::max_matching_size(&req), best, "{:?}", req);
+        let mut a = AugmentingPathAllocator::new(req.num_rows(), req.num_cols(), req.num_rows());
+        let g = a.allocate(&req);
+        prop_assert!(g.is_matching_for(&req), "{:?}\n{:?}", req, g);
+        prop_assert_eq!(g.count_ones(), best, "{:?}", req);
     }
 
     #[test]

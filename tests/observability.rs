@@ -1,6 +1,8 @@
 //! Acceptance tests for the observability layer (`noc-obs`): CLI export
 //! formats, stall-attribution invariants, and trace-event consistency.
 
+// Panicking on setup failure is the right behaviour outside library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_obs::{validate_json, CountingSink, FlitEventKind, NopSink};
 use noc_sim::{run_sim, run_sim_observed, SimConfig, TopologyKind};
 use std::process::Command;
