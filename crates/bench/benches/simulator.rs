@@ -1,9 +1,9 @@
 //! Criterion benchmarks: network-simulation cycle rate for the paper's two
-//! topologies.
+//! topologies, and the per-engine step cost of the fast-path loops.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use noc_obs::CountingSink;
-use noc_sim::{Network, SimConfig, TopologyKind};
+use noc_sim::{Engine, Network, SimConfig, TopologyKind};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_cycles");
@@ -37,5 +37,35 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+/// One steady-state cycle on each engine, at a light load (where the
+/// active-set engine skips most routers) and at the compute-bound 0.4
+/// load (where the parallel engine amortizes its handshake).
+fn bench_step_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_cycle");
+    group.sample_size(10);
+    for rate in [0.05, 0.4] {
+        let cfg = SimConfig {
+            injection_rate: rate,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        for engine in [Engine::Sequential, Engine::Parallel(4), Engine::ActiveSet] {
+            let id = BenchmarkId::new(engine.label(), format!("mesh_r{rate}"));
+            group.bench_with_input(id, &cfg, |b, cfg| {
+                // Warm into steady state once, then time 200-cycle batches
+                // that keep advancing the same network: the parallel pool
+                // is per-run, so its spin-up cost is amortized here exactly
+                // as in real workloads.
+                let mut net = Network::new(cfg.clone());
+                Engine::Sequential.run(&mut net, 500);
+                b.iter(|| {
+                    engine.run(&mut net, 200);
+                    net.total_flits_injected()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_step_cycle);
 criterion_main!(benches);

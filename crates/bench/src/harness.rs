@@ -41,7 +41,7 @@
 //! is the first thing to look at when a regression check fails.
 
 use noc_obs::{JsonValue, Profiler};
-use noc_sim::{run_sim, run_sim_profiled, SimConfig, SimResult, TopologyKind};
+use noc_sim::{run_sim_engine, run_sim_profiled, Engine, SimConfig, SimResult, TopologyKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -59,6 +59,10 @@ pub struct BenchParams {
     pub measure: u64,
     /// Timed repetitions per workload (median wins).
     pub reps: usize,
+    /// Cycle-loop engine driving the timed runs. All engines produce
+    /// identical simulation results; this picks whose *speed* the report
+    /// records.
+    pub engine: Engine,
 }
 
 impl BenchParams {
@@ -69,6 +73,7 @@ impl BenchParams {
             warmup: 2_000,
             measure: 6_000,
             reps: 3,
+            engine: Engine::Sequential,
         }
     }
 
@@ -81,23 +86,31 @@ impl BenchParams {
             warmup: 500,
             measure: 1_500,
             reps: 3,
+            engine: Engine::Sequential,
         }
     }
 }
 
-/// The fixed workload matrix: each evaluated topology at three load
-/// points (below, near, and at the knee of the latency curve).
+/// The fixed workload matrix: each evaluated topology at load points
+/// below, near, and at the knee of the latency curve, plus a heavy 0.4
+/// mesh point where the parallel engine's speedup is measured (at high
+/// load nearly every router is busy every cycle, so this is the
+/// compute-bound case sharding helps most).
 pub fn workload_matrix() -> Vec<(String, SimConfig)> {
     let mut out = Vec::new();
     for (tag, topo, rates) in [
-        ("mesh8x8", TopologyKind::Mesh8x8, [0.05, 0.15, 0.25]),
+        (
+            "mesh8x8",
+            TopologyKind::Mesh8x8,
+            &[0.05, 0.15, 0.25, 0.4][..],
+        ),
         (
             "fbfly4x4",
             TopologyKind::FlattenedButterfly4x4,
-            [0.10, 0.20, 0.30],
+            &[0.10, 0.20, 0.30][..],
         ),
     ] {
-        for rate in rates {
+        for &rate in rates {
             let cfg = SimConfig {
                 injection_rate: rate,
                 ..SimConfig::paper_baseline(topo, 2)
@@ -156,11 +169,11 @@ pub fn run_bench(params: &BenchParams, mut progress: impl FnMut(&str)) -> BenchR
     for (name, cfg) in workload_matrix() {
         let mut times = Vec::new();
         let t0 = Instant::now();
-        let mut result = run_sim(&cfg, params.warmup, params.measure);
+        let mut result = run_sim_engine(&cfg, params.warmup, params.measure, params.engine);
         times.push(t0.elapsed().as_nanos() as u64);
         for _ in 1..params.reps.max(1) {
             let t0 = Instant::now();
-            result = run_sim(&cfg, params.warmup, params.measure);
+            result = run_sim_engine(&cfg, params.warmup, params.measure, params.engine);
             times.push(t0.elapsed().as_nanos() as u64);
         }
         times.sort_unstable();
@@ -203,13 +216,14 @@ impl BenchReport {
         let _ = write!(
             out,
             "\"schema\":\"{}\",\"created_unix\":{},\"quick\":{},\
-             \"warmup\":{},\"measure\":{},\"reps\":{},\"workloads\":[",
+             \"warmup\":{},\"measure\":{},\"reps\":{},\"engine\":\"{}\",\"workloads\":[",
             self.schema,
             self.created_unix,
             self.params.quick,
             self.params.warmup,
             self.params.measure,
-            self.params.reps
+            self.params.reps,
+            self.params.engine.label()
         );
         for (i, w) in self.workloads.iter().enumerate() {
             if i > 0 {
@@ -246,6 +260,9 @@ pub struct BaselineSummary {
     pub created_unix: u64,
     /// Whether it was a quick pass.
     pub quick: bool,
+    /// Engine label the report's timings were taken on (`"seq"` for
+    /// reports written before the field existed).
+    pub engine: String,
     /// `(workload name, cycles_per_sec)` in file order.
     pub workloads: Vec<(String, f64)>,
 }
@@ -268,6 +285,11 @@ pub fn parse_report(json: &str) -> Result<BaselineSummary, String> {
         .and_then(JsonValue::as_f64)
         .unwrap_or(0.0) as u64;
     let quick = v.get("quick").and_then(JsonValue::as_bool).unwrap_or(false);
+    let engine = v
+        .get("engine")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("seq")
+        .to_string();
     let mut workloads = Vec::new();
     for w in v
         .get("workloads")
@@ -286,6 +308,7 @@ pub fn parse_report(json: &str) -> Result<BaselineSummary, String> {
         schema,
         created_unix,
         quick,
+        engine,
         workloads,
     })
 }
@@ -343,13 +366,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_covers_both_topologies_at_three_loads() {
+    fn matrix_covers_both_topologies_plus_heavy_mesh_point() {
         let m = workload_matrix();
-        assert_eq!(m.len(), 6);
-        assert_eq!(m.iter().filter(|(n, _)| n.starts_with("mesh")).count(), 3);
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.iter().filter(|(n, _)| n.starts_with("mesh")).count(), 4);
         assert_eq!(m.iter().filter(|(n, _)| n.starts_with("fbfly")).count(), 3);
+        assert!(m.iter().any(|(n, _)| n == "mesh8x8_c2_r0.4"));
         let names: std::collections::HashSet<_> = m.iter().map(|(n, _)| n).collect();
-        assert_eq!(names.len(), 6, "workload names must be unique keys");
+        assert_eq!(names.len(), 7, "workload names must be unique keys");
     }
 
     #[test]

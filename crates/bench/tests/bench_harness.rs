@@ -3,6 +3,7 @@
 
 use noc_bench::{compare_baseline, parse_report, run_bench, BenchParams};
 use noc_obs::validate_json;
+use noc_sim::Engine;
 
 fn tiny_params() -> BenchParams {
     BenchParams {
@@ -10,18 +11,20 @@ fn tiny_params() -> BenchParams {
         warmup: 200,
         measure: 600,
         reps: 1,
+        engine: Engine::Sequential,
     }
 }
 
 #[test]
 fn report_is_valid_json_and_round_trips() {
     let report = run_bench(&tiny_params(), |_| {});
-    assert_eq!(report.workloads.len(), 6);
+    assert_eq!(report.workloads.len(), 7);
     let json = report.to_json();
     validate_json(&json).expect("bench report must be strict JSON");
     let parsed = parse_report(&json).expect("own report must parse");
     assert_eq!(parsed.schema, "noc-bench/v1");
     assert!(parsed.quick);
+    assert_eq!(parsed.engine, "seq");
     assert_eq!(parsed.created_unix, report.created_unix);
     assert_eq!(parsed.workloads.len(), report.workloads.len());
     for (w, (name, cps)) in report.workloads.iter().zip(&parsed.workloads) {

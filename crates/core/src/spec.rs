@@ -64,11 +64,23 @@ pub struct SpecAllocResult {
     pub masked: Vec<SwitchGrant>,
 }
 
+impl SpecAllocResult {
+    /// Empties all three grant lists, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.nonspec.clear();
+        self.spec.clear();
+        self.masked.clear();
+    }
+}
+
 /// Dual-allocator speculative switch allocator (Figure 9).
 pub struct SpeculativeSwitchAllocator {
     nonspec: Box<dyn SwitchAllocator + Send>,
     spec: Box<dyn SwitchAllocator + Send>,
     mode: SpecMode,
+    /// Reusable masking scratch (per-port blocked flags).
+    in_blocked: Vec<bool>,
+    out_blocked: Vec<bool>,
 }
 
 impl SpeculativeSwitchAllocator {
@@ -78,6 +90,8 @@ impl SpeculativeSwitchAllocator {
             nonspec: kind.build(ports, vcs),
             spec: kind.build(ports, vcs),
             mode,
+            in_blocked: vec![false; ports],
+            out_blocked: vec![false; ports],
         }
     }
 
@@ -102,60 +116,63 @@ impl SpeculativeSwitchAllocator {
         nonspec_reqs: &SwitchRequests,
         spec_reqs: &SwitchRequests,
     ) -> SpecAllocResult {
-        let nonspec = if nonspec_reqs.is_empty() {
-            Vec::new()
-        } else {
-            self.nonspec.allocate(nonspec_reqs)
-        };
-        if self.mode == SpecMode::NonSpeculative {
-            return SpecAllocResult {
-                nonspec,
-                spec: Vec::new(),
-                masked: Vec::new(),
-            };
+        let mut out = SpecAllocResult::default();
+        self.allocate_into(nonspec_reqs, spec_reqs, &mut out);
+        out
+    }
+
+    /// [`SpeculativeSwitchAllocator::allocate`] into a caller-owned result,
+    /// reusing its grant buffers and the allocator's masking scratch so the
+    /// per-cycle hot path performs no heap allocation at this level.
+    pub fn allocate_into(
+        &mut self,
+        nonspec_reqs: &SwitchRequests,
+        spec_reqs: &SwitchRequests,
+        out: &mut SpecAllocResult,
+    ) {
+        out.clear();
+        if !nonspec_reqs.is_empty() {
+            self.nonspec.allocate_into(nonspec_reqs, &mut out.nonspec);
         }
-        let spec_raw = if spec_reqs.is_empty() {
-            Vec::new()
-        } else {
-            self.spec.allocate(spec_reqs)
-        };
-        if spec_raw.is_empty() {
-            return SpecAllocResult {
-                nonspec,
-                spec: Vec::new(),
-                masked: Vec::new(),
-            };
+        if self.mode == SpecMode::NonSpeculative {
+            return;
+        }
+        if !spec_reqs.is_empty() {
+            self.spec.allocate_into(spec_reqs, &mut out.spec);
+        }
+        if out.spec.is_empty() {
+            return;
         }
         let ports = self.ports();
-        let (mut in_blocked, mut out_blocked) = (vec![false; ports], vec![false; ports]);
+        self.in_blocked.clear();
+        self.in_blocked.resize(ports, false);
+        self.out_blocked.clear();
+        self.out_blocked.resize(ports, false);
         match self.mode {
             SpecMode::Conventional => {
-                for g in &nonspec {
-                    in_blocked[g.in_port] = true;
-                    out_blocked[g.out_port] = true;
+                for g in &out.nonspec {
+                    self.in_blocked[g.in_port] = true;
+                    self.out_blocked[g.out_port] = true;
                 }
             }
             SpecMode::Pessimistic => {
                 for p in 0..ports {
-                    in_blocked[p] = nonspec_reqs.input_active(p);
-                    out_blocked[p] = nonspec_reqs.output_requested(p);
+                    self.in_blocked[p] = nonspec_reqs.input_active(p);
+                    self.out_blocked[p] = nonspec_reqs.output_requested(p);
                 }
             }
             SpecMode::NonSpeculative => unreachable!(),
         }
-        let (mut spec, mut masked) = (Vec::new(), Vec::new());
-        for g in spec_raw {
+        let SpecAllocResult { spec, masked, .. } = out;
+        let (in_blocked, out_blocked) = (&self.in_blocked, &self.out_blocked);
+        spec.retain(|g| {
             if in_blocked[g.in_port] || out_blocked[g.out_port] {
-                masked.push(g);
+                masked.push(*g);
+                false
             } else {
-                spec.push(g);
+                true
             }
-        }
-        SpecAllocResult {
-            nonspec,
-            spec,
-            masked,
-        }
+        });
     }
 
     /// Resets both component allocators.

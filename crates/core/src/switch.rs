@@ -47,6 +47,11 @@ impl SwitchRequests {
         self.req[in_port * self.vcs + vc] = Some(out_port);
     }
 
+    /// Drops every request, keeping the allocation for reuse next cycle.
+    pub fn clear(&mut self) {
+        self.req.fill(None);
+    }
+
     /// The output port requested by `(in_port, vc)`, if any.
     pub fn get(&self, in_port: usize, vc: usize) -> Option<usize> {
         self.req[in_port * self.vcs + vc]
@@ -133,6 +138,14 @@ pub trait SwitchAllocator: Send {
     /// Performs one switch-allocation round and updates priority state.
     fn allocate(&mut self, requests: &SwitchRequests) -> Vec<SwitchGrant>;
 
+    /// Allocation round writing grants into a caller-owned buffer, so hot
+    /// paths can reuse capacity across cycles. Must produce exactly the
+    /// grants (and priority updates) of [`SwitchAllocator::allocate`].
+    fn allocate_into(&mut self, requests: &SwitchRequests, out: &mut Vec<SwitchGrant>) {
+        out.clear();
+        out.extend(self.allocate(requests));
+    }
+
     /// Restores power-on priority state.
     fn reset(&mut self);
 }
@@ -203,10 +216,17 @@ impl SwitchAllocator for SepIfSwitchAllocator {
     }
 
     fn allocate(&mut self, requests: &SwitchRequests) -> Vec<SwitchGrant> {
+        let mut grants = Vec::new();
+        self.allocate_into(requests, &mut grants);
+        grants
+    }
+
+    fn allocate_into(&mut self, requests: &SwitchRequests, out: &mut Vec<SwitchGrant>) {
         assert_eq!(requests.ports(), self.ports);
         assert_eq!(requests.vcs(), self.vcs);
+        out.clear();
         if requests.is_empty() {
-            return Vec::new();
+            return;
         }
         // Stage 1: winning VC per input port.
         let winners: Vec<Option<(usize, usize)>> = (0..self.ports)
@@ -217,7 +237,6 @@ impl SwitchAllocator for SepIfSwitchAllocator {
             })
             .collect();
         // Stage 2: arbitration among forwarded requests at each output.
-        let mut grants = Vec::new();
         for o in 0..self.ports {
             let mut incoming = Bits::new(self.ports);
             for (i, w) in winners.iter().enumerate() {
@@ -228,7 +247,7 @@ impl SwitchAllocator for SepIfSwitchAllocator {
             if let Some(i) = self.output_arbs[o].arbitrate(&incoming) {
                 // `incoming` only carries inputs with a stage-1 winner.
                 let Some((v, _)) = winners[i] else { continue };
-                grants.push(SwitchGrant {
+                out.push(SwitchGrant {
                     in_port: i,
                     vc: v,
                     out_port: o,
@@ -238,7 +257,6 @@ impl SwitchAllocator for SepIfSwitchAllocator {
                 self.output_arbs[o].update(i);
             }
         }
-        grants
     }
 
     fn reset(&mut self) {
@@ -285,10 +303,17 @@ impl SwitchAllocator for SepOfSwitchAllocator {
     }
 
     fn allocate(&mut self, requests: &SwitchRequests) -> Vec<SwitchGrant> {
+        let mut grants = Vec::new();
+        self.allocate_into(requests, &mut grants);
+        grants
+    }
+
+    fn allocate_into(&mut self, requests: &SwitchRequests, out: &mut Vec<SwitchGrant>) {
         assert_eq!(requests.ports(), self.ports);
         assert_eq!(requests.vcs(), self.vcs);
+        out.clear();
         if requests.is_empty() {
-            return Vec::new();
+            return;
         }
         let port_reqs = requests.port_matrix();
         // Stage 1: each output arbitrates among all requesting inputs.
@@ -297,7 +322,6 @@ impl SwitchAllocator for SepOfSwitchAllocator {
             .collect();
         // Stage 2: each input picks a winning VC among those whose requested
         // output was granted to it.
-        let mut grants = Vec::new();
         for i in 0..self.ports {
             let mut candidates = Bits::new(self.vcs);
             for v in 0..self.vcs {
@@ -312,7 +336,7 @@ impl SwitchAllocator for SepOfSwitchAllocator {
                 let Some(o) = requests.get(i, v) else {
                     continue;
                 };
-                grants.push(SwitchGrant {
+                out.push(SwitchGrant {
                     in_port: i,
                     vc: v,
                     out_port: o,
@@ -322,7 +346,6 @@ impl SwitchAllocator for SepOfSwitchAllocator {
                 self.output_arbs[o].update(i);
             }
         }
-        grants
     }
 
     fn reset(&mut self) {
@@ -375,13 +398,19 @@ impl SwitchAllocator for WavefrontSwitchAllocator {
     }
 
     fn allocate(&mut self, requests: &SwitchRequests) -> Vec<SwitchGrant> {
+        let mut grants = Vec::new();
+        self.allocate_into(requests, &mut grants);
+        grants
+    }
+
+    fn allocate_into(&mut self, requests: &SwitchRequests, out: &mut Vec<SwitchGrant>) {
         assert_eq!(requests.ports(), self.ports);
         assert_eq!(requests.vcs(), self.vcs);
+        out.clear();
         if requests.is_empty() {
-            return Vec::new();
+            return;
         }
         let port_grants = self.wavefront.allocate(&requests.port_matrix());
-        let mut grants = Vec::new();
         for (i, o) in port_grants.iter_set() {
             let arb = &mut self.presel[i * self.ports + o];
             // The wavefront core only grants port pairs that requested.
@@ -390,13 +419,12 @@ impl SwitchAllocator for WavefrontSwitchAllocator {
                 continue;
             };
             arb.update(v);
-            grants.push(SwitchGrant {
+            out.push(SwitchGrant {
                 in_port: i,
                 vc: v,
                 out_port: o,
             });
         }
-        grants
     }
 
     fn reset(&mut self) {

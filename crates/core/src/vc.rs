@@ -351,6 +351,19 @@ pub trait VcAllocator: Send {
         free_out: &BitMatrix,
     ) -> Vec<Option<OutVc>>;
 
+    /// Allocation round writing grants into a caller-owned buffer so hot
+    /// paths can reuse capacity across cycles. Must produce exactly the
+    /// grants (and priority updates) of [`VcAllocator::allocate`].
+    fn allocate_into(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+        results: &mut Vec<Option<OutVc>>,
+    ) {
+        results.clear();
+        results.extend(self.allocate(requests, free_out));
+    }
+
     /// Restores power-on priority state.
     fn reset(&mut self);
 }
@@ -417,6 +430,11 @@ pub struct SeparableVcAllocator {
     /// `V`-input leaves plus a `P`-input root, the structure §4.1
     /// prescribes for these wide arbiters.
     output_arbs: Vec<Box<dyn noc_arbiter::Arbiter + Send>>,
+    /// Reusable stage-1 bid edge list `(out_flat, g)`.
+    bids: Vec<(usize, usize)>,
+    /// Reusable output-first stage-1 winner list and its per-input regroup.
+    stage1: Vec<(usize, usize)>,
+    by_input: Vec<(usize, usize)>,
 }
 
 impl SeparableVcAllocator {
@@ -434,6 +452,9 @@ impl SeparableVcAllocator {
                 })
                 .collect(),
             spec,
+            bids: Vec::new(),
+            stage1: Vec::new(),
+            by_input: Vec::new(),
         }
     }
 }
@@ -448,24 +469,46 @@ impl VcAllocator for SeparableVcAllocator {
         requests: &[Option<VcRequest>],
         free_out: &BitMatrix,
     ) -> Vec<Option<OutVc>> {
-        let spec = self.spec.clone();
+        let mut results = Vec::new();
+        self.allocate_into(requests, free_out, &mut results);
+        results
+    }
+
+    fn allocate_into(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+        results: &mut Vec<Option<OutVc>>,
+    ) {
+        // Split borrows so the arbiters can be driven mutably while the spec
+        // and scratch buffers are read — avoiding a per-cycle spec clone.
+        let SeparableVcAllocator {
+            spec,
+            input_first,
+            input_arbs,
+            output_arbs,
+            bids,
+            stage1,
+            by_input,
+        } = self;
         let v = spec.total_vcs();
         let n = spec.ports() * v;
         assert_eq!(requests.len(), n, "one request slot per input VC");
-        let mut results: Vec<Option<OutVc>> = vec![None; n];
+        results.clear();
+        results.resize(n, None);
 
         // Sparse edge list `(out_flat, g)` of stage-1 bids — iterating only
         // requested outputs keeps allocation O(requests), which matters when
         // this runs inside every router of a cycle-accurate simulation.
-        let mut bids: Vec<(usize, usize)> = Vec::new();
+        bids.clear();
 
-        if self.input_first {
+        if *input_first {
             // Stage 1: each input VC picks one output VC at its port.
             for (g, req) in requests.iter().enumerate() {
                 let Some(req) = req else { continue };
-                validate_request(&spec, g, req);
-                let mask = candidate_mask(&spec, g, req, free_out);
-                if let Some(ov) = self.input_arbs[g].arbitrate(&mask) {
+                validate_request(spec, g, req);
+                let mask = candidate_mask(spec, g, req, free_out);
+                if let Some(ov) = input_arbs[g].arbitrate(&mask) {
                     bids.push((req.out_port * v + ov, g));
                 }
             }
@@ -481,13 +524,13 @@ impl VcAllocator for SeparableVcAllocator {
                     j += 1;
                 }
                 i = j;
-                if let Some(g) = self.output_arbs[out_flat].arbitrate(&incoming) {
+                if let Some(g) = output_arbs[out_flat].arbitrate(&incoming) {
                     results[g] = Some(OutVc {
                         port: out_flat / v,
                         vc: out_flat % v,
                     });
-                    self.input_arbs[g].update(out_flat % v);
-                    self.output_arbs[out_flat].update(g);
+                    input_arbs[g].update(out_flat % v);
+                    output_arbs[out_flat].update(g);
                 }
             }
         } else {
@@ -495,14 +538,14 @@ impl VcAllocator for SeparableVcAllocator {
             // requesting input VCs.
             for (g, req) in requests.iter().enumerate() {
                 let Some(req) = req else { continue };
-                validate_request(&spec, g, req);
-                let mask = candidate_mask(&spec, g, req, free_out);
+                validate_request(spec, g, req);
+                let mask = candidate_mask(spec, g, req, free_out);
                 for ov in mask.iter_set() {
                     bids.push((req.out_port * v + ov, g));
                 }
             }
             bids.sort_unstable();
-            let mut stage1: Vec<(usize, usize)> = Vec::new(); // (out_flat, winner g)
+            stage1.clear(); // (out_flat, winner g)
             let mut i = 0;
             while i < bids.len() {
                 let out_flat = bids[i].0;
@@ -513,13 +556,13 @@ impl VcAllocator for SeparableVcAllocator {
                     j += 1;
                 }
                 i = j;
-                if let Some(g) = self.output_arbs[out_flat].arbitrate(&incoming) {
+                if let Some(g) = output_arbs[out_flat].arbitrate(&incoming) {
                     stage1.push((out_flat, g));
                 }
             }
             // Stage 2: each input VC picks among output VCs that chose it.
-            let mut by_input: Vec<(usize, usize)> =
-                stage1.iter().map(|&(out_flat, g)| (g, out_flat)).collect();
+            by_input.clear();
+            by_input.extend(stage1.iter().map(|&(out_flat, g)| (g, out_flat)));
             by_input.sort_unstable();
             let mut i = 0;
             while i < by_input.len() {
@@ -539,18 +582,17 @@ impl VcAllocator for SeparableVcAllocator {
                     won.set(by_input[k].1 % v, true);
                 }
                 i = j;
-                if let Some(ov) = self.input_arbs[g].arbitrate(&won) {
+                if let Some(ov) = input_arbs[g].arbitrate(&won) {
                     let out_flat = req.out_port * v + ov;
                     results[g] = Some(OutVc {
                         port: req.out_port,
                         vc: ov,
                     });
-                    self.input_arbs[g].update(ov);
-                    self.output_arbs[out_flat].update(g);
+                    input_arbs[g].update(ov);
+                    output_arbs[out_flat].update(g);
                 }
             }
         }
-        results
     }
 
     fn reset(&mut self) {
@@ -566,6 +608,8 @@ impl VcAllocator for SeparableVcAllocator {
 pub struct MatrixVcAllocator {
     spec: VcAllocSpec,
     inner: Box<dyn Allocator + Send>,
+    /// Reusable `P*V × P*V` request matrix.
+    matrix: BitMatrix,
 }
 
 impl MatrixVcAllocator {
@@ -576,6 +620,7 @@ impl MatrixVcAllocator {
         MatrixVcAllocator {
             spec,
             inner: kind.build(n, n),
+            matrix: BitMatrix::new(n, n),
         }
     }
 }
@@ -590,6 +635,17 @@ impl VcAllocator for MatrixVcAllocator {
         requests: &[Option<VcRequest>],
         free_out: &BitMatrix,
     ) -> Vec<Option<OutVc>> {
+        let mut results = Vec::new();
+        self.allocate_into(requests, free_out, &mut results);
+        results
+    }
+
+    fn allocate_into(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+        results: &mut Vec<Option<OutVc>>,
+    ) {
         let spec = &self.spec;
         let v = spec.total_vcs();
         let n = spec.ports() * v;
@@ -597,24 +653,23 @@ impl VcAllocator for MatrixVcAllocator {
         assert_eq!(free_out.num_rows(), spec.ports());
         assert_eq!(free_out.num_cols(), v);
 
-        let mut matrix = BitMatrix::new(n, n);
+        self.matrix.clear();
         for (g, req) in requests.iter().enumerate() {
             let Some(req) = req else { continue };
             validate_request(spec, g, req);
             let mask = candidate_mask(spec, g, req, free_out);
             for ov in mask.iter_set() {
-                matrix.set(g, req.out_port * v + ov, true);
+                self.matrix.set(g, req.out_port * v + ov, true);
             }
         }
-        let grants = self.inner.allocate(&matrix);
-        (0..n)
-            .map(|g| {
-                grants.row(g).first_set().map(|col| OutVc {
-                    port: col / v,
-                    vc: col % v,
-                })
+        let grants = self.inner.allocate(&self.matrix);
+        results.clear();
+        results.extend((0..n).map(|g| {
+            grants.row(g).first_set().map(|col| OutVc {
+                port: col / v,
+                vc: col % v,
             })
-            .collect()
+        }));
     }
 
     fn reset(&mut self) {
@@ -666,6 +721,15 @@ impl VcAllocator for DenseVcAllocator {
         self.inner.allocate(requests, free_out)
     }
 
+    fn allocate_into(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+        results: &mut Vec<Option<OutVc>>,
+    ) {
+        self.inner.allocate_into(requests, free_out, results);
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
     }
@@ -687,6 +751,18 @@ pub struct SparseVcAllocator {
     /// One sub-allocator per message class.
     subs: Vec<DenseVcAllocator>,
     kind: AllocatorKind,
+    /// Reusable per-class projection of `requests` (`P * V/M` slots); only
+    /// the `touched` slots are live and must be returned to `spare` before
+    /// the next projection.
+    sub_reqs: Vec<Option<VcRequest>>,
+    /// Indices of `sub_reqs` currently holding a projected request.
+    touched: Vec<usize>,
+    /// Recycled `VcRequest` values (keeps their `classes` allocations).
+    spare: Vec<VcRequest>,
+    /// Reusable per-class projection of `free_out`.
+    sub_free: BitMatrix,
+    /// Reusable sub-allocator grant buffer.
+    sub_grants: Vec<Option<OutVc>>,
 }
 
 impl SparseVcAllocator {
@@ -699,10 +775,16 @@ impl SparseVcAllocator {
             spec.vcs_per_class(),
             spec.rc_succ.clone(),
         );
+        let n_sub = spec.ports() * sub_spec.total_vcs();
         SparseVcAllocator {
             subs: (0..spec.msg_classes())
                 .map(|_| DenseVcAllocator::new(sub_spec.clone(), kind))
                 .collect(),
+            sub_reqs: vec![None; n_sub],
+            touched: Vec::new(),
+            spare: Vec::new(),
+            sub_free: BitMatrix::new(spec.ports(), sub_spec.total_vcs()),
+            sub_grants: Vec::new(),
             sub_spec,
             spec,
             kind,
@@ -775,6 +857,100 @@ impl VcAllocator for SparseVcAllocator {
             }
         }
         results
+    }
+
+    /// Scratch-buffer fast path: identical matching behaviour to
+    /// [`SparseVcAllocator::allocate`] (which is kept as the
+    /// fresh-allocation reference for differential tests), but the per-class
+    /// request/availability projections, recycled `VcRequest` values, and
+    /// grant buffers are all reused across cycles, so steady-state operation
+    /// performs no heap allocation at this level.
+    fn allocate_into(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+        results: &mut Vec<Option<OutVc>>,
+    ) {
+        let SparseVcAllocator {
+            spec,
+            sub_spec,
+            subs,
+            kind: _,
+            sub_reqs,
+            touched,
+            spare,
+            sub_free,
+            sub_grants,
+        } = self;
+        let v = spec.total_vcs();
+        let v_sub = sub_spec.total_vcs();
+        let n = spec.ports() * v;
+        assert_eq!(requests.len(), n, "one request slot per input VC");
+        results.clear();
+        results.resize(n, None);
+
+        for (m, sub) in subs.iter_mut().enumerate() {
+            // Project requests and availability onto message class m,
+            // recycling the request slots populated for the previous class.
+            for &i in touched.iter() {
+                if let Some(r) = sub_reqs[i].take() {
+                    spare.push(r);
+                }
+            }
+            touched.clear();
+            for (g, req) in requests.iter().enumerate() {
+                let Some(req) = req else { continue };
+                let (im, ir, ibank) = spec.vc_class(g % v);
+                if im != m {
+                    continue;
+                }
+                validate_request(spec, g, req);
+                let sub_vc = ir * spec.vcs_per_class() + ibank;
+                let idx = (g / v) * v_sub + sub_vc;
+                let mut slot = spare.pop().unwrap_or_else(|| VcRequest {
+                    out_port: 0,
+                    classes: Vec::new(),
+                });
+                slot.out_port = req.out_port;
+                slot.classes.clear();
+                slot.classes.extend_from_slice(&req.classes);
+                sub_reqs[idx] = Some(slot);
+                touched.push(idx);
+            }
+            sub_free.clear();
+            for p in 0..spec.ports() {
+                for sv in 0..v_sub {
+                    if free_out.get(p, m * v_sub + sv) {
+                        sub_free.set(p, sv, true);
+                    }
+                }
+            }
+            sub.allocate_into(sub_reqs, sub_free, sub_grants);
+            for (g, req) in requests.iter().enumerate() {
+                if req.is_none() {
+                    continue;
+                }
+                let (im, ir, ibank) = spec.vc_class(g % v);
+                if im != m {
+                    continue;
+                }
+                let sub_vc = ir * spec.vcs_per_class() + ibank;
+                if let Some(grant) = sub_grants[(g / v) * v_sub + sub_vc] {
+                    results[g] = Some(OutVc {
+                        port: grant.port,
+                        vc: m * v_sub + grant.vc,
+                    });
+                }
+            }
+        }
+        // Return the final class's projections to the spare pool so stale
+        // requests can never leak into the next allocation round.
+        for &i in touched.iter() {
+            if let Some(r) = sub_reqs[i].take() {
+                spare.push(r);
+            }
+        }
+        touched.clear();
     }
 
     fn reset(&mut self) {

@@ -27,7 +27,11 @@
 //!   design.
 //! - [`json`]: a tiny strict JSON reader, so bench baselines and JSON
 //!   summaries can be parsed without external dependencies.
+//! - [`digest`]: order-sensitive FNV-1a trace digests ([`DigestSink`]),
+//!   the substrate of the cycle-exact engine-equivalence and golden-trace
+//!   test layers.
 
+pub mod digest;
 pub mod event;
 pub mod export;
 pub mod hist;
@@ -35,6 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 
+pub use digest::DigestSink;
 pub use event::{CountingSink, FlitEvent, FlitEventKind, NopSink, TraceSink, VecSink};
 pub use export::{chrome_trace, histogram_csv, metrics_csv, metrics_jsonl, percentile_table_json};
 pub use hist::{HdrHistogram, DEFAULT_QUANTILES};

@@ -29,8 +29,9 @@ pub use network::Network;
 pub use packet::{Flit, PacketKind};
 pub use routing::RoutingKind;
 pub use sim::{
-    latency_curve, run_many, run_sim, run_sim_auto, run_sim_observed, run_sim_profiled,
-    run_sim_replicated, saturation_rate, summarize, zero_load_latency, ObservedRun, SimResult,
+    latency_curve, run_many, run_sim, run_sim_auto, run_sim_engine, run_sim_observed,
+    run_sim_profiled, run_sim_replicated, saturation_rate, summarize, zero_load_latency, Engine,
+    ObservedRun, SimResult,
 };
 pub use topology::{Topology, TopologyKind};
 pub use traffic::TrafficPattern;

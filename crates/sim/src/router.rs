@@ -12,9 +12,9 @@ use crate::routing::{route_at, RoutingKind};
 use crate::topology::Topology;
 use crate::verify::InvariantChecker;
 use noc_core::{
-    AllocatorKind, BitMatrix, DenseVcAllocator, OutVc, SparseVcAllocator, SpecMode,
-    SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests, VcAllocSpec, VcAllocator,
-    VcRequest,
+    AllocatorKind, BitMatrix, DenseVcAllocator, OutVc, SparseVcAllocator, SpecAllocResult,
+    SpecMode, SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests, VcAllocSpec,
+    VcAllocator, VcRequest,
 };
 use noc_obs::{
     FlitEvent, FlitEventKind, NopProfiler, NopSink, Phase, PhaseProfiler, RouterObs, TraceSink,
@@ -87,6 +87,75 @@ pub struct RouterOutputs {
     pub credits: Vec<(usize, usize)>,
 }
 
+impl RouterOutputs {
+    /// Empties both lists, keeping their capacity for reuse next cycle.
+    pub fn clear(&mut self) {
+        self.flits.clear();
+        self.credits.clear();
+    }
+
+    /// True when the cycle produced neither flits nor credits.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty() && self.credits.is_empty()
+    }
+}
+
+/// Reusable per-cycle buffers for the router hot path. Everything a step
+/// needs — stall-attribution flags, VC-allocation requests and grants, the
+/// free-VC map, switch request matrices and grant lists — lives here, so
+/// steady-state stepping performs no heap allocation.
+struct StepScratch {
+    /// Input VCs that pushed a flit into the switch this cycle.
+    moved: Vec<bool>,
+    /// Input VCs granted an output VC this cycle.
+    va_winner: Vec<bool>,
+    /// Input VCs whose non-speculative bid was blocked on credits.
+    credit_blocked: Vec<bool>,
+    /// Input VCs that issued a non-speculative switch request.
+    bid: Vec<bool>,
+    /// Input VCs that issued a speculative switch request.
+    spec_bid: Vec<bool>,
+    /// Input VCs that won the switch for next cycle.
+    granted: Vec<bool>,
+    /// VC-allocation request per input VC (live entries recycled through
+    /// `spare_reqs` so their `classes` vectors keep their allocation).
+    vca_reqs: Vec<Option<VcRequest>>,
+    spare_reqs: Vec<VcRequest>,
+    /// Free output-VC map handed to the VC allocator.
+    free: BitMatrix,
+    /// VC-allocation grants (filled by `allocate_into`).
+    vca_grants: Vec<Option<OutVc>>,
+    /// Non-speculative and speculative switch request matrices.
+    nonspec: SwitchRequests,
+    spec: SwitchRequests,
+    /// Speculative switch allocation result (filled by `allocate_into`).
+    sa_result: SpecAllocResult,
+    /// Swap buffer for the ST stage so `st_stage` keeps its capacity.
+    st_prev: Vec<(usize, usize)>,
+}
+
+impl StepScratch {
+    fn new(ports: usize, vcs: usize) -> Self {
+        let n = ports * vcs;
+        StepScratch {
+            moved: vec![false; n],
+            va_winner: vec![false; n],
+            credit_blocked: vec![false; n],
+            bid: vec![false; n],
+            spec_bid: vec![false; n],
+            granted: vec![false; n],
+            vca_reqs: vec![None; n],
+            spare_reqs: Vec::new(),
+            free: BitMatrix::new(ports, vcs),
+            vca_grants: Vec::new(),
+            nonspec: SwitchRequests::new(ports, vcs),
+            spec: SwitchRequests::new(ports, vcs),
+            sa_result: SpecAllocResult::default(),
+            st_prev: Vec::new(),
+        }
+    }
+}
+
 /// Counters for the speculation-efficiency analysis (§5.2).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RouterStats {
@@ -132,6 +201,12 @@ pub struct Router {
     /// Switch grants issued last cycle, traversing this cycle:
     /// `(input flat id, output port)`.
     st_stage: Vec<(usize, usize)>,
+    /// Reusable per-cycle buffers.
+    scratch: StepScratch,
+    /// Cycles the active-set engine skipped this router for, still owed to
+    /// the per-VC `empty` stall counters (reconciled lazily by
+    /// [`Router::flush_skipped`]).
+    skipped_cycles: u64,
     /// Statistics.
     pub stats: RouterStats,
     /// Always-on observability counters (per-port flit counts and
@@ -166,6 +241,8 @@ impl Router {
             vca,
             sa,
             st_stage: Vec::new(),
+            scratch: StepScratch::new(ports, vcs),
+            skipped_cycles: 0,
             stats: RouterStats::default(),
             obs: RouterObs::new(ports, vcs),
             cfg,
@@ -254,6 +331,28 @@ impl Router {
         prof: &mut P,
     ) -> RouterOutputs {
         let mut out = RouterOutputs::default();
+        self.step_into(topo, now, &mut out, sink, prof);
+        out
+    }
+
+    /// Core of one router cycle, writing this cycle's link flits and
+    /// upstream credits into a caller-owned buffer (cleared first). All
+    /// intermediate state lives in the router's scratch arena, so in steady
+    /// state a step performs no heap allocation — the property the
+    /// `step_cycle` microbenchmark tracks. The two-phase engines call this
+    /// directly: it only mutates this router (and `out`), reading nothing
+    /// from other routers, which is what makes the compute phase safe to run
+    /// for all routers in parallel before any output is committed.
+    pub fn step_into<S: TraceSink, P: PhaseProfiler>(
+        &mut self,
+        topo: &Topology,
+        now: u64,
+        out: &mut RouterOutputs,
+        sink: &mut S,
+        prof: &mut P,
+    ) {
+        out.clear();
+        self.flush_skipped();
         let v = self.vcs;
         let n = self.ports * v;
         let id = self.id as u32;
@@ -276,15 +375,16 @@ impl Router {
 
         // Input VCs that pushed a flit into the switch this cycle (for
         // stall attribution).
-        let mut moved = vec![false; n];
+        self.scratch.moved.fill(false);
 
         // ---- Stage 2: switch traversal of last cycle's grants ----------
         let st_timer = P::ACTIVE.then(Instant::now);
         let mut route_nanos = 0u64;
         let mut route_events = 0u64;
-        let grants = std::mem::take(&mut self.st_stage);
-        let st_flits = grants.len() as u64;
-        for (in_flat, out_port) in grants {
+        // Swap (not take) so both grant buffers keep their capacity.
+        std::mem::swap(&mut self.st_stage, &mut self.scratch.st_prev);
+        let st_flits = self.scratch.st_prev.len() as u64;
+        for &(in_flat, out_port) in &self.scratch.st_prev {
             let Some(out_flat) = self.in_out_vc[in_flat] else {
                 unreachable!("ST without an output VC")
             };
@@ -300,7 +400,7 @@ impl Router {
                 self.out_vc[out_flat].owner = None;
                 self.in_out_vc[in_flat] = None;
             }
-            moved[in_flat] = true;
+            self.scratch.moved[in_flat] = true;
             self.obs.out_flits[out_port] += 1;
             // Lookahead routing for the next router (head flits on network
             // links only; ejected flits need no further routing).
@@ -340,6 +440,7 @@ impl Router {
                 flit,
             });
         }
+        self.scratch.st_prev.clear();
         if let Some(t) = st_timer {
             // Lookahead route computation happens *during* traversal, so
             // attribute its share separately and the remainder to ST.
@@ -354,7 +455,12 @@ impl Router {
 
         // ---- Stage 1a: VC allocation ------------------------------------
         let va_timer = P::ACTIVE.then(Instant::now);
-        let mut vca_reqs: Vec<Option<VcRequest>> = vec![None; n];
+        for slot in self.scratch.vca_reqs.iter_mut() {
+            if let Some(r) = slot.take() {
+                self.scratch.spare_reqs.push(r);
+            }
+        }
+        let mut any_vca = false;
         for in_flat in 0..n {
             if self.in_out_vc[in_flat].is_some() {
                 continue;
@@ -365,34 +471,47 @@ impl Router {
                     "router {}: body flit at head of VC without output VC",
                     self.id
                 );
-                vca_reqs[in_flat] = Some(VcRequest::one_class(
-                    f.lookahead.out_port,
-                    f.lookahead.resource_class,
-                ));
+                let mut req = self.scratch.spare_reqs.pop().unwrap_or_else(|| VcRequest {
+                    out_port: 0,
+                    classes: Vec::new(),
+                });
+                req.out_port = f.lookahead.out_port;
+                req.classes.clear();
+                req.classes.push(f.lookahead.resource_class);
+                self.scratch.vca_reqs[in_flat] = Some(req);
+                any_vca = true;
                 self.stats.vca_requests += 1;
                 trace!(FlitEventKind::VcaRequest, in_flat / v, in_flat % v, f);
             }
         }
-        let mut va_winner = vec![false; n];
-        if vca_reqs.iter().any(Option::is_some) {
-            let mut free = BitMatrix::new(self.ports, v);
+        self.scratch.va_winner.fill(false);
+        if any_vca {
+            self.scratch.free.clear();
             for p in 0..self.ports {
                 for vc in 0..v {
                     if self.out_vc[p * v + vc].owner.is_none() {
-                        free.set(p, vc, true);
+                        self.scratch.free.set(p, vc, true);
                     }
                 }
             }
-            let grants = self.vca.allocate(&vca_reqs, &free);
-            debug_assert!(
-                noc_core::validate_vc_grants(&self.cfg.spec, &vca_reqs, &free, &grants).is_ok()
+            self.vca.allocate_into(
+                &self.scratch.vca_reqs,
+                &self.scratch.free,
+                &mut self.scratch.vca_grants,
             );
-            for (in_flat, g) in grants.iter().enumerate() {
-                if let Some(OutVc { port, vc }) = g {
+            debug_assert!(noc_core::validate_vc_grants(
+                &self.cfg.spec,
+                &self.scratch.vca_reqs,
+                &self.scratch.free,
+                &self.scratch.vca_grants
+            )
+            .is_ok());
+            for in_flat in 0..n {
+                if let Some(OutVc { port, vc }) = self.scratch.vca_grants[in_flat] {
                     let out_flat = port * v + vc;
                     self.in_out_vc[in_flat] = Some(out_flat);
                     self.out_vc[out_flat].owner = Some(in_flat);
-                    va_winner[in_flat] = true;
+                    self.scratch.va_winner[in_flat] = true;
                     self.stats.vca_grants += 1;
                     if S::ACTIVE {
                         if let Some(f) = self.in_buf[in_flat].front() {
@@ -404,38 +523,40 @@ impl Router {
         }
 
         if let Some(t) = va_timer {
-            let reqs = vca_reqs.iter().filter(|r| r.is_some()).count() as u64;
+            let reqs = self.scratch.vca_reqs.iter().filter(|r| r.is_some()).count() as u64;
             prof.record(Phase::VcAlloc, t.elapsed().as_nanos() as u64, reqs);
         }
 
         // ---- Stage 1b: switch allocation --------------------------------
         let sa_timer = P::ACTIVE.then(Instant::now);
-        let mut nonspec = SwitchRequests::new(self.ports, v);
-        let mut spec = SwitchRequests::new(self.ports, v);
+        self.scratch.nonspec.clear();
+        self.scratch.spec.clear();
         let mut any_req = false;
         // Stall attribution inputs: why each input VC did (or could) bid.
-        let mut credit_blocked = vec![false; n];
-        let mut bid = vec![false; n];
-        let mut spec_bid = vec![false; n];
+        self.scratch.credit_blocked.fill(false);
+        self.scratch.bid.fill(false);
+        self.scratch.spec_bid.fill(false);
         for in_flat in 0..n {
             if self.in_buf[in_flat].is_empty() {
                 continue;
             }
             match self.in_out_vc[in_flat] {
-                Some(out_flat) if !va_winner[in_flat] => {
+                Some(out_flat) if !self.scratch.va_winner[in_flat] => {
                     // Established packet: non-speculative request, gated on
                     // credit availability.
                     if self.out_vc[out_flat].credits > 0 {
-                        nonspec.request(in_flat / v, in_flat % v, out_flat / v);
+                        self.scratch
+                            .nonspec
+                            .request(in_flat / v, in_flat % v, out_flat / v);
                         any_req = true;
-                        bid[in_flat] = true;
+                        self.scratch.bid[in_flat] = true;
                         if S::ACTIVE {
                             if let Some(f) = self.in_buf[in_flat].front() {
                                 trace!(FlitEventKind::SaRequest, in_flat / v, in_flat % v, f);
                             }
                         }
                     } else {
-                        credit_blocked[in_flat] = true;
+                        self.scratch.credit_blocked[in_flat] = true;
                     }
                 }
                 _ => {
@@ -444,10 +565,14 @@ impl Router {
                     // parallel with VA so it cannot depend on its outcome.
                     if self.cfg.spec_mode != SpecMode::NonSpeculative {
                         if let Some(f) = self.in_buf[in_flat].front() {
-                            if f.head || va_winner[in_flat] {
-                                spec.request(in_flat / v, in_flat % v, f.lookahead.out_port);
+                            if f.head || self.scratch.va_winner[in_flat] {
+                                self.scratch.spec.request(
+                                    in_flat / v,
+                                    in_flat % v,
+                                    f.lookahead.out_port,
+                                );
                                 any_req = true;
-                                spec_bid[in_flat] = true;
+                                self.scratch.spec_bid[in_flat] = true;
                                 self.stats.spec_requests += 1;
                                 trace!(FlitEventKind::SaSpecRequest, in_flat / v, in_flat % v, f);
                             }
@@ -456,9 +581,14 @@ impl Router {
                 }
             }
         }
-        let mut granted = vec![false; n];
+        self.scratch.granted.fill(false);
         if any_req {
-            let res = self.sa.allocate(&nonspec, &spec);
+            self.sa.allocate_into(
+                &self.scratch.nonspec,
+                &self.scratch.spec,
+                &mut self.scratch.sa_result,
+            );
+            let res = &self.scratch.sa_result;
             self.stats.spec_masked += res.masked.len() as u64;
             if S::ACTIVE {
                 for g in &res.masked {
@@ -471,7 +601,7 @@ impl Router {
             for g in &res.nonspec {
                 self.stats.nonspec_grants += 1;
                 let in_flat = g.in_port * v + g.vc;
-                granted[in_flat] = true;
+                self.scratch.granted[in_flat] = true;
                 self.st_stage.push((in_flat, g.out_port));
                 if S::ACTIVE {
                     if let Some(f) = self.in_buf[in_flat].front() {
@@ -483,12 +613,12 @@ impl Router {
                 let in_flat = g.in_port * v + g.vc;
                 // Validate: the VC must have won VC allocation this very
                 // cycle for the same output port, with a credit available.
-                let valid = va_winner[in_flat]
+                let valid = self.scratch.va_winner[in_flat]
                     && self.in_out_vc[in_flat]
                         .is_some_and(|of| of / v == g.out_port && self.out_vc[of].credits > 0);
                 let kind = if valid {
                     self.stats.spec_grants += 1;
-                    granted[in_flat] = true;
+                    self.scratch.granted[in_flat] = true;
                     self.st_stage.push((in_flat, g.out_port));
                     FlitEventKind::SaSpecGrant
                 } else {
@@ -503,7 +633,13 @@ impl Router {
             }
         }
         if let Some(t) = sa_timer {
-            let reqs = bid.iter().chain(&spec_bid).filter(|&&b| b).count() as u64;
+            let reqs = self
+                .scratch
+                .bid
+                .iter()
+                .chain(&self.scratch.spec_bid)
+                .filter(|&&b| b)
+                .count() as u64;
             prof.record(Phase::SwAlloc, t.elapsed().as_nanos() as u64, reqs);
         }
 
@@ -514,13 +650,15 @@ impl Router {
         // refused it this cycle.
         for in_flat in 0..n {
             let s = &mut self.obs.vc[in_flat];
-            if moved[in_flat] || granted[in_flat] {
+            if self.scratch.moved[in_flat] || self.scratch.granted[in_flat] {
                 s.active += 1;
             } else if self.in_buf[in_flat].is_empty() {
                 s.empty += 1;
-            } else if credit_blocked[in_flat] {
+            } else if self.scratch.credit_blocked[in_flat] {
                 s.credit_stall += 1;
-            } else if bid[in_flat] || (spec_bid[in_flat] && va_winner[in_flat]) {
+            } else if self.scratch.bid[in_flat]
+                || (self.scratch.spec_bid[in_flat] && self.scratch.va_winner[in_flat])
+            {
                 // Bid for the switch with all resources in hand, lost
                 // arbitration (or, for a fresh VA winner, lost / was masked
                 // on the speculative path).
@@ -530,7 +668,26 @@ impl Router {
                 s.vca_stall += 1;
             }
         }
-        out
+    }
+
+    /// Records that the active-set engine skipped this router for a cycle.
+    /// A skippable router is fully idle, so the only observable effect of
+    /// the skipped step — one `empty` stall count per input VC — is owed to
+    /// `obs` and settled lazily by [`Router::flush_skipped`].
+    pub fn note_skipped(&mut self) {
+        debug_assert!(self.is_idle(), "active-set engine skipped a busy router");
+        self.skipped_cycles += 1;
+    }
+
+    /// Settles stall-attribution debt from skipped cycles. Called at the
+    /// start of every real step and before any observability read-out.
+    pub fn flush_skipped(&mut self) {
+        if self.skipped_cycles > 0 {
+            for s in self.obs.vc.iter_mut() {
+                s.empty += self.skipped_cycles;
+            }
+            self.skipped_cycles = 0;
+        }
     }
 
     /// Runs the router-local runtime invariants against the post-step

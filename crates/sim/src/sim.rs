@@ -11,7 +11,7 @@ use noc_obs::{
 };
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Average latency beyond which a run is declared saturated.
@@ -167,6 +167,82 @@ impl SimResult {
     }
 }
 
+/// Simulation engine: how [`run_sim_engine`] drives the network's cycle
+/// loop. All engines are cycle-identical — same flit movements, same
+/// statistics, same trace digests (proven by `tests/engine_equivalence.rs`)
+/// — and differ only in wall-clock speed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Classic in-order step loop.
+    Sequential,
+    /// Two-phase compute/commit with a persistent worker pool of the given
+    /// size; `Parallel(0)` sizes the pool to the available cores.
+    Parallel(usize),
+    /// Sequential two-phase step that skips idle routers (fastest at low
+    /// load, where most routers are empty most cycles).
+    ActiveSet,
+}
+
+impl Engine {
+    /// Parses a CLI engine name: `seq`, `par`, `active`, or `auto` (which
+    /// resolves to `par` on multi-core hosts and `seq` otherwise).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "seq" | "sequential" => Some(Engine::Sequential),
+            "par" | "parallel" => Some(Engine::Parallel(0)),
+            "active" | "active-set" => Some(Engine::ActiveSet),
+            "auto" => Some(Engine::auto()),
+            _ => None,
+        }
+    }
+
+    /// The engine `auto` picks for this host.
+    pub fn auto() -> Engine {
+        match std::thread::available_parallelism() {
+            Ok(p) if p.get() >= 2 => Engine::Parallel(0),
+            _ => Engine::Sequential,
+        }
+    }
+
+    /// Worker-pool size the parallel engine will use (1 for the others).
+    pub fn threads(self) -> usize {
+        match self {
+            Engine::Parallel(0) => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            Engine::Parallel(t) => t,
+            _ => 1,
+        }
+    }
+
+    /// Short name for reports and bench records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Sequential => "seq",
+            Engine::Parallel(_) => "par",
+            Engine::ActiveSet => "active",
+        }
+    }
+
+    /// Drives `net` for `cycles` cycles on this engine.
+    pub fn run<S: TraceSink>(self, net: &mut Network<S>, cycles: u64) {
+        match self {
+            Engine::Sequential => net.run(cycles),
+            Engine::Parallel(_) => net.run_parallel(cycles, self.threads()),
+            Engine::ActiveSet => net.run_active(cycles),
+        }
+    }
+}
+
+/// As [`run_sim`], but driving the cycle loop with the chosen [`Engine`].
+/// The result is bit-identical across engines.
+pub fn run_sim_engine(cfg: &SimConfig, warmup: u64, measure: u64, engine: Engine) -> SimResult {
+    let mut net = Network::new(cfg.clone());
+    net.stats.set_window(warmup, warmup + measure);
+    engine.run(&mut net, warmup + measure);
+    summarize(&net)
+}
+
 /// Everything produced by an observed run: the summary, the sink with its
 /// recorded events, the sampled time series, and each router's counters.
 pub struct ObservedRun<S: TraceSink> {
@@ -279,6 +355,10 @@ fn timeline_window_for(total: u64) -> u64 {
 /// results in index order. Shared by [`latency_curve`] and
 /// [`run_sim_replicated`]; previously every job spawned its own thread,
 /// which oversubscribed small CI machines on wide sweeps.
+///
+/// A panicking job aborts the pool and re-raises the panic on the calling
+/// thread with the originating job index and the original payload, instead
+/// of surfacing later as an inexplicable missing result.
 pub fn run_many<T, F>(jobs: usize, f: F) -> Vec<T>
 where
     T: Send + Sync,
@@ -293,6 +373,8 @@ where
         .min(jobs);
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<T>> = (0..jobs).map(|_| OnceLock::new()).collect();
+    type Failure = Option<(usize, Box<dyn std::any::Any + Send>)>;
+    let failure: Mutex<Failure> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -300,17 +382,37 @@ where
                 if i >= jobs {
                     break;
                 }
-                if slots[i].set(f(i)).is_err() {
-                    unreachable!("job {i} claimed twice");
+                // Catch instead of letting the scope propagate: the scope
+                // would surface "a scoped thread panicked" with no hint of
+                // which job died.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => {
+                        if slots[i].set(v).is_err() {
+                            unreachable!("job {i} claimed twice");
+                        }
+                    }
+                    Err(payload) => {
+                        let mut fail = failure.lock().unwrap_or_else(|e| e.into_inner());
+                        fail.get_or_insert((i, payload));
+                        break;
+                    }
                 }
             });
         }
     });
+    if let Some((i, payload)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        panic!("run_many job {i} panicked: {msg}");
+    }
     slots
         .into_iter()
         .map(|s| {
-            // `thread::scope` propagates worker panics, so every slot is
-            // filled once the scope returns.
+            // Workers either fill their slot or record a failure, and a
+            // failure re-raised above, so every slot is filled here.
             s.into_inner()
                 .unwrap_or_else(|| unreachable!("scoped workers fill every slot before join"))
         })
@@ -530,6 +632,53 @@ mod tests {
             "accepted {} vs offered 0.2",
             r.throughput
         );
+    }
+
+    #[test]
+    fn run_many_propagates_worker_panics_with_job_index() {
+        let result = std::panic::catch_unwind(|| {
+            run_many(8, |i| {
+                if i == 5 {
+                    panic!("boom at job {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("job 5"), "message should name the job: {msg}");
+        assert!(
+            msg.contains("boom at job 5"),
+            "message should carry the original payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn engine_parse_covers_cli_names() {
+        assert_eq!(Engine::parse("seq"), Some(Engine::Sequential));
+        assert_eq!(Engine::parse("par"), Some(Engine::Parallel(0)));
+        assert_eq!(Engine::parse("active"), Some(Engine::ActiveSet));
+        assert!(Engine::parse("auto").is_some());
+        assert_eq!(Engine::parse("warp"), None);
+        assert!(Engine::Parallel(0).threads() >= 1);
+        assert_eq!(Engine::Parallel(3).threads(), 3);
+        assert_eq!(Engine::Sequential.label(), "seq");
+    }
+
+    #[test]
+    fn engines_agree_on_a_short_run() {
+        let cfg = SimConfig {
+            injection_rate: 0.1,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let seq = run_sim_engine(&cfg, 500, 1_500, Engine::Sequential);
+        let par = run_sim_engine(&cfg, 500, 1_500, Engine::Parallel(4));
+        let act = run_sim_engine(&cfg, 500, 1_500, Engine::ActiveSet);
+        assert_eq!(seq.to_json(), par.to_json());
+        assert_eq!(seq.to_json(), act.to_json());
     }
 
     #[test]

@@ -20,8 +20,8 @@ use noc_check::{check_design, check_fixture, fixtures, RouteModel};
 use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
 use noc_obs::{chrome_trace, metrics_csv, metrics_jsonl, VecSink, PHASES};
 use noc_sim::{
-    run_sim, run_sim_observed, run_sim_profiled, run_sim_replicated, run_sim_verified, SimConfig,
-    TopologyKind, TrafficPattern,
+    run_sim_engine, run_sim_observed, run_sim_profiled, run_sim_replicated, run_sim_verified,
+    Engine, SimConfig, TopologyKind, TrafficPattern,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -35,10 +35,11 @@ USAGE:
               [--buf-depth N] [--burst B] [--warmup N] [--measure N] [--seed S]
               [--seeds N] [--profile] [--trace FILE] [--metrics FILE]
               [--sample-interval N] [--json] [--verify]
+              [--engine seq|par|active|auto] [--threads N]
   noc check   [--topology mesh|fbfly|torus] [--vcs C] [--all]
               [--fixture no-dateline|cyclic-vc]
   noc bench   [--quick] [--out DIR] [--baseline FILE] [--tolerance PCT]
-              [--reps N]
+              [--reps N] [--engine seq|par|active|auto] [--threads N]
   noc synth   (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--alloc KIND]
               [--dense] [--spec nonspec|spec_gnt|spec_req]
   noc quality (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--rate R]
@@ -57,6 +58,15 @@ Observability (noc sim):
                           selects JSON lines, anything else CSV
   --sample-interval N     gauge sampling period in cycles (default 100)
   --json                  print the run summary as one JSON object
+
+Performance engines (noc sim, noc bench):
+  --engine NAME           cycle-loop engine: seq (in-order reference), par
+                          (two-phase step, router compute sharded across a
+                          worker pool), active (skips idle routers), auto
+                          (par on multi-core hosts). All engines are
+                          cycle-identical; only wall-clock speed differs.
+  --threads N             worker-pool size for --engine par (default: all
+                          available cores)
 
 Statistics (noc sim):
   --seeds N               replicate the run over N seeds: auto-detected
@@ -195,6 +205,25 @@ impl Args {
         }
     }
 
+    fn engine(&self) -> Result<Engine, String> {
+        let engine = match self.flags.get("engine").map(String::as_str) {
+            None => Engine::Sequential,
+            Some(name) => Engine::parse(name)
+                .ok_or_else(|| format!("unknown engine '{name}' (seq|par|active|auto)"))?,
+        };
+        match (engine, self.flags.get("threads")) {
+            (Engine::Parallel(_), Some(_)) => {
+                let t: usize = self.get("threads", 0)?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                Ok(Engine::Parallel(t))
+            }
+            (_, Some(_)) => Err("--threads requires --engine par".to_string()),
+            (engine, None) => Ok(engine),
+        }
+    }
+
     fn pattern(&self) -> Result<TrafficPattern, String> {
         match self.flags.get("pattern").map(String::as_str) {
             None | Some("uniform") => Ok(TrafficPattern::UniformRandom),
@@ -227,6 +256,7 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     let seeds: usize = args.get("seeds", 1usize)?;
     let want_profile = args.flags.contains_key("profile");
     let want_verify = args.flags.contains_key("verify");
+    let engine = args.engine()?;
     if seeds > 1 && (want_profile || trace_path.is_some() || metrics_path.is_some()) {
         return Err("--seeds cannot be combined with --profile, --trace or --metrics".to_string());
     }
@@ -236,12 +266,26 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
             "--verify cannot be combined with --seeds, --profile, --trace or --metrics".to_string(),
         );
     }
+    if engine != Engine::Sequential
+        && (seeds > 1
+            || want_profile
+            || want_verify
+            || trace_path.is_some()
+            || metrics_path.is_some())
+    {
+        return Err(
+            "--engine par/active applies to plain runs; drop --seeds/--profile/--verify/--trace/\
+             --metrics (results are engine-independent anyway)"
+                .to_string(),
+        );
+    }
     eprintln!(
-        "simulating {} @ {} flits/cycle/terminal ({} + {} cycles)...",
+        "simulating {} @ {} flits/cycle/terminal ({} + {} cycles, engine {})...",
         cfg.label(),
         cfg.injection_rate,
         warmup,
-        measure
+        measure,
+        engine.label()
     );
     let mut profile = None;
     let mut verify_report = None;
@@ -281,7 +325,7 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         profile = Some(prof);
         r
     } else {
-        run_sim(&cfg, warmup, measure)
+        run_sim_engine(&cfg, warmup, measure, engine)
     };
     if let Some(rep) = &verify_report {
         eprintln!(
@@ -427,12 +471,14 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         BenchParams::full()
     };
     params.reps = args.get("reps", params.reps)?;
+    params.engine = args.engine()?;
     let out_dir: String = args.get("out", ".".to_string())?;
     let tolerance: f64 = args.get("tolerance", 15.0)?;
     eprintln!(
-        "running bench matrix ({} mode, {} rep(s) per workload)...",
+        "running bench matrix ({} mode, {} rep(s) per workload, engine {})...",
         if params.quick { "quick" } else { "full" },
-        params.reps
+        params.reps,
+        params.engine.label()
     );
     let report = run_bench(&params, |line| eprintln!("  {line}"));
     let path = std::path::Path::new(&out_dir).join(report_filename(report.created_unix));
@@ -692,6 +738,31 @@ mod tests {
         assert!(fixtures::by_name("no-dateline", 2).is_some());
         assert!(fixtures::by_name("cyclic-vc", 2).is_some());
         assert!(fixtures::by_name("bogus", 2).is_none());
+    }
+
+    #[test]
+    fn engine_flag_parses_and_validates() {
+        assert_eq!(args("sim").engine().unwrap(), Engine::Sequential);
+        assert_eq!(
+            args("sim --engine seq").engine().unwrap(),
+            Engine::Sequential
+        );
+        assert_eq!(
+            args("sim --engine par").engine().unwrap(),
+            Engine::Parallel(0)
+        );
+        assert_eq!(
+            args("sim --engine par --threads 4").engine().unwrap(),
+            Engine::Parallel(4)
+        );
+        assert_eq!(
+            args("bench --engine active").engine().unwrap(),
+            Engine::ActiveSet
+        );
+        assert!(args("bench --engine auto").engine().is_ok());
+        assert!(args("sim --engine warp").engine().is_err());
+        assert!(args("sim --engine seq --threads 4").engine().is_err());
+        assert!(args("sim --engine par --threads 0").engine().is_err());
     }
 
     #[test]

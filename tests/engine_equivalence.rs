@@ -1,0 +1,134 @@
+//! Differential tests proving the fast-path engines cycle-exact.
+//!
+//! The two-phase parallel engine and the active-set (idle-router-skipping)
+//! engine exist purely for speed; they must be *bit-identical* to the
+//! sequential reference on every workload. Two layers of evidence:
+//!
+//! 1. **Result equivalence** — the full bench workload matrix (mesh and
+//!    flattened butterfly, every injection rate), three seeds each, run on
+//!    all three engines: the `SimResult` JSON must match byte for byte.
+//! 2. **Trace equivalence** — the same workloads run with a [`DigestSink`]
+//!    attached: the order-sensitive FNV-1a digest over every flit event
+//!    must match, and on a mismatch the test names the first diverging
+//!    cycle so the bug is bisectable.
+
+use noc_bench::workload_matrix;
+use noc_obs::DigestSink;
+use noc_sim::{run_sim_engine, Engine, Network, SimConfig};
+
+const WARMUP: u64 = 500;
+const MEASURE: u64 = 1500;
+const TRACE_CYCLES: u64 = 1000;
+const SEEDS: u64 = 3;
+
+/// The non-reference engines under test. Four worker threads exercises
+/// real sharding even on smaller CI hosts (the pool clamps to the router
+/// count anyway).
+fn fast_engines() -> [Engine; 2] {
+    [Engine::Parallel(4), Engine::ActiveSet]
+}
+
+fn seeded(cfg: &SimConfig, off: u64) -> SimConfig {
+    let mut cfg = cfg.clone();
+    cfg.seed = cfg.seed.wrapping_add(off);
+    cfg
+}
+
+/// Layer 1: identical `SimResult` JSON across engines for every workload
+/// with the given name prefix, across seeds.
+fn assert_results_identical(prefix: &str) {
+    for (name, cfg) in workload_matrix() {
+        if !name.starts_with(prefix) {
+            continue;
+        }
+        for off in 0..SEEDS {
+            let cfg = seeded(&cfg, off);
+            let reference = run_sim_engine(&cfg, WARMUP, MEASURE, Engine::Sequential).to_json();
+            for engine in fast_engines() {
+                let got = run_sim_engine(&cfg, WARMUP, MEASURE, engine).to_json();
+                assert_eq!(
+                    got,
+                    reference,
+                    "{name} seed+{off}: engine '{}' diverged from sequential SimResult",
+                    engine.label()
+                );
+            }
+        }
+    }
+}
+
+/// Runs `cfg` for `cycles` cycles on `engine` with a digest sink attached
+/// and returns the finished sink.
+fn trace_digest(cfg: &SimConfig, engine: Engine, cycles: u64) -> DigestSink {
+    let mut net = Network::with_sink(cfg.clone(), DigestSink::with_cycle_digests());
+    engine.run(&mut net, cycles);
+    let mut sink = net.sink;
+    sink.finish_cycles(cycles);
+    sink
+}
+
+/// Layer 2: identical flit-event digests across engines; a mismatch
+/// reports the first cycle whose cumulative digest differs.
+fn assert_traces_identical(prefix: &str) {
+    for (name, cfg) in workload_matrix() {
+        if !name.starts_with(prefix) {
+            continue;
+        }
+        let reference = trace_digest(&cfg, Engine::Sequential, TRACE_CYCLES);
+        for engine in fast_engines() {
+            let got = trace_digest(&cfg, engine, TRACE_CYCLES);
+            if got.digest() != reference.digest() {
+                let cycle =
+                    DigestSink::first_divergence(got.cycle_digests(), reference.cycle_digests());
+                panic!(
+                    "{name}: engine '{}' trace digest {:#018x} != sequential {:#018x} \
+                     ({} vs {} events); first diverging cycle: {:?}",
+                    engine.label(),
+                    got.digest(),
+                    reference.digest(),
+                    got.events(),
+                    reference.events(),
+                    cycle
+                );
+            }
+            assert_eq!(
+                got.events(),
+                reference.events(),
+                "{name}: engine '{}' event count diverged with equal digests",
+                engine.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_results_bit_identical_across_engines() {
+    assert_results_identical("mesh8x8");
+}
+
+#[test]
+fn fbfly_results_bit_identical_across_engines() {
+    assert_results_identical("fbfly4x4");
+}
+
+#[test]
+fn mesh_flit_traces_identical_across_engines() {
+    assert_traces_identical("mesh8x8");
+}
+
+#[test]
+fn fbfly_flit_traces_identical_across_engines() {
+    assert_traces_identical("fbfly4x4");
+}
+
+/// The parallel engine must give the same answer whatever the worker
+/// count — sharding is a performance knob, not a semantic one.
+#[test]
+fn parallel_engine_thread_count_does_not_change_results() {
+    let (name, cfg) = workload_matrix().swap_remove(1);
+    let reference = run_sim_engine(&cfg, WARMUP, MEASURE, Engine::Sequential).to_json();
+    for threads in [1, 2, 3, 7, 64, 200] {
+        let got = run_sim_engine(&cfg, WARMUP, MEASURE, Engine::Parallel(threads)).to_json();
+        assert_eq!(got, reference, "{name}: {threads} threads diverged");
+    }
+}
