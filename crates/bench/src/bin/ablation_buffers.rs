@@ -2,12 +2,14 @@
 //! buffers; this sweep shows saturation throughput sensitivity to 4/8/16.
 
 use noc_bench::env_usize;
-use noc_sim::sim::saturation_rate;
+use noc_bench::sweep::env_runner;
+use noc_sim::sim::saturation_rate_with;
 use noc_sim::{SimConfig, TopologyKind};
 
 fn main() {
     let warmup = env_usize("NOC_WARMUP", 2000) as u64;
     let measure = env_usize("NOC_MEASURE", 4000) as u64;
+    let run = env_runner();
     println!("{:<14} {:>6} {:>12}", "config", "depth", "saturation");
     for (topo, c) in [
         (TopologyKind::Mesh8x8, 2usize),
@@ -18,7 +20,7 @@ fn main() {
                 buf_depth: depth,
                 ..SimConfig::paper_baseline(topo, c)
             };
-            let sat = saturation_rate(&cfg, warmup, measure);
+            let sat = saturation_rate_with(&cfg, warmup, measure, &*run);
             println!("{:<14} {:>6} {:>12.3}", cfg.label(), depth, sat);
         }
     }

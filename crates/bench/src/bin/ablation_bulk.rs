@@ -8,13 +8,15 @@
 //! increasingly bursty traffic.
 
 use noc_bench::env_usize;
+use noc_bench::sweep::env_runner;
 use noc_core::SwitchAllocatorKind;
-use noc_sim::sim::saturation_rate;
+use noc_sim::sim::saturation_rate_with;
 use noc_sim::{SimConfig, TopologyKind};
 
 fn main() {
     let warmup = env_usize("NOC_WARMUP", 2000) as u64;
     let measure = env_usize("NOC_MEASURE", 4000) as u64;
+    let run = env_runner();
     println!("fbfly 2x2x4, saturation throughput vs burst size:");
     println!("{:<8} {:>7} {:>12}", "alloc", "burst", "saturation");
     for burst in [1usize, 4, 8] {
@@ -31,7 +33,7 @@ fn main() {
                 burst,
                 ..SimConfig::paper_baseline(TopologyKind::FlattenedButterfly4x4, 4)
             };
-            let sat = saturation_rate(&cfg, warmup, measure);
+            let sat = saturation_rate_with(&cfg, warmup, measure, &*run);
             println!("{:<8} {:>7} {:>12.3}", label, burst, sat);
             sats.push(sat);
         }

@@ -1,49 +1,17 @@
 //! Ablation: speculation efficiency (§5.2's pessimism argument, measured
 //! directly). Tracks the fraction of speculative switch grants that are
 //! discarded — by the masking stage and by failed validation — as load
-//! rises, for the conventional and pessimistic schemes.
+//! rises, for the conventional and pessimistic schemes. See `fig13` for
+//! the `NOC_SWEEP_CACHE` cache-backed mode.
 
 use noc_bench::env_usize;
-use noc_core::SpecMode;
-use noc_sim::{run_sim, SimConfig, TopologyKind};
+use noc_bench::sweep::{env_runner, render};
 
 fn main() {
     let warmup = env_usize("NOC_WARMUP", 2000) as u64;
     let measure = env_usize("NOC_MEASURE", 4000) as u64;
-    for (topo, c) in [
-        (TopologyKind::Mesh8x8, 1usize),
-        (TopologyKind::FlattenedButterfly4x4, 4),
-    ] {
-        let base = SimConfig::paper_baseline(topo, c);
-        println!("--- {} — speculative grant outcomes ---", base.label());
-        println!(
-            "{:<10} {:>6} {:>10} {:>10} {:>10} {:>10}",
-            "mode", "rate", "clean", "masked", "invalid", "kill_rate"
-        );
-        for mode in [SpecMode::Conventional, SpecMode::Pessimistic] {
-            for rate in [0.05, 0.15, 0.25, 0.35] {
-                let cfg = SimConfig {
-                    spec_mode: mode,
-                    injection_rate: rate,
-                    ..base.clone()
-                };
-                let r = run_sim(&cfg, warmup, measure);
-                let s = r.router_stats;
-                let total = s.spec_grants + s.spec_masked + s.spec_invalid;
-                let kill = (s.spec_masked + s.spec_invalid) as f64 / total.max(1) as f64;
-                println!(
-                    "{:<10} {:>6.2} {:>10} {:>10} {:>10} {:>9.1}%",
-                    mode.label(),
-                    rate,
-                    s.spec_grants,
-                    s.spec_masked,
-                    s.spec_invalid,
-                    kill * 100.0
-                );
-            }
-        }
-        println!();
-    }
-    println!("expectation (§5.2): kill rates converge at low load; the pessimistic");
-    println!("scheme discards a growing fraction as the network approaches saturation.");
+    print!(
+        "{}",
+        render::ablation_speculation(&*env_runner(), warmup, measure)
+    );
 }

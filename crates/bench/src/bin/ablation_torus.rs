@@ -4,22 +4,24 @@
 //! all-transitions resource-class relation (message-class split only).
 
 use noc_bench::env_usize;
+use noc_bench::sweep::env_runner;
 use noc_core::{AllocatorKind, VcAllocSpec};
 use noc_hw::builders::vc_alloc::synthesize_vc_allocator;
 use noc_hw::Synthesizer;
-use noc_sim::sim::{latency_curve, saturation_rate};
+use noc_sim::sim::{latency_curve_with, saturation_rate_with};
 use noc_sim::{SimConfig, TopologyKind};
 
 fn main() {
     let warmup = env_usize("NOC_WARMUP", 2000) as u64;
     let measure = env_usize("NOC_MEASURE", 4000) as u64;
+    let run = env_runner();
 
     println!("network comparison (2 VCs per class, uniform random):");
     println!("{:<8} {:>10} {:>12}", "topology", "zero-load", "saturation");
     for topo in [TopologyKind::Mesh8x8, TopologyKind::Torus8x8] {
         let base = SimConfig::paper_baseline(topo, 2);
-        let zl = latency_curve(&base, &[0.01], warmup, measure)[0].avg_latency;
-        let sat = saturation_rate(&base, warmup, measure);
+        let zl = latency_curve_with(&base, &[0.01], warmup, measure, &*run)[0].avg_latency;
+        let sat = saturation_rate_with(&base, warmup, measure, &*run);
         println!("{:<8} {:>10.2} {:>12.3}", topo.label(), zl, sat);
     }
 

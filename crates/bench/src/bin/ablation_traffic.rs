@@ -2,54 +2,17 @@
 //! conclusions are "largely invariant to traffic pattern selection").
 //!
 //! Repeats the Figure 13 comparison (sep_if vs wf switch allocator) on the
-//! flattened butterfly 2x2x2 under four synthetic patterns.
+//! flattened butterfly 2x2x2 under four synthetic patterns. See `fig13`
+//! for the `NOC_SWEEP_CACHE` cache-backed mode.
 
 use noc_bench::env_usize;
-use noc_core::SwitchAllocatorKind;
-use noc_sim::sim::latency_curve;
-use noc_sim::{SimConfig, TopologyKind, TrafficPattern};
+use noc_bench::sweep::{env_runner, render};
 
 fn main() {
     let warmup = env_usize("NOC_WARMUP", 2000) as u64;
     let measure = env_usize("NOC_MEASURE", 4000) as u64;
-    let base = SimConfig::paper_baseline(TopologyKind::FlattenedButterfly4x4, 2);
-    let rates: Vec<f64> = (1..=8).map(|i| 0.07 * i as f64).collect();
-    for pattern in [
-        TrafficPattern::UniformRandom,
-        TrafficPattern::BitComplement,
-        TrafficPattern::Transpose,
-        TrafficPattern::Tornado,
-    ] {
-        println!("--- {} traffic, fbfly 2x2x2 ---", pattern.label());
-        for (label, kind) in [
-            (
-                "sep_if",
-                SwitchAllocatorKind::SepIf(noc_arbiter::ArbiterKind::RoundRobin),
-            ),
-            ("wf", SwitchAllocatorKind::Wavefront),
-        ] {
-            let cfg = SimConfig {
-                pattern,
-                sa_kind: kind,
-                ..base.clone()
-            };
-            let curve = latency_curve(&cfg, &rates, warmup, measure);
-            print!("{label:<8}");
-            for r in &curve {
-                if r.stable {
-                    print!(" {:>7.1}", r.avg_latency);
-                } else {
-                    print!(" {:>7}", "sat");
-                }
-            }
-            let sat = curve
-                .iter()
-                .filter(|r| r.stable)
-                .map(|r| r.offered)
-                .fold(0.0, f64::max);
-            println!("  | saturation ~{sat:.3}");
-        }
-        println!();
-    }
-    println!("conclusion check: wf saturation >= sep_if saturation under every pattern.");
+    print!(
+        "{}",
+        render::ablation_traffic(&*env_runner(), warmup, measure)
+    );
 }

@@ -2,54 +2,18 @@
 //! switch-allocator architectures, on all six design points, plus the
 //! §5.3.3/§6 saturation-rate comparisons.
 //!
-//! `NOC_WARMUP`/`NOC_MEASURE` override the per-run cycle counts.
+//! `NOC_WARMUP`/`NOC_MEASURE` override the per-run cycle counts. The
+//! figure text is built by [`noc_bench::sweep::render::fig13`]; setting
+//! `NOC_SWEEP_CACHE=<dir>` serves every simulation from (and stores
+//! misses into) that content-addressed cache, which is how
+//! `noc sweep run --preset fig13` reproduces this output bit-identically
+//! without re-simulating.
 
-use noc_bench::figures::sa_latency_data;
-use noc_bench::{env_usize, fmt, DESIGN_POINTS};
+use noc_bench::env_usize;
+use noc_bench::sweep::{env_runner, render};
 
 fn main() {
     let warmup = env_usize("NOC_WARMUP", 3000) as u64;
     let measure = env_usize("NOC_MEASURE", 6000) as u64;
-    println!("warmup {warmup} / measure {measure} cycles per run\n");
-    for point in &DESIGN_POINTS {
-        println!(
-            "--- Figure 13({}): {} — latency (cycles) vs injection rate (flits/cycle) ---",
-            point.tag,
-            point.label()
-        );
-        let curves = sa_latency_data(point, warmup, measure);
-        print!("{:<8}", "rate");
-        for r in &curves[0].results {
-            print!(" {:>7.3}", r.offered);
-        }
-        println!();
-        for c in &curves {
-            print!("{:<8}", c.label);
-            for r in &c.results {
-                print!(
-                    " {:>7}",
-                    if r.stable {
-                        fmt(r.avg_latency)
-                    } else {
-                        "sat".into()
-                    }
-                );
-            }
-            println!(
-                "   | saturation ~{:.3}",
-                c.refined_saturation(warmup, measure)
-            );
-        }
-        let sat_if = curves[0].refined_saturation(warmup, measure);
-        let sat_wf = curves[2].refined_saturation(warmup, measure);
-        if sat_if > 0.0 {
-            println!(
-                "wf vs sep_if saturation: {:+.1}%",
-                (sat_wf / sat_if - 1.0) * 100.0
-            );
-        }
-        println!();
-    }
-    println!("paper reference points: wf ~= sep_if on mesh (<4% for 2x1x4);");
-    println!("wf +4% on fbfly 2x2x1; wf >+20% on fbfly 2x2x4.");
+    print!("{}", render::fig13(&*env_runner(), warmup, measure));
 }

@@ -1,65 +1,15 @@
 //! Figure 14: average packet latency vs injection rate for the three
 //! speculative switch-allocation schemes, plus the §5.3.3 zero-load and
 //! saturation summaries.
+//!
+//! `NOC_WARMUP`/`NOC_MEASURE` override the per-run cycle counts; see
+//! `fig13` for the `NOC_SWEEP_CACHE` cache-backed mode.
 
-use noc_bench::figures::spec_latency_data;
-use noc_bench::{env_usize, fmt, DESIGN_POINTS};
+use noc_bench::env_usize;
+use noc_bench::sweep::{env_runner, render};
 
 fn main() {
     let warmup = env_usize("NOC_WARMUP", 3000) as u64;
     let measure = env_usize("NOC_MEASURE", 6000) as u64;
-    println!("warmup {warmup} / measure {measure} cycles per run\n");
-    for point in &DESIGN_POINTS {
-        println!(
-            "--- Figure 14({}): {} — latency (cycles) vs injection rate (flits/cycle) ---",
-            point.tag,
-            point.label()
-        );
-        let curves = spec_latency_data(point, warmup, measure);
-        print!("{:<9}", "rate");
-        for r in &curves[0].results {
-            print!(" {:>7.3}", r.offered);
-        }
-        println!();
-        for c in &curves {
-            print!("{:<9}", c.label);
-            for r in &c.results {
-                print!(
-                    " {:>7}",
-                    if r.stable {
-                        fmt(r.avg_latency)
-                    } else {
-                        "sat".into()
-                    }
-                );
-            }
-            println!(
-                "   | saturation ~{:.3}",
-                c.refined_saturation(warmup, measure)
-            );
-        }
-        // Summaries: nonspec is index 0, conventional 1, pessimistic 2.
-        let (ns, conv, pess) = (&curves[0], &curves[1], &curves[2]);
-        let zl_gain = (ns.min_rate_latency() - pess.min_rate_latency()) / ns.min_rate_latency();
-        println!(
-            "zero-load latency gain from speculation: {:.1}%",
-            zl_gain * 100.0
-        );
-        let (s_ns, s_conv, s_pess) = (
-            ns.refined_saturation(warmup, measure),
-            conv.refined_saturation(warmup, measure),
-            pess.refined_saturation(warmup, measure),
-        );
-        if s_ns > 0.0 && s_conv > 0.0 {
-            println!(
-                "saturation: spec vs nonspec {:+.1}%, pessimistic vs conventional {:+.1}%",
-                (s_pess / s_ns - 1.0) * 100.0,
-                (s_pess / s_conv - 1.0) * 100.0
-            );
-        }
-        println!();
-    }
-    println!("paper reference points: zero-load gain up to 23% (mesh) / 14% (fbfly);");
-    println!("spec saturation gain 14% (mesh 2x1x1), 6% (fbfly 2x2x1), <5% elsewhere;");
-    println!("pessimistic loses <4% throughput vs conventional.");
+    print!("{}", render::fig14(&*env_runner(), warmup, measure));
 }

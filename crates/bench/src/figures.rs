@@ -8,8 +8,19 @@ use noc_hw::{SynthError, SynthResult, Synthesizer};
 use noc_quality::{
     sw_quality_curve, vc_quality_curve, QualityCurve, SwQualityConfig, VcQualityConfig,
 };
-use noc_sim::sim::{latency_curve, run_sim};
+use noc_sim::sim::{latency_curve_with, run_sim};
 use noc_sim::{SimConfig, SimResult};
+
+/// The runner signature every simulation-driven series accepts: a plain
+/// `run_sim` closure reproduces the legacy behavior; the sweep
+/// orchestrator's cache-backed runner makes the same computation
+/// resumable and shareable across binaries.
+pub type SimRunner = dyn Fn(&SimConfig, u64, u64) -> SimResult + Sync;
+
+/// The direct (uncached) runner: plain [`run_sim`].
+pub fn direct_runner() -> impl Fn(&SimConfig, u64, u64) -> SimResult + Sync {
+    |cfg, warmup, measure| run_sim(cfg, warmup, measure)
+}
 
 /// One VC-allocator cost point (Figures 5/6): a variant in dense and
 /// sparse organization.
@@ -178,6 +189,13 @@ impl LatencyCurve {
     /// last stable and the first unstable grid point with a few extra runs
     /// of the given configuration.
     pub fn refined_saturation(&self, warmup: u64, measure: u64) -> f64 {
+        self.refined_saturation_with(warmup, measure, &direct_runner())
+    }
+
+    /// As [`LatencyCurve::refined_saturation`], with the probe runs
+    /// produced by `run` (the probe sequence is deterministic, so a cache
+    /// makes the refinement free on re-runs).
+    pub fn refined_saturation_with(&self, warmup: u64, measure: u64, run: &SimRunner) -> f64 {
         let cfg = &self.cfg;
         let mut lo = self.saturation();
         if lo == 0.0 {
@@ -195,7 +213,7 @@ impl LatencyCurve {
         }
         for _ in 0..3 {
             let mid = 0.5 * (lo + hi);
-            let r = run_sim(
+            let r = run(
                 &SimConfig {
                     injection_rate: mid,
                     ..cfg.clone()
@@ -222,6 +240,16 @@ impl LatencyCurve {
 /// on one design point (VC allocator fixed to `sep_if`, pessimistic
 /// speculation — §5.3.3).
 pub fn sa_latency_data(point: &DesignPoint, warmup: u64, measure: u64) -> Vec<LatencyCurve> {
+    sa_latency_data_with(point, warmup, measure, &direct_runner())
+}
+
+/// [`sa_latency_data`] with an injectable runner (see [`SimRunner`]).
+pub fn sa_latency_data_with(
+    point: &DesignPoint,
+    warmup: u64,
+    measure: u64,
+    run: &SimRunner,
+) -> Vec<LatencyCurve> {
     use noc_arbiter::ArbiterKind::RoundRobin;
     let base = SimConfig::paper_baseline(point.topology, point.vcs_per_class);
     let rates = point.rate_grid();
@@ -238,7 +266,7 @@ pub fn sa_latency_data(point: &DesignPoint, warmup: u64, measure: u64) -> Vec<La
         };
         LatencyCurve {
             label: label.to_string(),
-            results: latency_curve(&cfg, &rates, warmup, measure),
+            results: latency_curve_with(&cfg, &rates, warmup, measure, run),
             cfg,
         }
     })
@@ -248,6 +276,16 @@ pub fn sa_latency_data(point: &DesignPoint, warmup: u64, measure: u64) -> Vec<La
 /// Figure 14: latency curves for the three speculation schemes on one
 /// design point (switch allocator fixed to `sep_if` — §5.3.3).
 pub fn spec_latency_data(point: &DesignPoint, warmup: u64, measure: u64) -> Vec<LatencyCurve> {
+    spec_latency_data_with(point, warmup, measure, &direct_runner())
+}
+
+/// [`spec_latency_data`] with an injectable runner (see [`SimRunner`]).
+pub fn spec_latency_data_with(
+    point: &DesignPoint,
+    warmup: u64,
+    measure: u64,
+    run: &SimRunner,
+) -> Vec<LatencyCurve> {
     let base = SimConfig::paper_baseline(point.topology, point.vcs_per_class);
     let rates = point.rate_grid();
     SpecMode::ALL
@@ -259,7 +297,7 @@ pub fn spec_latency_data(point: &DesignPoint, warmup: u64, measure: u64) -> Vec<
             };
             LatencyCurve {
                 label: mode.label().to_string(),
-                results: latency_curve(&cfg, &rates, warmup, measure),
+                results: latency_curve_with(&cfg, &rates, warmup, measure, run),
                 cfg,
             }
         })

@@ -9,6 +9,7 @@
 pub mod figures;
 pub mod harness;
 pub mod points;
+pub mod sweep;
 
 pub use harness::{
     compare_baseline, parse_report, report_filename, run_bench, workload_matrix, BaselineSummary,

@@ -1,0 +1,167 @@
+//! Content-addressed result store.
+//!
+//! One file per simulated point, named `<digest>.json` where the digest
+//! is [`SimConfig::digest`](noc_sim::SimConfig) over the resolved
+//! configuration, run window, and sweep schema. Files hold
+//! [`SimResult::to_json_full`] and round-trip bit-exactly through
+//! [`SimResult::from_json`], so a cached point is indistinguishable from
+//! a freshly computed one. Stores write to a temporary file and rename,
+//! so a crash mid-write never leaves a truncated entry — a torn record
+//! at worst leaves a `.tmp` file the next `clean` removes.
+
+use noc_sim::SimResult;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory of content-addressed simulation results.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: &Path) -> Result<ResultCache, String> {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cache: cannot create {}: {e}", dir.display()))?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a digest.
+    pub fn path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// Loads the result stored under `digest`, if present and readable.
+    /// A corrupt entry reads as a miss (it will be recomputed and
+    /// overwritten), never as an error.
+    pub fn load(&self, digest: &str) -> Option<SimResult> {
+        let text = fs::read_to_string(self.path(digest)).ok()?;
+        SimResult::from_json(&text).ok()
+    }
+
+    /// Stores `result` under `digest` atomically (write + rename).
+    pub fn store(&self, digest: &str, result: &SimResult) -> Result<(), String> {
+        let tmp = self.dir.join(format!(".{digest}.tmp"));
+        let path = self.path(digest);
+        fs::write(&tmp, result.to_json_full())
+            .map_err(|e| format!("cache: cannot write {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &path)
+            .map_err(|e| format!("cache: cannot rename into {}: {e}", path.display()))?;
+        Ok(())
+    }
+
+    /// Whether an entry exists for `digest` (without parsing it).
+    pub fn contains(&self, digest: &str) -> bool {
+        self.path(digest).exists()
+    }
+
+    /// Number of cache entries on disk.
+    pub fn len(&self) -> usize {
+        self.entries().count()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every cache entry (and stale `.tmp` files), returning the
+    /// number of entries removed. Only files this cache wrote —
+    /// 32-hex-digit `.json` names — are touched.
+    pub fn clear(&self) -> Result<usize, String> {
+        let mut removed = 0;
+        let victims: Vec<PathBuf> = self.entries().collect();
+        for p in victims {
+            fs::remove_file(&p)
+                .map_err(|e| format!("cache: cannot remove {}: {e}", p.display()))?;
+            removed += 1;
+        }
+        if let Ok(rd) = fs::read_dir(&self.dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') && name.ends_with(".tmp") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    fn entries(&self) -> impl Iterator<Item = PathBuf> {
+        fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n.strip_suffix(".json"))
+                    .is_some_and(|stem| {
+                        stem.len() == 32 && stem.bytes().all(|b| b.is_ascii_hexdigit())
+                    })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::{run_sim, SimConfig, TopologyKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "noc-cache-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_load_is_bit_exact() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::new(&dir).unwrap();
+        let cfg = SimConfig {
+            injection_rate: 0.1,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1)
+        };
+        let r = run_sim(&cfg, 50, 100);
+        let d = cfg.digest(50, 100, "test/v1");
+        assert!(!cache.contains(&d));
+        cache.store(&d, &r).unwrap();
+        assert!(cache.contains(&d));
+        assert_eq!(cache.len(), 1);
+        let loaded = cache.load(&d).expect("entry readable");
+        assert_eq!(loaded.to_json_full(), r.to_json_full(), "bit-exact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses_and_clear_only_owns() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::new(&dir).unwrap();
+        let d = "0123456789abcdef0123456789abcdef";
+        fs::write(cache.path(d), "{not json").unwrap();
+        assert!(cache.load(d).is_none(), "corrupt entry is a miss");
+        assert_eq!(cache.len(), 1);
+        // A foreign file is neither counted nor cleared.
+        fs::write(dir.join("notes.json"), "{}").unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert!(dir.join("notes.json").exists(), "foreign file survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,249 @@
+//! Crash-safe sweep completion journal.
+//!
+//! An append-only JSONL file: the first line is a header binding the
+//! journal to a sweep name, spec digest, and point count; every later
+//! line records one completed point. Records are flushed and fsynced as
+//! they are appended, so after a crash the journal holds exactly the
+//! points whose results were durably cached — a resumed sweep re-runs
+//! nothing. A torn final line (the one write a crash can interrupt) is
+//! ignored on load.
+//!
+//! The header validation is strict: resuming a journal whose spec digest
+//! does not match the current spec is an error, not a silent partial
+//! reuse — results remain shareable through the content-addressed cache
+//! regardless, so nothing is lost by refusing.
+
+use crate::sweep::json_escape;
+use noc_obs::JsonValue;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The identity a journal is bound to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Sweep name.
+    pub name: String,
+    /// Digest of the expanded sweep spec.
+    pub spec_digest: String,
+    /// Number of points in the sweep.
+    pub points: usize,
+}
+
+impl JournalHeader {
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"schema\":\"noc-sweep-journal/v1\",\"name\":\"{}\",\"spec_digest\":\"{}\",\"points\":{}}}",
+            json_escape(&self.name),
+            json_escape(&self.spec_digest),
+            self.points
+        )
+    }
+
+    fn parse(line: &str) -> Option<JournalHeader> {
+        let v = JsonValue::parse(line).ok()?;
+        if v.get("schema")?.as_str()? != "noc-sweep-journal/v1" {
+            return None;
+        }
+        Some(JournalHeader {
+            name: v.get("name")?.as_str()?.to_string(),
+            spec_digest: v.get("spec_digest")?.as_str()?.to_string(),
+            points: v.get("points")?.as_f64()? as usize,
+        })
+    }
+}
+
+/// An open, appendable sweep journal.
+#[derive(Debug)]
+pub struct Journal {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens the journal at `path`, creating it with `header` if absent.
+    /// Returns the journal and the set of point digests already recorded
+    /// as complete. An existing journal must carry the same header
+    /// (name, spec digest, point count); otherwise this errors with a
+    /// hint to `noc sweep clean` or rename the sweep.
+    pub fn open(path: &Path, header: &JournalHeader) -> Result<(Journal, HashSet<String>), String> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("journal: cannot create {}: {e}", parent.display()))?;
+        }
+        let mut done = HashSet::new();
+        let exists = path.exists();
+        if exists {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("journal: cannot read {}: {e}", path.display()))?;
+            let mut lines = text.lines();
+            let head = lines
+                .next()
+                .and_then(JournalHeader::parse)
+                .ok_or_else(|| format!("journal: {} has no valid header", path.display()))?;
+            if head != *header {
+                return Err(format!(
+                    "journal: {} was written by a different sweep \
+                     (name '{}', spec {}, {} points; current: name '{}', spec {}, {} points) — \
+                     run `noc sweep clean` or use a different sweep name",
+                    path.display(),
+                    head.name,
+                    head.spec_digest,
+                    head.points,
+                    header.name,
+                    header.spec_digest,
+                    header.points
+                ));
+            }
+            for line in lines {
+                // Skip anything unparseable — at most the torn final
+                // record of a crashed run; its result is either in the
+                // cache (hit) or recomputed (miss), both correct.
+                if let Ok(v) = JsonValue::parse(line) {
+                    if let Some(d) = v.get("digest").and_then(JsonValue::as_str) {
+                        done.insert(d.to_string());
+                    }
+                }
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("journal: cannot open {}: {e}", path.display()))?;
+        if !exists {
+            writeln!(file, "{}", header.to_line())
+                .map_err(|e| format!("journal: cannot write header: {e}"))?;
+            file.sync_data()
+                .map_err(|e| format!("journal: cannot sync header: {e}"))?;
+        }
+        Ok((
+            Journal {
+                writer: Mutex::new(BufWriter::new(file)),
+                path: path.to_path_buf(),
+            },
+            done,
+        ))
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed-point record durably (flush + fsync before
+    /// returning). `source` records how the point was satisfied
+    /// (`computed` or `cache`).
+    pub fn append(
+        &self,
+        digest: &str,
+        label: &str,
+        source: &str,
+        wall_ms: u64,
+    ) -> Result<(), String> {
+        let line = format!(
+            "{{\"digest\":\"{}\",\"label\":\"{}\",\"source\":\"{}\",\"wall_ms\":{}}}",
+            json_escape(digest),
+            json_escape(label),
+            json_escape(source),
+            wall_ms
+        );
+        let mut w = self
+            .writer
+            .lock()
+            .map_err(|_| "journal: writer poisoned".to_string())?;
+        writeln!(w, "{line}").map_err(|e| format!("journal: append failed: {e}"))?;
+        w.flush()
+            .map_err(|e| format!("journal: flush failed: {e}"))?;
+        w.get_ref()
+            .sync_data()
+            .map_err(|e| format!("journal: sync failed: {e}"))?;
+        Ok(())
+    }
+}
+
+/// Reads a journal's header and completed-point count without opening it
+/// for writing (used by `noc sweep status`).
+pub fn read_status(path: &Path) -> Option<(JournalHeader, usize)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header = JournalHeader::parse(lines.next()?)?;
+    let done = lines.filter(|l| JsonValue::parse(l).is_ok()).count();
+    Some((header, done))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "noc-journal-test-{}-{tag}-{}.journal",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            name: "t".into(),
+            spec_digest: "d".repeat(32),
+            points: 3,
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_done_set() {
+        let path = tmp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (j, done) = Journal::open(&path, &header()).unwrap();
+            assert!(done.is_empty());
+            j.append("aa", "point a", "computed", 12).unwrap();
+            j.append("bb", "point b", "cache", 0).unwrap();
+        }
+        let (_, done) = Journal::open(&path, &header()).unwrap();
+        assert_eq!(done.len(), 2);
+        assert!(done.contains("aa") && done.contains("bb"));
+        let (head, n) = read_status(&path).unwrap();
+        assert_eq!(head, header());
+        assert_eq!(n, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (j, _) = Journal::open(&path, &header()).unwrap();
+            j.append("aa", "point a", "computed", 1).unwrap();
+        }
+        // Simulate a crash mid-append: a truncated record with no newline.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"digest\":\"cc\",\"lab").unwrap();
+        drop(f);
+        let (_, done) = Journal::open(&path, &header()).unwrap();
+        assert_eq!(done.len(), 1, "torn record does not count as done");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_header_is_refused() {
+        let path = tmp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let (_, _) = Journal::open(&path, &header()).unwrap();
+        let other = JournalHeader {
+            spec_digest: "e".repeat(32),
+            ..header()
+        };
+        let err = Journal::open(&path, &other).unwrap_err();
+        assert!(err.contains("different sweep"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

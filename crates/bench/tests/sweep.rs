@@ -1,0 +1,178 @@
+//! Integration tests for the sweep orchestrator: resumability, cache
+//! sharing, and bit-identical preset renders.
+
+use noc_bench::figures::direct_runner;
+use noc_bench::sweep::presets::ablation_speculation_spec;
+use noc_bench::sweep::{
+    cached_runner, render, run_sweep, ResultCache, SweepGrid, SweepOptions, SweepSpec,
+};
+use noc_sim::{Engine, TopologyKind};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "noc-sweep-it-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn opts(root: &Path) -> SweepOptions {
+    SweepOptions {
+        cache_dir: root.join("cache"),
+        out_dir: root.join("sweeps"),
+        engine: None,
+        quiet: true,
+        require_journal: false,
+    }
+}
+
+/// A three-point sweep small enough to simulate in milliseconds.
+fn tiny_spec(name: &str) -> SweepSpec {
+    SweepSpec {
+        name: name.into(),
+        grids: vec![SweepGrid {
+            topology: vec![TopologyKind::Mesh8x8],
+            vcs: vec![1],
+            rates: vec![0.05, 0.10, 0.15],
+            warmup: 50,
+            measure: 100,
+            ..SweepGrid::default()
+        }],
+    }
+}
+
+#[test]
+fn fresh_run_computes_everything_and_rerun_computes_nothing() {
+    let root = scratch("rerun");
+    let spec = tiny_spec("t");
+    let first = run_sweep(&spec, &opts(&root)).unwrap();
+    assert_eq!(
+        (
+            first.total,
+            first.computed,
+            first.cache_hits,
+            first.journal_skips
+        ),
+        (3, 3, 0, 0)
+    );
+    let second = run_sweep(&spec, &opts(&root)).unwrap();
+    assert_eq!(
+        (second.computed, second.cache_hits, second.journal_skips),
+        (0, 0, 3),
+        "a completed sweep re-runs as pure journal skips"
+    );
+    for (a, b) in first.results.iter().zip(&second.results) {
+        assert_eq!(a.to_json_full(), b.to_json_full(), "results bit-identical");
+    }
+    assert!(first.manifest_path.exists());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_after_kill_recomputes_nothing() {
+    let root = scratch("kill");
+    let spec = tiny_spec("t");
+    let o = opts(&root);
+    let first = run_sweep(&spec, &o).unwrap();
+    assert_eq!(first.computed, 3);
+    // Simulate a kill mid-run: the journal survives with only its header
+    // and first record (the torn tail of a real crash is equivalent —
+    // journal.rs tests cover torn lines).
+    let journal = fs::read_to_string(&first.journal_path).unwrap();
+    let kept: Vec<&str> = journal.lines().take(2).collect();
+    fs::write(&first.journal_path, format!("{}\n", kept.join("\n"))).unwrap();
+
+    let resumed = run_sweep(
+        &spec,
+        &SweepOptions {
+            require_journal: true,
+            ..o
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.computed, 0, "every lost point is a cache hit");
+    assert_eq!(resumed.journal_skips, 1);
+    assert_eq!(resumed.cache_hits, 2);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_requires_a_journal_and_matching_spec() {
+    let root = scratch("guard");
+    let o = opts(&root);
+    let err = run_sweep(
+        &tiny_spec("t"),
+        &SweepOptions {
+            require_journal: true,
+            ..o.clone()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("no journal"), "{err}");
+
+    let first = run_sweep(&tiny_spec("t"), &o).unwrap();
+    // A different run window is a different sweep identity: it gets its
+    // own journal (and shares nothing in the cache) instead of clashing.
+    let mut changed = tiny_spec("t");
+    changed.grids[0].measure = 200;
+    let out = run_sweep(&changed, &o).unwrap();
+    assert_ne!(out.journal_path, first.journal_path);
+    assert_eq!(out.computed, 3, "window change misses the cache");
+    // A journal whose header was tampered with (or collided) is refused.
+    let text = fs::read_to_string(&first.journal_path).unwrap();
+    fs::write(
+        &first.journal_path,
+        text.replacen(&first.spec_digest, &"0".repeat(32), 1),
+    )
+    .unwrap();
+    let err = run_sweep(&tiny_spec("t"), &o).unwrap_err();
+    assert!(err.contains("different sweep"), "{err}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cache_is_shared_across_sweeps() {
+    let root = scratch("shared");
+    let o = opts(&root);
+    run_sweep(&tiny_spec("first"), &o).unwrap();
+    // A different sweep whose grid overlaps on all three points plus one.
+    let mut superset = tiny_spec("second");
+    superset.grids[0].rates = vec![0.05, 0.10, 0.15, 0.20];
+    let out = run_sweep(&superset, &o).unwrap();
+    assert_eq!(
+        (out.computed, out.cache_hits, out.journal_skips),
+        (1, 3, 0),
+        "overlapping points come from the first sweep's cache"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn preset_render_from_cache_is_bit_identical_to_direct() {
+    let root = scratch("render");
+    let (warmup, measure) = (100, 200);
+    // The legacy path: direct simulation, exactly what the binary prints.
+    let direct = render::ablation_speculation(&direct_runner(), warmup, measure);
+    // The sweep path: populate the cache, then render through it.
+    let spec = ablation_speculation_spec(warmup, measure);
+    let out = run_sweep(&spec, &opts(&root)).unwrap();
+    assert_eq!(out.computed, out.total, "cold cache computes all");
+    let cache = ResultCache::new(&root.join("cache")).unwrap();
+    let entries_before = cache.len();
+    let via_cache =
+        render::ablation_speculation(&cached_runner(cache, Engine::Sequential), warmup, measure);
+    assert_eq!(direct, via_cache, "cached render bit-identical to direct");
+    let cache = ResultCache::new(&root.join("cache")).unwrap();
+    assert_eq!(
+        cache.len(),
+        entries_before,
+        "render was all cache hits: no new entries"
+    );
+    let _ = fs::remove_dir_all(&root);
+}

@@ -207,6 +207,69 @@ pub fn histogram_csv(hist: &crate::HdrHistogram) -> String {
     out
 }
 
+/// One row of a sweep manifest: how a single experiment point was
+/// satisfied on the most recent run.
+pub struct SweepManifestPoint {
+    /// Human-readable point label.
+    pub label: String,
+    /// Content digest keying the cached result.
+    pub digest: String,
+    /// How the point was satisfied: `computed`, `cache` (result file
+    /// existed) or `journal` (already journaled, not touched at all).
+    pub source: &'static str,
+    /// Wall-clock cost of satisfying the point, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Encodes a sweep-run manifest (schema `noc-sweep-manifest/v1`) as one
+/// JSON document: identity (name, sweep schema, spec digest), hit/miss
+/// accounting for the run, and one row per point. The hit counts are the
+/// machine-checkable record that a resumed or repeated sweep recomputed
+/// nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_manifest_json(
+    name: &str,
+    schema: &str,
+    spec_digest: &str,
+    computed: usize,
+    cache_hits: usize,
+    journal_skips: usize,
+    wall_ms: u64,
+    points: &[SweepManifestPoint],
+) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("{\"schema\":\"noc-sweep-manifest/v1\"");
+    let _ = write!(
+        out,
+        ",\"name\":\"{}\",\"sweep_schema\":\"{}\",\"spec_digest\":\"{}\"",
+        esc(name),
+        esc(schema),
+        esc(spec_digest)
+    );
+    let _ = write!(
+        out,
+        ",\"points\":{},\"computed\":{computed},\"cache_hits\":{cache_hits},\
+         \"journal_skips\":{journal_skips},\"wall_ms\":{wall_ms}",
+        points.len()
+    );
+    out.push_str(",\"results\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"digest\":\"{}\",\"source\":\"{}\",\"wall_ms\":{}}}",
+            esc(&p.label),
+            esc(&p.digest),
+            p.source,
+            p.wall_ms
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Encodes a percentile table (as produced by
 /// [`HdrHistogram::percentile_table`](crate::HdrHistogram::percentile_table))
 /// as one JSON object, `{"p50": .., "p99": ..}`, with NaN mapped to

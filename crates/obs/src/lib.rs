@@ -30,6 +30,9 @@
 //! - [`digest`]: order-sensitive FNV-1a trace digests ([`DigestSink`]),
 //!   the substrate of the cycle-exact engine-equivalence and golden-trace
 //!   test layers.
+//! - [`progress`]: a thread-safe progress/ETA meter for long experiment
+//!   sweeps; the manifest exporter in [`export`] records how each sweep
+//!   point was satisfied (computed / cache / journal).
 
 pub mod digest;
 pub mod event;
@@ -38,11 +41,16 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod progress;
 
 pub use digest::DigestSink;
 pub use event::{CountingSink, FlitEvent, FlitEventKind, NopSink, TraceSink, VecSink};
-pub use export::{chrome_trace, histogram_csv, metrics_csv, metrics_jsonl, percentile_table_json};
+pub use export::{
+    chrome_trace, histogram_csv, metrics_csv, metrics_jsonl, percentile_table_json,
+    sweep_manifest_json, SweepManifestPoint,
+};
 pub use hist::{HdrHistogram, DEFAULT_QUANTILES};
 pub use json::{validate_json, JsonValue};
 pub use metrics::{GaugeSample, MetricsRegistry, RouterBreakdown, RouterObs, StallCounters};
 pub use profile::{NopProfiler, Phase, PhaseProfiler, Profiler, PHASES};
+pub use progress::ProgressMeter;

@@ -1,0 +1,105 @@
+//! Progress and ETA reporting for long experiment sweeps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Thread-safe progress meter: worker threads mark completions, anyone
+/// renders a one-line status with throughput and a remaining-time
+/// estimate. The ETA is the simple completed-rate extrapolation — good
+/// enough for sweeps whose points have comparable cost — and is omitted
+/// until at least one point has finished.
+pub struct ProgressMeter {
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+}
+
+impl ProgressMeter {
+    /// A meter over `total` work items, starting now.
+    pub fn new(total: usize) -> Self {
+        ProgressMeter {
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Marks one item finished and returns the new completion count.
+    pub fn tick(&self) -> usize {
+        self.done.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Items completed so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed).min(self.total)
+    }
+
+    /// Total items.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Seconds elapsed since construction.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Estimated seconds remaining (`None` before the first completion or
+    /// after the last).
+    pub fn eta_secs(&self) -> Option<f64> {
+        let done = self.done();
+        if done == 0 || done >= self.total {
+            return None;
+        }
+        let per_item = self.elapsed_secs() / done as f64;
+        Some(per_item * (self.total - done) as f64)
+    }
+
+    /// One status line, e.g. `42/180 (23%) elapsed 12.3s eta 40s`.
+    pub fn line(&self) -> String {
+        let done = self.done();
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * done as f64 / self.total as f64
+        };
+        let mut s = format!(
+            "{done}/{} ({pct:.0}%) elapsed {:.1}s",
+            self.total,
+            self.elapsed_secs()
+        );
+        if let Some(eta) = self.eta_secs() {
+            s.push_str(&format!(" eta {eta:.0}s"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_percentages() {
+        let m = ProgressMeter::new(4);
+        assert_eq!(m.done(), 0);
+        assert!(m.eta_secs().is_none(), "no ETA before the first item");
+        assert_eq!(m.tick(), 1);
+        assert_eq!(m.tick(), 2);
+        assert_eq!(m.done(), 2);
+        let line = m.line();
+        assert!(line.starts_with("2/4 (50%)"), "{line}");
+        // Mid-run there is an estimate; after the last item there is none.
+        assert!(m.eta_secs().is_some());
+        m.tick();
+        m.tick();
+        assert!(m.eta_secs().is_none());
+        assert!(m.line().starts_with("4/4 (100%)"));
+    }
+
+    #[test]
+    fn empty_meter_reports_complete() {
+        let m = ProgressMeter::new(0);
+        assert!(m.line().contains("(100%)"));
+    }
+}

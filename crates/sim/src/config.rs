@@ -42,6 +42,11 @@ pub struct SimConfig {
     /// traffic; larger values model the DMA-like throughput-oriented
     /// workloads of §5.4 (bursts of write requests to one destination).
     pub burst: usize,
+    /// Payload flits carried by data-bearing packets (write requests and
+    /// read replies). The paper's traffic model uses 4, giving 5-flit data
+    /// packets and 6-flit transactions; the offered-load calibration in the
+    /// terminals derives its divisor from this value.
+    pub payload_flits: usize,
     /// Spatial traffic pattern.
     pub pattern: TrafficPattern,
     /// RNG seed (simulations are fully deterministic given the seed).
@@ -63,6 +68,7 @@ impl SimConfig {
             spec_mode: SpecMode::Pessimistic,
             injection_rate: 0.1,
             burst: 1,
+            payload_flits: crate::packet::DEFAULT_PAYLOAD_FLITS,
             pattern: TrafficPattern::UniformRandom,
             seed: 0x5c09_2009,
         }

@@ -12,6 +12,7 @@
 //! architectures whose cost Figures 5/6/10/11 measure.
 
 pub mod config;
+pub mod digest;
 pub mod network;
 pub mod packet;
 pub mod router;
@@ -25,13 +26,14 @@ pub mod traffic;
 pub mod verify;
 
 pub use config::SimConfig;
+pub use digest::digest_pairs;
 pub use network::Network;
 pub use packet::{Flit, PacketKind};
 pub use routing::RoutingKind;
 pub use sim::{
-    latency_curve, run_many, run_sim, run_sim_auto, run_sim_engine, run_sim_observed,
-    run_sim_profiled, run_sim_replicated, saturation_rate, summarize, zero_load_latency, Engine,
-    ObservedRun, SimResult,
+    latency_curve, latency_curve_with, run_many, run_sim, run_sim_auto, run_sim_engine,
+    run_sim_observed, run_sim_profiled, run_sim_replicated, saturation_rate, saturation_rate_with,
+    summarize, zero_load_latency, Engine, ObservedRun, SimResult,
 };
 pub use topology::{Topology, TopologyKind};
 pub use traffic::TrafficPattern;

@@ -124,7 +124,17 @@ impl<S: TraceSink> Network<S> {
             .map(|r| Router::new(r, rcfg.clone()))
             .collect();
         let terminals: Vec<Terminal> = (0..topo.num_terminals())
-            .map(|t| Terminal::new(t, &topo, &spec, routing, cfg.buf_depth, cfg.seed))
+            .map(|t| {
+                Terminal::new(
+                    t,
+                    &topo,
+                    &spec,
+                    routing,
+                    cfg.buf_depth,
+                    cfg.payload_flits,
+                    cfg.seed,
+                )
+            })
             .collect();
         // Reverse links for credit routing.
         let mut rev = vec![vec![None; topo.ports]; topo.num_routers()];
@@ -767,14 +777,9 @@ fn deliver_and_inject<S: TraceSink, P: PhaseProfiler>(
 
     // --- terminals: traffic generation and injection -------------------
     let n_term = terminals.len();
+    let geom = topo.geometry();
     for t in 0..n_term {
-        terminals[t].generate_traffic_burst(
-            cfg.injection_rate,
-            cfg.pattern,
-            n_term,
-            now,
-            cfg.burst,
-        );
+        terminals[t].generate_traffic_burst(cfg.injection_rate, cfg.pattern, geom, now, cfg.burst);
         // A terminal with nothing queued and nothing in flight cannot
         // inject and its step consumes no RNG, so skipping it is exact on
         // every engine.

@@ -17,15 +17,38 @@ pub enum PacketKind {
     WriteReply,
 }
 
+/// Payload flits per data-carrying packet in the paper's traffic model
+/// ("a head flit and four flits containing payload data", §3.2).
+pub const DEFAULT_PAYLOAD_FLITS: usize = 4;
+
 impl PacketKind {
-    /// Number of flits in a packet of this kind (never zero, so there is
-    /// deliberately no `is_empty`).
+    /// Number of flits in a packet of this kind at the paper's default
+    /// payload size (never zero, so there is deliberately no `is_empty`).
     #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> usize {
+        self.len_with(DEFAULT_PAYLOAD_FLITS)
+    }
+
+    /// Number of flits in a packet of this kind when data-carrying packets
+    /// hold `payload_flits` payload flits behind the head flit.
+    pub fn len_with(self, payload_flits: usize) -> usize {
         match self {
             PacketKind::ReadRequest | PacketKind::WriteReply => 1,
-            PacketKind::WriteRequest | PacketKind::ReadReply => 5,
+            PacketKind::WriteRequest | PacketKind::ReadReply => 1 + payload_flits,
         }
+    }
+
+    /// Mean flits per transaction (request plus its reply) under the
+    /// 50/50 read/write mix — the offered-load divisor that converts a
+    /// flits/cycle rate into a transaction firing probability. Derived
+    /// from the packet lengths so rate calibration survives payload-size
+    /// changes (it is **not** the literal constant 6).
+    pub fn mean_transaction_flits(payload_flits: usize) -> f64 {
+        let read = PacketKind::ReadRequest.len_with(payload_flits)
+            + PacketKind::ReadReply.len_with(payload_flits);
+        let write = PacketKind::WriteRequest.len_with(payload_flits)
+            + PacketKind::WriteReply.len_with(payload_flits);
+        (read + write) as f64 / 2.0
     }
 
     /// Message class (0 = request, 1 = reply) — requests and replies use
@@ -128,6 +151,17 @@ mod tests {
         for k in [PacketKind::ReadRequest, PacketKind::WriteRequest] {
             assert_eq!(k.len() + k.reply_kind().unwrap().len(), 6);
         }
+    }
+
+    #[test]
+    fn transaction_flits_derive_from_payload_size() {
+        // The paper's default: 4 payload flits -> 6 flits per transaction.
+        assert_eq!(PacketKind::mean_transaction_flits(4), 6.0);
+        // Larger payloads grow both transaction kinds symmetrically.
+        assert_eq!(PacketKind::mean_transaction_flits(8), 10.0);
+        assert_eq!(PacketKind::WriteRequest.len_with(8), 9);
+        assert_eq!(PacketKind::ReadReply.len_with(8), 9);
+        assert_eq!(PacketKind::ReadRequest.len_with(8), 1);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::network::Network;
 use crate::router::RouterStats;
 use crate::steady;
 use noc_obs::{
-    percentile_table_json, HdrHistogram, MetricsRegistry, Profiler, RouterBreakdown, RouterObs,
-    TraceSink, DEFAULT_QUANTILES,
+    percentile_table_json, HdrHistogram, JsonValue, MetricsRegistry, Profiler, RouterBreakdown,
+    RouterObs, TraceSink, DEFAULT_QUANTILES,
 };
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -164,6 +164,130 @@ impl SimResult {
         }
         out.push('}');
         out
+    }
+
+    /// As [`SimResult::to_json`], extended with the raw histogram state so
+    /// the result round-trips losslessly through [`SimResult::from_json`]
+    /// (the cache-file format of the sweep orchestrator). The derived
+    /// members of [`SimResult::to_json`] (`percentiles`, router throughput
+    /// extremes) stay in place, so a full record is also a superset of the
+    /// plain report.
+    pub fn to_json_full(&self) -> String {
+        let mut out = self.to_json();
+        out.pop();
+        let _ = write!(
+            out,
+            ",\"hist\":{{\"min\":{},\"max\":{},\"buckets\":[",
+            self.hist
+                .min()
+                .map_or_else(|| "null".to_string(), |v| v.to_string()),
+            self.hist
+                .max()
+                .map_or_else(|| "null".to_string(), |v| v.to_string()),
+        );
+        for (i, (lower, _, count)) in self.hist.iter_buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lower},{count}]");
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Reconstructs a result from [`SimResult::to_json_full`] output.
+    ///
+    /// The round-trip is bit-exact: floats are serialized with Rust's
+    /// shortest-roundtrip formatting and NaN maps through `null`, so
+    /// `from_json(r.to_json_full())` re-serializes to the identical
+    /// string (asserted by `full_json_round_trip_is_bit_exact`).
+    pub fn from_json(s: &str) -> Result<SimResult, String> {
+        let v = JsonValue::parse(s)?;
+        let u64_of = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let stats = v
+            .get("router_stats")
+            .ok_or_else(|| "missing router_stats".to_string())?;
+        let stat_of = |key: &str| -> Result<u64, String> {
+            stats
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing router_stats field {key:?}"))
+        };
+        let hist_v = v.get("hist").ok_or_else(|| "missing hist".to_string())?;
+        let buckets: Vec<(u64, u64)> = hist_v
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "missing hist.buckets".to_string())?
+            .iter()
+            .map(|pair| {
+                let p = pair.as_array().filter(|p| p.len() == 2);
+                p.and_then(|p| Some((p[0].as_f64()? as u64, p[1].as_f64()? as u64)))
+                    .ok_or_else(|| "malformed hist bucket".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let hist = HdrHistogram::from_parts(
+            &buckets,
+            hist_v.num_or_nan("min") as u64,
+            hist_v.num_or_nan("max") as u64,
+        );
+        let routers = match v.get("routers").and_then(JsonValue::as_array) {
+            None => Vec::new(),
+            Some(rows) => rows
+                .iter()
+                .map(|r| {
+                    Ok(RouterBreakdown {
+                        router: r
+                            .get("router")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| "malformed router row".to_string())?
+                            as usize,
+                        throughput: r.num_or_nan("throughput"),
+                        worst_port: r
+                            .get("worst_port")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| "malformed router row".to_string())?
+                            as usize,
+                        worst_port_stall: r.num_or_nan("worst_port_stall"),
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
+        Ok(SimResult {
+            offered: v.num_or_nan("offered"),
+            avg_latency: v.num_or_nan("avg_latency"),
+            request_latency: v.num_or_nan("request_latency"),
+            reply_latency: v.num_or_nan("reply_latency"),
+            latency_std_dev: v.num_or_nan("latency_std_dev"),
+            latency_p99: v.num_or_nan("latency_p99"),
+            throughput: v.num_or_nan("throughput"),
+            stable: v
+                .get("stable")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| "missing stable".to_string())?,
+            ci95: v.num_or_nan("ci95"),
+            seeds: u64_of("seeds")? as usize,
+            warmup_detected: match v.get("warmup_detected") {
+                Some(JsonValue::Num(n)) => Some(*n as u64),
+                _ => None,
+            },
+            hist,
+            router_stats: RouterStats {
+                nonspec_grants: stat_of("nonspec_grants")?,
+                spec_requests: stat_of("spec_requests")?,
+                spec_grants: stat_of("spec_grants")?,
+                spec_masked: stat_of("spec_masked")?,
+                spec_invalid: stat_of("spec_invalid")?,
+                vca_requests: stat_of("vca_requests")?,
+                vca_grants: stat_of("vca_grants")?,
+            },
+            routers,
+        })
     }
 }
 
@@ -422,12 +546,29 @@ where
 /// Runs one simulation per injection rate, in parallel on a bounded
 /// worker pool (each run is independent and deterministic).
 pub fn latency_curve(base: &SimConfig, rates: &[f64], warmup: u64, measure: u64) -> Vec<SimResult> {
+    latency_curve_with(base, rates, warmup, measure, &|c, w, m| run_sim(c, w, m))
+}
+
+/// As [`latency_curve`], but every point is produced by `run` instead of
+/// [`run_sim`] directly. A cache-backed runner (the sweep orchestrator's)
+/// plugs in here to make curve computation resumable; passing a plain
+/// `run_sim` closure reproduces [`latency_curve`] exactly.
+pub fn latency_curve_with<F>(
+    base: &SimConfig,
+    rates: &[f64],
+    warmup: u64,
+    measure: u64,
+    run: &F,
+) -> Vec<SimResult>
+where
+    F: Fn(&SimConfig, u64, u64) -> SimResult + Sync + ?Sized,
+{
     run_many(rates.len(), |i| {
         let cfg = SimConfig {
             injection_rate: rates[i],
             ..base.clone()
         };
-        run_sim(&cfg, warmup, measure)
+        run(&cfg, warmup, measure)
     })
 }
 
@@ -555,12 +696,22 @@ pub fn zero_load_latency(base: &SimConfig) -> f64 {
 /// Finds the saturation rate by bisection: the highest offered load the
 /// network sustains with bounded latency and backlog.
 pub fn saturation_rate(base: &SimConfig, warmup: u64, measure: u64) -> f64 {
+    saturation_rate_with(base, warmup, measure, &|c, w, m| run_sim(c, w, m))
+}
+
+/// As [`saturation_rate`], with every probe run produced by `run` — the
+/// probe sequence is deterministic, so a content-addressed cache makes
+/// even this adaptive search fully resumable.
+pub fn saturation_rate_with<F>(base: &SimConfig, warmup: u64, measure: u64, run: &F) -> f64
+where
+    F: Fn(&SimConfig, u64, u64) -> SimResult + Sync + ?Sized,
+{
     let stable_at = |rate: f64| {
         let cfg = SimConfig {
             injection_rate: rate,
             ..base.clone()
         };
-        run_sim(&cfg, warmup, measure).stable
+        run(&cfg, warmup, measure).stable
     };
     // Exponential probe upward from a safe floor.
     let mut lo = 0.02f64;
@@ -679,6 +830,38 @@ mod tests {
         let act = run_sim_engine(&cfg, 500, 1_500, Engine::ActiveSet);
         assert_eq!(seq.to_json(), par.to_json());
         assert_eq!(seq.to_json(), act.to_json());
+    }
+
+    #[test]
+    fn full_json_round_trip_is_bit_exact() {
+        let cfg = SimConfig {
+            injection_rate: 0.12,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let r = run_sim(&cfg, 500, 1_500);
+        let full = r.to_json_full();
+        let back = SimResult::from_json(&full).expect("round-trip parse");
+        // Bit-exact re-serialization: every float (shortest-roundtrip
+        // formatted), the histogram (so derived percentiles too), router
+        // rows and counters survive the cache file format unchanged.
+        assert_eq!(back.to_json_full(), full);
+        assert_eq!(back.to_json(), r.to_json());
+        assert_eq!(back.hist, r.hist);
+        assert_eq!(back.hist.percentile(0.999), r.hist.percentile(0.999));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_records() {
+        assert!(SimResult::from_json("{}").is_err());
+        assert!(SimResult::from_json("not json").is_err());
+        // A plain (non-full) record has no histogram and must be refused
+        // rather than silently reconstructed with an empty one.
+        let r = run_sim(
+            &SimConfig::paper_baseline(TopologyKind::Mesh8x8, 1),
+            200,
+            500,
+        );
+        assert!(SimResult::from_json(&r.to_json()).is_err());
     }
 
     #[test]

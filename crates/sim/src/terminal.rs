@@ -9,7 +9,7 @@
 use crate::packet::{Flit, PacketKind, RouteState};
 use crate::routing::{route_at, ugal_choose, CongestionProbe, RoutingKind, RC_MIN, RC_NONMIN};
 use crate::topology::Topology;
-use crate::traffic::TrafficPattern;
+use crate::traffic::{TrafficGeometry, TrafficPattern};
 use noc_core::VcAllocSpec;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -57,6 +57,16 @@ pub struct Terminal {
     rng: rand::rngs::StdRng,
     spec: VcAllocSpec,
     routing: RoutingKind,
+    /// Payload flits per data-bearing packet; sizes the flits this terminal
+    /// builds and the offered-load divisor (the old code hardcoded the
+    /// divisor 6.0, silently de-calibrating any non-default packet length).
+    payload_flits: usize,
+    /// Monotonic per-terminal packet sequence number; combined with the
+    /// terminal id it yields a collision-free packet id for any run length
+    /// (the old `(id << 40) | (now << 8) | class` packing aliased across
+    /// terminals once `now` reached 2^32, and within a terminal whenever
+    /// more than 256 packets shared a cycle).
+    next_seq: u64,
     /// Flits injected (for offered-load accounting).
     pub flits_injected: u64,
     /// Packets fully received at this terminal.
@@ -86,6 +96,7 @@ impl Terminal {
         spec: &VcAllocSpec,
         routing: RoutingKind,
         buf_depth: usize,
+        payload_flits: usize,
         seed: u64,
     ) -> Self {
         let (router, port) = topo.terminal_attach(id);
@@ -104,6 +115,8 @@ impl Terminal {
             ),
             spec: spec.clone(),
             routing,
+            payload_flits,
+            next_seq: 0,
             flits_injected: 0,
             packets_received: 0,
             minimal_started: 0,
@@ -159,15 +172,16 @@ impl Terminal {
     /// Generates new request transactions for this cycle: a geometric
     /// process injecting read/write transactions (50/50) such that the
     /// total offered load (request + reply flits) equals `rate`
-    /// flits/cycle/terminal; each transaction carries 6 flits total.
+    /// flits/cycle/terminal; each transaction carries
+    /// `payload_flits + 2` flits total (6 at the paper's default).
     pub fn generate_traffic(
         &mut self,
         rate: f64,
         pattern: TrafficPattern,
-        n_terminals: usize,
+        geom: TrafficGeometry,
         now: u64,
     ) {
-        self.generate_traffic_burst(rate, pattern, n_terminals, now, 1);
+        self.generate_traffic_burst(rate, pattern, geom, now, 1);
     }
 
     /// As [`Terminal::generate_traffic`], but each transaction is a burst
@@ -178,13 +192,14 @@ impl Terminal {
         &mut self,
         rate: f64,
         pattern: TrafficPattern,
-        n_terminals: usize,
+        geom: TrafficGeometry,
         now: u64,
         burst: usize,
     ) {
-        let p_txn = rate / (6.0 * burst as f64);
+        let txn_flits = PacketKind::mean_transaction_flits(self.payload_flits);
+        let p_txn = rate / (txn_flits * burst as f64);
         if p_txn > 0.0 && self.rng.gen_bool(p_txn.min(1.0)) {
-            let dest = pattern.dest(self.id, n_terminals, &mut self.rng);
+            let dest = pattern.dest(self.id, geom, &mut self.rng);
             for _ in 0..burst {
                 let kind = if self.rng.gen_bool(0.5) {
                     PacketKind::ReadRequest
@@ -309,8 +324,13 @@ impl Terminal {
         // Lookahead for the attached router.
         let (lookahead, route_state) =
             route_at(topo, self.routing, self.router, pkt.dest, route_state);
-        let len = pkt.kind.len();
-        let packet_id = (self.id as u64) << 40 | now << 8 | m as u64;
+        let len = pkt.kind.len_with(self.payload_flits);
+        // 16 bits of terminal id over a 48-bit per-terminal sequence: ids
+        // stay unique for 2^48 packets per terminal, independent of the
+        // cycle count or how many packets share a cycle.
+        debug_assert!(self.id < 1 << 16 && self.next_seq < 1 << 48);
+        let packet_id = (self.id as u64) << 48 | self.next_seq;
+        self.next_seq += 1;
         let flits = (0..len)
             .map(|i| Flit {
                 packet_id,
@@ -364,7 +384,7 @@ mod tests {
     fn mesh_terminal() -> (Terminal, Topology) {
         let topo = TopologyKind::Mesh8x8.build();
         let spec = VcAllocSpec::mesh(1);
-        let t = Terminal::new(5, &topo, &spec, RoutingKind::DimensionOrder, 8, 42);
+        let t = Terminal::new(5, &topo, &spec, RoutingKind::DimensionOrder, 8, 4, 42);
         (t, topo)
     }
 
@@ -469,8 +489,9 @@ mod tests {
     fn traffic_generation_rate_is_calibrated() {
         let (mut t, _) = mesh_terminal();
         let cycles = 60_000u64;
+        let geom = TopologyKind::Mesh8x8.build().geometry();
         for now in 0..cycles {
-            t.generate_traffic(0.3, TrafficPattern::UniformRandom, 64, now);
+            t.generate_traffic(0.3, TrafficPattern::UniformRandom, geom, now);
         }
         // Expected transactions = rate/6 per cycle.
         let expect = 0.3 / 6.0 * cycles as f64;
@@ -481,11 +502,104 @@ mod tests {
         );
     }
 
+    /// Regression: the old calibration hardcoded the divisor 6.0, so a
+    /// non-default payload length silently offered the wrong load — at
+    /// 8 payload flits (10-flit transactions) it injected 10/6 times the
+    /// requested rate. The divisor must track the configured lengths.
+    #[test]
+    fn traffic_calibration_tracks_payload_length() {
+        let topo = TopologyKind::Mesh8x8.build();
+        let spec = VcAllocSpec::mesh(1);
+        let mut t = Terminal::new(5, &topo, &spec, RoutingKind::DimensionOrder, 8, 8, 42);
+        let cycles = 60_000u64;
+        let geom = topo.geometry();
+        for now in 0..cycles {
+            t.generate_traffic(0.3, TrafficPattern::UniformRandom, geom, now);
+        }
+        // Transactions are 8 + 2 = 10 flits -> rate/10 firings per cycle.
+        let expect = 0.3 / 10.0 * cycles as f64;
+        let got = t.src_queue.len() as f64;
+        assert!(
+            (got - expect).abs() < 0.1 * expect,
+            "got {got}, expected ~{expect}"
+        );
+    }
+
+    /// Data-bearing packets stream `payload_flits + 1` flits when started.
+    #[test]
+    fn payload_length_sizes_streamed_packets() {
+        let topo = TopologyKind::Mesh8x8.build();
+        let spec = VcAllocSpec::mesh(1);
+        let mut t = Terminal::new(5, &topo, &spec, RoutingKind::DimensionOrder, 16, 8, 42);
+        t.src_queue.push_back(PendingPacket {
+            kind: PacketKind::WriteRequest,
+            dest: 20,
+            birth: 0,
+        });
+        let mut tail_at = None;
+        for now in 0..16 {
+            if let Some((_, flit)) = t.step(&topo, &NullProbe, now).flit {
+                assert_eq!(flit.flit_index, now as usize);
+                if flit.tail {
+                    tail_at = Some(now);
+                    break;
+                }
+            }
+        }
+        // Head + 8 payload flits = 9 flits, indices 0..=8.
+        assert_eq!(tail_at, Some(8));
+    }
+
+    /// Regression: the old `(id << 40) | (now << 8) | class` packing
+    /// collided across terminals on long runs — terminal 0 starting a
+    /// packet at cycle 2^32 produced the same id as terminal 1 starting
+    /// one at cycle 0. Ids must be unique regardless of the cycle.
+    #[test]
+    fn packet_ids_do_not_collide_on_long_runs() {
+        let topo = TopologyKind::Mesh8x8.build();
+        let spec = VcAllocSpec::mesh(1);
+        let mut ids = std::collections::HashSet::new();
+        for (term, now) in [(0usize, 1u64 << 32), (1, 0)] {
+            let mut t = Terminal::new(term, &topo, &spec, RoutingKind::DimensionOrder, 8, 4, 42);
+            t.src_queue.push_back(PendingPacket {
+                kind: PacketKind::WriteRequest,
+                dest: 20,
+                birth: 0,
+            });
+            let (_, flit) = t.step(&topo, &NullProbe, now).flit.unwrap();
+            assert!(
+                ids.insert(flit.packet_id),
+                "terminal {term} at cycle {now} reused packet id {:#x}",
+                flit.packet_id
+            );
+        }
+    }
+
+    /// Packet ids within one terminal are strictly increasing, even when
+    /// several packets start in the same cycle window.
+    #[test]
+    fn packet_ids_are_monotonic_per_terminal() {
+        let (mut t, topo) = mesh_terminal();
+        for dest in [20usize, 21, 22] {
+            t.src_queue.push_back(PendingPacket {
+                kind: PacketKind::ReadRequest,
+                dest,
+                birth: 0,
+            });
+        }
+        let mut last = None;
+        for now in 0..3 {
+            let (_, flit) = t.step(&topo, &NullProbe, now).flit.unwrap();
+            assert!(last.is_none_or(|p| flit.packet_id > p), "ids not monotonic");
+            last = Some(flit.packet_id);
+        }
+    }
+
     #[test]
     fn fbfly_injection_vc_class_matches_phase() {
         let topo = TopologyKind::FlattenedButterfly4x4.build();
         let spec = VcAllocSpec::fbfly(1);
-        let mut t = Terminal::new(0, &topo, &spec, RoutingKind::Ugal { threshold: 3 }, 8, 7);
+        let mut t = Terminal::new(0, &topo, &spec, RoutingKind::Ugal { threshold: 3 }, 8, 4, 7);
         // Zero congestion -> minimal -> injection VC in the minimal class.
         t.src_queue.push_back(PendingPacket {
             kind: PacketKind::ReadRequest,

@@ -212,6 +212,15 @@ impl Topology {
         self.width * self.height
     }
 
+    /// The terminal-space shape traffic patterns operate on.
+    pub fn geometry(&self) -> crate::traffic::TrafficGeometry {
+        crate::traffic::TrafficGeometry {
+            width: self.width,
+            height: self.height,
+            concentration: self.concentration,
+        }
+    }
+
     /// Number of network terminals.
     pub fn num_terminals(&self) -> usize {
         self.num_routers() * self.concentration

@@ -3,6 +3,27 @@
 
 use rand::Rng;
 
+/// The terminal-space shape a traffic pattern operates on: the router grid
+/// plus the terminals-per-router concentration. Patterns that permute
+/// coordinates (tornado) need the grid; the bit-permutation patterns only
+/// use the total terminal count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TrafficGeometry {
+    /// Router grid width.
+    pub width: usize,
+    /// Router grid height.
+    pub height: usize,
+    /// Terminals per router.
+    pub concentration: usize,
+}
+
+impl TrafficGeometry {
+    /// Total number of terminals.
+    pub fn terminals(&self) -> usize {
+        self.width * self.height * self.concentration
+    }
+}
+
 /// Spatial traffic patterns. The paper presents uniform random results and
 /// notes its conclusions are "largely invariant to traffic pattern
 /// selection"; the additional patterns support that ablation.
@@ -14,18 +35,20 @@ pub enum TrafficPattern {
     BitComplement,
     /// 8×8 matrix transpose of the terminal index.
     Transpose,
-    /// Half-ring offset in the terminal space.
+    /// Per-dimension half-ring offset: ⌈k/2⌉−1 hops along each dimension
+    /// of the router grid (Dally & Towles §3.2), the adversarial pattern
+    /// for rings and tori.
     Tornado,
     /// One-bit rotate left of the terminal index.
     Shuffle,
 }
 
 impl TrafficPattern {
-    /// Chooses the destination terminal for a packet from `src` among `n`
-    /// terminals (`n` must be a power of two for the bit-permutations).
-    pub fn dest(self, src: usize, n: usize, rng: &mut impl Rng) -> usize {
-        debug_assert!(n.is_power_of_two());
-        let bits = n.trailing_zeros() as usize;
+    /// Chooses the destination terminal for a packet from `src` on a
+    /// network of shape `geom` (`geom.terminals()` must be a power of two
+    /// for the bit-permutation patterns).
+    pub fn dest(self, src: usize, geom: TrafficGeometry, rng: &mut impl Rng) -> usize {
+        let n = geom.terminals();
 
         match self {
             TrafficPattern::UniformRandom => {
@@ -36,15 +59,37 @@ impl TrafficPattern {
                 }
                 d
             }
-            TrafficPattern::BitComplement => !src & (n - 1),
+            TrafficPattern::BitComplement => {
+                debug_assert!(n.is_power_of_two());
+                !src & (n - 1)
+            }
             TrafficPattern::Transpose => {
+                debug_assert!(n.is_power_of_two());
+                let bits = n.trailing_zeros() as usize;
                 let half = bits / 2;
                 let lo = src & ((1 << half) - 1);
                 let hi = src >> half;
                 (lo << half) | hi
             }
-            TrafficPattern::Tornado => (src + n / 2 - 1) % n,
-            TrafficPattern::Shuffle => ((src << 1) | (src >> (bits - 1))) & (n - 1),
+            TrafficPattern::Tornado => {
+                // Offset ⌈k/2⌉−1 within each dimension of the router grid;
+                // terminals keep their slot at the destination router. The
+                // old flat form `(src + n/2 - 1) % n` wrapped a half-ring
+                // through *terminal* space, which is not the literature's
+                // tornado on a k-ary 2-dimensional network.
+                let (w, h, c) = (geom.width, geom.height, geom.concentration);
+                let router = src / c;
+                let slot = src % c;
+                let (x, y) = (router % w, router / w);
+                let nx = (x + w.div_ceil(2) - 1) % w;
+                let ny = (y + h.div_ceil(2) - 1) % h;
+                (ny * w + nx) * c + slot
+            }
+            TrafficPattern::Shuffle => {
+                debug_assert!(n.is_power_of_two());
+                let bits = n.trailing_zeros() as usize;
+                ((src << 1) | (src >> (bits - 1))) & (n - 1)
+            }
         }
     }
 
@@ -58,6 +103,19 @@ impl TrafficPattern {
             TrafficPattern::Shuffle => "shuffle",
         }
     }
+
+    /// Parses a CLI/spec pattern name (the [`TrafficPattern::label`]
+    /// strings).
+    pub fn parse(s: &str) -> Option<TrafficPattern> {
+        match s {
+            "uniform" => Some(TrafficPattern::UniformRandom),
+            "bitcomp" => Some(TrafficPattern::BitComplement),
+            "transpose" => Some(TrafficPattern::Transpose),
+            "tornado" => Some(TrafficPattern::Tornado),
+            "shuffle" => Some(TrafficPattern::Shuffle),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -65,12 +123,26 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    /// The 8×8 mesh/torus terminal space.
+    const MESH: TrafficGeometry = TrafficGeometry {
+        width: 8,
+        height: 8,
+        concentration: 1,
+    };
+
+    /// The 4×4 concentration-4 flattened butterfly terminal space.
+    const FBFLY: TrafficGeometry = TrafficGeometry {
+        width: 4,
+        height: 4,
+        concentration: 4,
+    };
+
     #[test]
     fn uniform_never_targets_self_and_covers_space() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2000 {
-            let d = TrafficPattern::UniformRandom.dest(17, 64, &mut rng);
+            let d = TrafficPattern::UniformRandom.dest(17, MESH, &mut rng);
             assert_ne!(d, 17);
             assert!(d < 64);
             seen.insert(d);
@@ -81,15 +153,17 @@ mod tests {
     #[test]
     fn permutation_patterns_are_permutations() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        for p in [
-            TrafficPattern::BitComplement,
-            TrafficPattern::Transpose,
-            TrafficPattern::Tornado,
-            TrafficPattern::Shuffle,
-        ] {
-            let dests: Vec<usize> = (0..64).map(|s| p.dest(s, 64, &mut rng)).collect();
-            let unique: std::collections::HashSet<_> = dests.iter().collect();
-            assert_eq!(unique.len(), 64, "{p:?} not a permutation");
+        for geom in [MESH, FBFLY] {
+            for p in [
+                TrafficPattern::BitComplement,
+                TrafficPattern::Transpose,
+                TrafficPattern::Tornado,
+                TrafficPattern::Shuffle,
+            ] {
+                let dests: Vec<usize> = (0..64).map(|s| p.dest(s, geom, &mut rng)).collect();
+                let unique: std::collections::HashSet<_> = dests.iter().collect();
+                assert_eq!(unique.len(), 64, "{p:?} not a permutation on {geom:?}");
+            }
         }
     }
 
@@ -98,7 +172,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         // terminal 8*a + b -> 8*b + a
         assert_eq!(
-            TrafficPattern::Transpose.dest(8 * 2 + 5, 64, &mut rng),
+            TrafficPattern::Transpose.dest(8 * 2 + 5, MESH, &mut rng),
             8 * 5 + 2
         );
     }
@@ -106,10 +180,57 @@ mod tests {
     #[test]
     fn bit_complement() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        assert_eq!(TrafficPattern::BitComplement.dest(0, 64, &mut rng), 63);
+        assert_eq!(TrafficPattern::BitComplement.dest(0, MESH, &mut rng), 63);
         assert_eq!(
-            TrafficPattern::BitComplement.dest(0b101010, 64, &mut rng),
+            TrafficPattern::BitComplement.dest(0b101010, MESH, &mut rng),
             0b010101
         );
+    }
+
+    /// Regression for the flat terminal-space tornado: on the 8×8 mesh the
+    /// destination must be offset ⌈8/2⌉−1 = 3 in *each* dimension, not a
+    /// half-ring walk through the linear terminal index (the old code sent
+    /// terminal 0 to (0 + 32 − 1) % 64 = 31 instead of router (3, 3) = 27).
+    #[test]
+    fn tornado_is_per_dimension_on_the_mesh() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // src (0,0) -> (3,3) = 27; old flat form gave (0+31)%64 = 31.
+        assert_eq!(TrafficPattern::Tornado.dest(0, MESH, &mut rng), 27);
+        for src in 0..64usize {
+            let d = TrafficPattern::Tornado.dest(src, MESH, &mut rng);
+            let (sx, sy) = (src % 8, src / 8);
+            let (dx, dy) = (d % 8, d / 8);
+            assert_eq!(dx, (sx + 3) % 8, "x offset for src {src}");
+            assert_eq!(dy, (sy + 3) % 8, "y offset for src {src}");
+        }
+    }
+
+    /// On the concentrated fbfly the tornado offset is ⌈4/2⌉−1 = 1 per
+    /// dimension of the *router* grid, and a terminal keeps its slot at
+    /// the destination router.
+    #[test]
+    fn tornado_respects_concentration() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for src in 0..64usize {
+            let d = TrafficPattern::Tornado.dest(src, FBFLY, &mut rng);
+            assert_eq!(d % 4, src % 4, "slot preserved for src {src}");
+            let (sr, dr) = (src / 4, d / 4);
+            assert_eq!(dr % 4, (sr % 4 + 1) % 4, "router x for src {src}");
+            assert_eq!(dr / 4, (sr / 4 + 1) % 4, "router y for src {src}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for p in [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Transpose,
+            TrafficPattern::Tornado,
+            TrafficPattern::Shuffle,
+        ] {
+            assert_eq!(TrafficPattern::parse(p.label()), Some(p));
+        }
+        assert_eq!(TrafficPattern::parse("hotspot"), None);
     }
 }

@@ -9,6 +9,7 @@
 //! * `noc synth`   — synthesize a VC or switch allocator design point
 //! * `noc quality` — measure open-loop matching quality
 //! * `noc verilog` — emit structural Verilog for a design point
+//! * `noc sweep`   — run/resume cached, journaled experiment sweeps
 //!
 //! Run `noc help` (or any subcommand with `--help`) for flags. Argument
 //! parsing is deliberately dependency-free.
@@ -46,6 +47,9 @@ USAGE:
               [--trials N]
   noc verilog (vca|swa) [--topology mesh|fbfly|torus] [--vcs C] [--alloc KIND]
               [--dense]
+  noc sweep   (run|resume|status|clean) [--preset NAME | --spec FILE]
+              [--out DIR] [--cache-dir DIR] [--engine seq|par|active|auto]
+              [--threads N] [--quiet] [--no-render]
   noc help
 
 KIND (allocator): sep_if_rr sep_if_m sep_of_rr sep_of_m wf
@@ -97,6 +101,25 @@ Benchmarking (noc bench):
   --tolerance PCT         allowed slowdown vs baseline (default 15)
   --reps N                timed repetitions per workload (median wins)
 
+Experiment sweeps (noc sweep):
+  runs a declarative grid of simulations with a content-addressed result
+  cache and a crash-safe completion journal, so interrupted sweeps resume
+  with zero recomputation; preset sweeps reprint their legacy figure
+  binary's stdout bit-identically from cache
+  run                     run (or continue) a sweep; with --preset, the
+                          figure text follows on stdout
+  resume                  like run, but requires an existing journal
+  status                  list journals (done/total points) and cache size
+  clean                   delete cached results, journals, and manifests
+  --preset NAME           fig13 | fig14 | ablation-traffic |
+                          ablation-speculation | smoke
+  --spec FILE             JSON sweep spec (grammar in DESIGN.md)
+  --out DIR               journal/manifest directory (default results/sweeps)
+  --cache-dir DIR         result cache directory (default results/cache)
+  --engine NAME           override the cycle-loop engine for computed points
+  --quiet                 suppress per-point progress lines on stderr
+  --no-render             skip the figure render after a preset run
+
 Examples:
   noc sim --topology fbfly --vcs 4 --rate 0.3 --sa wf
   noc sim --rate 0.2 --verify
@@ -108,6 +131,8 @@ Examples:
   noc synth vca --topology mesh --vcs 2 --alloc sep_if_rr
   noc quality swa --topology fbfly --vcs 4 --rate 0.5 --trials 5000
   noc verilog swa --vcs 2 --alloc sep_if_rr > swa.v
+  noc sweep run --preset fig13 --engine auto
+  noc sweep status
 ";
 
 /// Parsed `--key value` flags plus positional arguments.
@@ -132,6 +157,8 @@ impl Args {
                     || key == "profile"
                     || key == "verify"
                     || key == "all"
+                    || key == "quiet"
+                    || key == "no-render"
                 {
                     flags.insert(key.to_string(), "true".to_string());
                     continue;
@@ -624,6 +651,156 @@ fn cmd_verilog(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    use std::path::PathBuf;
+    let sub = args.positional.get(1).map(String::as_str).unwrap_or("run");
+    let out_dir = PathBuf::from(
+        args.flags
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "results/sweeps".to_string()),
+    );
+    let cache_dir = PathBuf::from(
+        args.flags
+            .get("cache-dir")
+            .cloned()
+            .unwrap_or_else(|| "results/cache".to_string()),
+    );
+    match sub {
+        "run" => sweep_run(args, out_dir, cache_dir, false),
+        "resume" => sweep_run(args, out_dir, cache_dir, true),
+        "status" => sweep_status(&out_dir, &cache_dir),
+        "clean" => sweep_clean(&out_dir, &cache_dir),
+        other => Err(format!(
+            "unknown sweep subcommand '{other}' (run|resume|status|clean)"
+        )),
+    }
+}
+
+fn sweep_run(
+    args: &Args,
+    out_dir: std::path::PathBuf,
+    cache_dir: std::path::PathBuf,
+    require_journal: bool,
+) -> Result<(), String> {
+    use noc_bench::sweep::{
+        cached_runner, render, run_sweep, ResultCache, SweepOptions, SweepSpec,
+    };
+    let preset_name = args.flags.get("preset");
+    let spec = match (preset_name, args.flags.get("spec")) {
+        (Some(name), None) => noc_bench::sweep::preset(name).ok_or_else(|| {
+            format!(
+                "unknown preset '{name}' (available: {})",
+                noc_bench::sweep::preset_names().join(", ")
+            )
+        })?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec {path}: {e}"))?;
+            SweepSpec::from_json(&text)?
+        }
+        (Some(_), Some(_)) => return Err("--preset and --spec are mutually exclusive".to_string()),
+        (None, None) => return Err("sweep run needs --preset NAME or --spec FILE".to_string()),
+    };
+    let engine = match args.flags.get("engine") {
+        Some(_) => Some(args.engine()?),
+        None => None,
+    };
+    let opts = SweepOptions {
+        cache_dir: cache_dir.clone(),
+        out_dir,
+        engine,
+        quiet: args.flags.contains_key("quiet"),
+        require_journal,
+    };
+    let outcome = run_sweep(&spec, &opts)?;
+    eprintln!(
+        "sweep {}: {} points — {} computed, {} cache hits, {} journal skips in {:.1}s",
+        outcome.name,
+        outcome.total,
+        outcome.computed,
+        outcome.cache_hits,
+        outcome.journal_skips,
+        outcome.wall_ms as f64 / 1000.0
+    );
+    eprintln!("manifest: {}", outcome.manifest_path.display());
+    if let Some(name) = preset_name {
+        if !args.flags.contains_key("no-render") {
+            // Re-render the legacy figure through the cache: every grid
+            // point is a hit; only adaptive saturation probes (cached for
+            // next time) may still simulate.
+            let runner = cached_runner(
+                ResultCache::new(&cache_dir)?,
+                engine.unwrap_or(noc_sim::Engine::Sequential),
+            );
+            if let Some(text) = render::render_preset(name, &runner) {
+                print!("{text}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sweep_status(out_dir: &std::path::Path, cache_dir: &std::path::Path) -> Result<(), String> {
+    use noc_bench::sweep::{journal::read_status, ResultCache};
+    let mut journals: Vec<std::path::PathBuf> = std::fs::read_dir(out_dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "journal"))
+        .collect();
+    journals.sort();
+    if journals.is_empty() {
+        println!("no sweep journals in {}", out_dir.display());
+    }
+    for path in journals {
+        match read_status(&path) {
+            Some((header, done)) => {
+                let state = if done >= header.points {
+                    "complete"
+                } else {
+                    "partial"
+                };
+                println!(
+                    "{:<24} {:>5}/{:<5} {:<9} spec {}",
+                    header.name, done, header.points, state, header.spec_digest
+                );
+            }
+            None => println!("unreadable journal: {}", path.display()),
+        }
+    }
+    let cached = if cache_dir.is_dir() {
+        ResultCache::new(cache_dir)?.len()
+    } else {
+        0
+    };
+    println!("cache: {} results in {}", cached, cache_dir.display());
+    Ok(())
+}
+
+fn sweep_clean(out_dir: &std::path::Path, cache_dir: &std::path::Path) -> Result<(), String> {
+    use noc_bench::sweep::ResultCache;
+    let removed_cache = if cache_dir.is_dir() {
+        ResultCache::new(cache_dir)?.clear()?
+    } else {
+        0
+    };
+    let mut removed_files = 0usize;
+    for entry in std::fs::read_dir(out_dir).into_iter().flatten().flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".journal") || name.ends_with(".manifest.json") {
+            std::fs::remove_file(&path)
+                .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
+            removed_files += 1;
+        }
+    }
+    println!("removed {removed_cache} cached results, {removed_files} journal/manifest files");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(&argv) {
@@ -646,6 +823,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(&args),
         "quality" => cmd_quality(&args),
         "verilog" => cmd_verilog(&args),
+        "sweep" => cmd_sweep(&args),
         "help" | "" => {
             println!("{HELP}");
             Ok(())
