@@ -389,6 +389,7 @@ mod tests {
             ci95: f64::NAN,
             seeds: 1,
             warmup_detected: None,
+            telemetry: None,
             hist: Default::default(),
             router_stats: Default::default(),
             routers: Vec::new(),

@@ -18,10 +18,14 @@
 use crate::figures::{direct_runner, SimRunner};
 use crate::sweep::cache::ResultCache;
 use crate::sweep::journal::{Journal, JournalHeader};
-use crate::sweep::spec::SweepSpec;
+use crate::sweep::spec::{SweepPoint, SweepSpec};
 use crate::sweep::SWEEP_SCHEMA;
-use noc_obs::{sweep_manifest_json, ProgressMeter, SweepManifestPoint};
-use noc_sim::{run_many, run_sim_engine, Engine, SimConfig, SimResult};
+use noc_obs::{
+    sweep_manifest_json, window_jsonl, ProgressMeter, SweepManifestPoint, TelemetryHeader,
+};
+use noc_sim::{
+    run_many, run_sim_engine, run_sim_recorded_with, Engine, SimConfig, SimResult, TelemetryOptions,
+};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -38,6 +42,10 @@ pub struct SweepOptions {
     pub quiet: bool,
     /// Refuse to start without an existing journal (`noc sweep resume`).
     pub require_journal: bool,
+    /// Record a telemetry dump (`<digest>.telemetry.jsonl` in the cache
+    /// directory) for every point this run computes; the manifest links
+    /// each point to its dump.
+    pub telemetry: bool,
 }
 
 impl SweepOptions {
@@ -49,8 +57,66 @@ impl SweepOptions {
             engine: None,
             quiet: false,
             require_journal: false,
+            telemetry: false,
         }
     }
+}
+
+/// File name (relative to the cache directory) of a point's telemetry dump.
+fn telemetry_filename(digest: &str) -> String {
+    format!("{digest}.telemetry.jsonl")
+}
+
+/// Simulates one point with the flight recorder attached and writes the
+/// `noc-telemetry/v1` dump next to the cached result. The dump stays out of
+/// both the point digest and the cached `SimResult` (the summary is
+/// stripped before the result is stored), so telemetry and plain sweeps
+/// share cache entries byte for byte.
+fn compute_with_telemetry(
+    point: &SweepPoint,
+    engine: Engine,
+    cache_dir: &Path,
+    digest: &str,
+) -> Result<SimResult, String> {
+    let topts = TelemetryOptions {
+        // A watchdog trip would poison the whole sweep; sweep specs are
+        // assumed deadlock-free and long stalls simply show in the dump.
+        watchdog: None,
+        ..TelemetryOptions::recording()
+    };
+    let header = TelemetryHeader {
+        digest: digest.to_string(),
+        label: point.label.clone(),
+        window: topts.window,
+        match_every: topts.match_every,
+        routers: point.cfg.topology.build().num_routers(),
+        warmup: point.warmup,
+        measure: point.measure,
+    };
+    let mut text = header.to_json();
+    text.push('\n');
+    let (mut r, _rec) = run_sim_recorded_with(
+        &point.cfg,
+        point.warmup,
+        point.measure,
+        engine,
+        topts,
+        |snap| {
+            text.push_str(&window_jsonl(snap));
+            text.push('\n');
+        },
+    )
+    .map_err(|trip| {
+        format!(
+            "telemetry: watchdog tripped with no watchdog set: {}",
+            trip.describe()
+        )
+    })?;
+    let path = cache_dir.join(telemetry_filename(digest));
+    std::fs::write(&path, text)
+        .map_err(|e| format!("telemetry: cannot write {}: {e}", path.display()))?;
+    r.telemetry = None;
+    Ok(r)
 }
 
 /// What a sweep run did.
@@ -120,7 +186,11 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                 // re-journaling it is harmless (the done-set dedups).
                 None => {
                     let engine = opts.engine.unwrap_or(point.engine);
-                    let r = run_sim_engine(&point.cfg, point.warmup, point.measure, engine);
+                    let r = if opts.telemetry {
+                        compute_with_telemetry(point, engine, &opts.cache_dir, digest)?
+                    } else {
+                        run_sim_engine(&point.cfg, point.warmup, point.measure, engine)
+                    };
                     cache.store(digest, &r)?;
                     (r, "computed")
                 }
@@ -146,11 +216,15 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             "cache" => cache_hits += 1,
             _ => journal_skips += 1,
         }
+        // Dumps from this run or any earlier telemetry-enabled run are
+        // linked the same way: by presence on disk next to the cache entry.
+        let dump = telemetry_filename(&digests[i]);
         manifest_points.push(SweepManifestPoint {
             label: points[i].label.clone(),
             digest: digests[i].clone(),
             source,
             wall_ms,
+            telemetry: opts.cache_dir.join(&dump).is_file().then_some(dump),
         });
         results.push(result);
     }

@@ -29,6 +29,7 @@ fn opts(root: &Path) -> SweepOptions {
         engine: None,
         quiet: true,
         require_journal: false,
+        telemetry: false,
     }
 }
 
@@ -175,4 +176,50 @@ fn preset_render_from_cache_is_bit_identical_to_direct() {
         "render was all cache hits: no new entries"
     );
     let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn telemetry_sweep_writes_linked_dumps_without_touching_the_cache_contract() {
+    let root = scratch("telemetry");
+    let spec = tiny_spec("t");
+    let recorded = run_sweep(
+        &spec,
+        &SweepOptions {
+            telemetry: true,
+            ..opts(&root)
+        },
+    )
+    .unwrap();
+    assert_eq!(recorded.computed, 3);
+
+    // Every point got a parseable noc-telemetry/v1 dump, and the manifest
+    // links each one by file name.
+    let manifest = fs::read_to_string(&recorded.manifest_path).unwrap();
+    let mut linked = 0;
+    for part in manifest.split("\"telemetry\":\"").skip(1) {
+        let name = part.split('"').next().unwrap();
+        let dump_path = root.join("cache").join(name);
+        let dump = noc_obs::TelemetryDump::parse(&fs::read_to_string(&dump_path).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", dump_path.display()));
+        assert!(!dump.windows.is_empty(), "dump must hold windows");
+        linked += 1;
+    }
+    assert_eq!(linked, 3, "all three points link a dump");
+
+    // The cached SimResults are byte-identical to a plain sweep's: the
+    // recorder is a pure observer and its summary stays out of the cache.
+    let plain_root = scratch("telemetry-plain");
+    let plain = run_sweep(&spec, &opts(&plain_root)).unwrap();
+    for (a, b) in recorded.results.iter().zip(&plain.results) {
+        assert_eq!(a.to_json_full(), b.to_json_full());
+    }
+
+    // A later *plain* re-run over the same cache still links the dumps.
+    let rerun = run_sweep(&spec, &opts(&root)).unwrap();
+    assert_eq!(rerun.computed, 0);
+    let manifest = fs::read_to_string(&rerun.manifest_path).unwrap();
+    assert_eq!(manifest.matches("\"telemetry\":\"").count(), 3);
+
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&plain_root);
 }

@@ -33,6 +33,9 @@ impl RouteModel {
             RouteModel::Simulator(RoutingKind::DimensionOrder) => "dor".to_string(),
             RouteModel::Simulator(RoutingKind::Ugal { threshold }) => format!("ugal{threshold}"),
             RouteModel::Simulator(RoutingKind::TorusDateline) => "torus-dateline".to_string(),
+            RouteModel::Simulator(RoutingKind::TorusNoDateline) => {
+                "torus-no-dateline-sim".to_string()
+            }
             RouteModel::TorusNoDateline => "torus-no-dateline".to_string(),
             RouteModel::AlternatingClass => "alternating-class".to_string(),
         }

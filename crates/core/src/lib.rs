@@ -35,7 +35,7 @@ pub mod wavefront;
 pub use alloc::{Allocator, AllocatorKind};
 pub use augmenting::AugmentingPathAllocator;
 pub use matrix::BitMatrix;
-pub use maxsize::MaxSizeAllocator;
+pub use maxsize::{max_matching, max_matching_assignment, MaxSizeAllocator};
 pub use separable::{SeparableInputFirst, SeparableOutputFirst};
 pub use spec::{SpecAllocResult, SpecMode, SpeculativeSwitchAllocator};
 pub use switch::{

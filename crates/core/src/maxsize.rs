@@ -2,6 +2,56 @@
 
 use crate::{Allocator, BitMatrix};
 
+/// Size of a maximum bipartite matching for `requests`, via repeated
+/// augmenting-path search (Ford–Fulkerson on the request graph).
+///
+/// This is the exact matching-quality reference of §3.1: every practical
+/// allocator's per-cycle grant count is normalized against this value.
+/// Besides the [`MaxSizeAllocator`], the simulator's telemetry layer calls
+/// it on sampled switch-request matrices to report matching efficiency
+/// over time.
+pub fn max_matching(requests: &BitMatrix) -> usize {
+    max_matching_assignment(requests)
+        .iter()
+        .filter(|m| m.is_some())
+        .count()
+}
+
+/// One maximum matching of `requests`, as `match_of_col[c] = Some(r)`.
+pub fn max_matching_assignment(requests: &BitMatrix) -> Vec<Option<usize>> {
+    let nc = requests.num_cols();
+    let mut col_match: Vec<Option<usize>> = vec![None; nc];
+    let mut visited = vec![false; nc];
+    for r in 0..requests.num_rows() {
+        visited.iter_mut().for_each(|v| *v = false);
+        augment(requests, r, &mut col_match, &mut visited);
+    }
+    col_match
+}
+
+fn augment(
+    requests: &BitMatrix,
+    r: usize,
+    col_match: &mut Vec<Option<usize>>,
+    visited: &mut Vec<bool>,
+) -> bool {
+    for c in requests.row(r).iter_set() {
+        if visited[c] {
+            continue;
+        }
+        visited[c] = true;
+        let freed = match col_match[c] {
+            None => true,
+            Some(owner) => augment(requests, owner, col_match, visited),
+        };
+        if freed {
+            col_match[c] = Some(r);
+            return true;
+        }
+    }
+    false
+}
+
 /// Maximum-size allocator: computes a true *maximum* bipartite matching via
 /// repeated augmenting-path search (Ford–Fulkerson on the request graph,
 /// §2.3's conceptual algorithm).
@@ -26,47 +76,9 @@ impl MaxSizeAllocator {
     }
 
     /// Size of the maximum matching for `requests`, without materializing
-    /// the grant matrix.
+    /// the grant matrix. Thin wrapper over the free [`max_matching`].
     pub fn max_matching_size(requests: &BitMatrix) -> usize {
-        Self::matching(requests)
-            .iter()
-            .filter(|m| m.is_some())
-            .count()
-    }
-
-    /// Computes `match_of_col[c] = Some(r)` for a maximum matching.
-    fn matching(requests: &BitMatrix) -> Vec<Option<usize>> {
-        let nc = requests.num_cols();
-        let mut col_match: Vec<Option<usize>> = vec![None; nc];
-        let mut visited = vec![false; nc];
-        for r in 0..requests.num_rows() {
-            visited.iter_mut().for_each(|v| *v = false);
-            Self::augment(requests, r, &mut col_match, &mut visited);
-        }
-        col_match
-    }
-
-    fn augment(
-        requests: &BitMatrix,
-        r: usize,
-        col_match: &mut Vec<Option<usize>>,
-        visited: &mut Vec<bool>,
-    ) -> bool {
-        for c in requests.row(r).iter_set() {
-            if visited[c] {
-                continue;
-            }
-            visited[c] = true;
-            let freed = match col_match[c] {
-                None => true,
-                Some(owner) => Self::augment(requests, owner, col_match, visited),
-            };
-            if freed {
-                col_match[c] = Some(r);
-                return true;
-            }
-        }
-        false
+        max_matching(requests)
     }
 }
 
@@ -82,7 +94,7 @@ impl Allocator for MaxSizeAllocator {
     fn allocate(&mut self, requests: &BitMatrix) -> BitMatrix {
         assert_eq!(requests.num_rows(), self.requesters);
         assert_eq!(requests.num_cols(), self.resources);
-        let col_match = Self::matching(requests);
+        let col_match = max_matching_assignment(requests);
         let mut grants = BitMatrix::new(self.requesters, self.resources);
         for (c, m) in col_match.iter().enumerate() {
             if let Some(r) = m {

@@ -219,6 +219,9 @@ pub struct SweepManifestPoint {
     pub source: &'static str,
     /// Wall-clock cost of satisfying the point, in milliseconds.
     pub wall_ms: u64,
+    /// File name of this point's `noc-telemetry/v1` dump (relative to the
+    /// sweep's cache directory), when one was recorded for this digest.
+    pub telemetry: Option<String>,
 }
 
 /// Encodes a sweep-run manifest (schema `noc-sweep-manifest/v1`) as one
@@ -259,12 +262,16 @@ pub fn sweep_manifest_json(
         }
         let _ = write!(
             out,
-            "{{\"label\":\"{}\",\"digest\":\"{}\",\"source\":\"{}\",\"wall_ms\":{}}}",
+            "{{\"label\":\"{}\",\"digest\":\"{}\",\"source\":\"{}\",\"wall_ms\":{}",
             esc(&p.label),
             esc(&p.digest),
             p.source,
             p.wall_ms
         );
+        if let Some(t) = &p.telemetry {
+            let _ = write!(out, ",\"telemetry\":\"{}\"", esc(t));
+        }
+        out.push('}');
     }
     out.push_str("]}");
     out

@@ -312,4 +312,54 @@ mod tests {
             assert!(lower < upper);
         }
     }
+
+    #[test]
+    fn percentile_is_exact_at_bucket_boundaries() {
+        // Two unit-width buckets, 5 counts each: the quantile that lands
+        // exactly on the first bucket's last sample must report the first
+        // bucket, and the next representable quantile the second.
+        let mut h = HdrHistogram::new();
+        h.record_n(10, 5);
+        h.record_n(20, 5);
+        assert_eq!(h.percentile(0.5), 10.0);
+        assert_eq!(h.percentile(0.500001), 20.0);
+        assert_eq!(h.percentile(0.6), 20.0);
+        assert_eq!(h.percentile(1.0), 20.0);
+    }
+
+    #[test]
+    fn single_bucket_histogram_interpolates_within_width() {
+        // 100 and 101 share the width-2 bucket [100, 102): the midpoint
+        // quantile interpolates halfway across the representable values,
+        // the top quantiles pin to the exact recorded maximum.
+        let mut h = HdrHistogram::new();
+        h.record(100);
+        h.record(101);
+        assert_eq!(h.percentile(0.5), 100.5);
+        assert_eq!(h.percentile(0.75), 101.0);
+        assert_eq!(h.percentile(1.0), 101.0);
+    }
+
+    #[test]
+    fn single_value_histogram_is_exact_at_every_quantile() {
+        // Interpolation across a wide bucket must clamp to the recorded
+        // min/max, so a degenerate distribution reports its exact value.
+        let mut h = HdrHistogram::new();
+        h.record_n(100, 1000);
+        for q in [0.001, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 100.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn octave_boundary_values_report_exactly() {
+        // 63 is the last unit bucket; 64 opens the first width-2 octave;
+        // 65 is the top of that bucket. Each alone must report itself.
+        for v in [63u64, 64, 65] {
+            let mut h = HdrHistogram::new();
+            h.record(v);
+            assert_eq!(h.percentile(0.5), v as f64, "value {v}");
+            assert_eq!(h.percentile(1.0), v as f64, "value {v}");
+        }
+    }
 }

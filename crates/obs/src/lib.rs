@@ -33,6 +33,15 @@
 //! - [`progress`]: a thread-safe progress/ETA meter for long experiment
 //!   sweeps; the manifest exporter in [`export`] records how each sweep
 //!   point was satisfied (computed / cache / journal).
+//! - [`timeseries`]: the bounded-memory flight recorder — windowed
+//!   per-router counter snapshots ([`WindowSnapshot`]) in a fixed-capacity
+//!   ring ([`FlightRecorder`]), including the consecutive-stalled-window
+//!   signal the simulator's deadlock watchdog trips on.
+//! - [`record`]: the `noc-telemetry/v1` dump format (JSON Lines) and the
+//!   derived per-run [`TelemetrySummary`] — shared between live recording
+//!   and `noc replay`, so a replayed dump summarizes byte-identically.
+//! - [`top`]: terminal frames for `noc top` (congestion heatmap +
+//!   matching-efficiency sparkline), rendered as plain strings.
 
 pub mod digest;
 pub mod event;
@@ -42,6 +51,9 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
+pub mod record;
+pub mod timeseries;
+pub mod top;
 
 pub use digest::DigestSink;
 pub use event::{CountingSink, FlitEvent, FlitEventKind, NopSink, TraceSink, VecSink};
@@ -54,3 +66,8 @@ pub use json::{validate_json, JsonValue};
 pub use metrics::{GaugeSample, MetricsRegistry, RouterBreakdown, RouterObs, StallCounters};
 pub use profile::{NopProfiler, Phase, PhaseProfiler, Profiler, PHASES};
 pub use progress::ProgressMeter;
+pub use record::{
+    window_jsonl, TelemetryDump, TelemetryHeader, TelemetrySummary, TELEMETRY_SCHEMA,
+};
+pub use timeseries::{FlightRecorder, RouterCounters, WindowSnapshot};
+pub use top::render_top;

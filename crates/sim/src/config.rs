@@ -51,6 +51,12 @@ pub struct SimConfig {
     pub pattern: TrafficPattern,
     /// RNG seed (simulations are fully deterministic given the seed).
     pub seed: u64,
+    /// Routing algorithm override. `None` (the paper's configurations)
+    /// derives the algorithm from the topology; `Some` forces one — used
+    /// by negative fixtures such as
+    /// [`RoutingKind::TorusNoDateline`], the deliberately deadlock-prone
+    /// configuration the stall watchdog is tested against.
+    pub routing_override: Option<RoutingKind>,
 }
 
 impl SimConfig {
@@ -71,6 +77,7 @@ impl SimConfig {
             payload_flits: crate::packet::DEFAULT_PAYLOAD_FLITS,
             pattern: TrafficPattern::UniformRandom,
             seed: 0x5c09_2009,
+            routing_override: None,
         }
     }
 
@@ -83,8 +90,11 @@ impl SimConfig {
         }
     }
 
-    /// The routing algorithm implied by the topology (§3.2).
+    /// The routing algorithm: the topology's (§3.2) unless overridden.
     pub fn routing(&self) -> RoutingKind {
+        if let Some(kind) = self.routing_override {
+            return kind;
+        }
         match self.topology {
             TopologyKind::Mesh8x8 => RoutingKind::DimensionOrder,
             TopologyKind::FlattenedButterfly4x4 => RoutingKind::Ugal { threshold: 3 },

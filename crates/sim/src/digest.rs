@@ -59,7 +59,7 @@ impl SimConfig {
     /// alias.
     pub fn canonical_fields(&self) -> Vec<(String, String)> {
         let own = |s: &str| s.to_string();
-        vec![
+        let mut fields = vec![
             (own("topology"), own(self.topology.label())),
             (own("vcs_per_class"), self.vcs_per_class.to_string()),
             (own("buf_depth"), self.buf_depth.to_string()),
@@ -72,7 +72,15 @@ impl SimConfig {
             (own("payload_flits"), self.payload_flits.to_string()),
             (own("pattern"), own(self.pattern.label())),
             (own("seed"), self.seed.to_string()),
-        ]
+        ];
+        // Only an explicit override joins the identity: the derived
+        // algorithm is a function of `topology`, already digested, and
+        // appending it unconditionally would invalidate every existing
+        // cached result for no semantic change.
+        if let Some(kind) = self.routing_override {
+            fields.push((own("routing"), own(kind.label())));
+        }
+        fields
     }
 
     /// Content digest of this configuration plus the run window and a
@@ -138,6 +146,26 @@ mod tests {
         }
         assert_ne!(base().digest(3_001, 6_000, "v1"), d0);
         assert_ne!(base().digest(3_000, 6_001, "v1"), d0);
+    }
+
+    #[test]
+    fn routing_override_separates_digests() {
+        let torus = SimConfig {
+            topology: TopologyKind::Torus8x8,
+            ..base()
+        };
+        let fixture = SimConfig {
+            routing_override: Some(crate::routing::RoutingKind::TorusNoDateline),
+            ..torus.clone()
+        };
+        assert_ne!(
+            fixture.digest(3_000, 6_000, "v1"),
+            torus.digest(3_000, 6_000, "v1")
+        );
+        // No override leaves the canonical field list (and so every
+        // previously cached digest) unchanged.
+        assert_eq!(torus.canonical_fields().len(), 12);
+        assert_eq!(fixture.canonical_fields().len(), 13);
     }
 
     #[test]

@@ -8,8 +8,8 @@ use crate::terminal::{RouterProbe, Terminal};
 use crate::topology::Topology;
 use crate::verify::{InvariantChecker, NopChecker};
 use noc_obs::{
-    FlitEvent, FlitEventKind, MetricsRegistry, NopProfiler, NopSink, Phase, PhaseProfiler,
-    RouterBreakdown, RouterObs, TraceSink,
+    FlightRecorder, FlitEvent, FlitEventKind, MetricsRegistry, NopProfiler, NopSink, Phase,
+    PhaseProfiler, RouterBreakdown, RouterObs, TraceSink,
 };
 use std::time::Instant;
 
@@ -95,6 +95,9 @@ pub struct Network<S: TraceSink = NopSink> {
     pub sink: S,
     /// Opt-in sampled time series (see [`Network::enable_metrics`]).
     pub metrics: Option<MetricsRegistry>,
+    /// Opt-in windowed flight recorder (see
+    /// [`Network::enable_telemetry`]).
+    pub telemetry: Option<FlightRecorder>,
 }
 
 impl Network<NopSink> {
@@ -160,6 +163,7 @@ impl<S: TraceSink> Network<S> {
             stats,
             sink,
             metrics: None,
+            telemetry: None,
         }
     }
 
@@ -167,6 +171,21 @@ impl<S: TraceSink> Network<S> {
     /// `sample_interval` cycles.
     pub fn enable_metrics(&mut self, sample_interval: u64) {
         self.metrics = Some(MetricsRegistry::new(sample_interval, self.routers.len()));
+    }
+
+    /// Turns on the flight recorder: a window snapshot every `window`
+    /// cycles, the last `capacity` snapshots retained. A non-zero
+    /// `matching_period` additionally enables matching-quality sampling in
+    /// every router, every `matching_period` cycles (an exact maximum
+    /// matching per router per sample — keep the period well above 1 for
+    /// production runs).
+    pub fn enable_telemetry(&mut self, window: u64, capacity: usize, matching_period: u64) {
+        self.telemetry = Some(FlightRecorder::new(window, capacity));
+        if matching_period > 0 {
+            for r in &mut self.routers {
+                r.enable_match_sampling(matching_period);
+            }
+        }
     }
 
     /// The active configuration.
@@ -247,7 +266,15 @@ impl<S: TraceSink> Network<S> {
             }
             self.audit_credit_conservation(chk);
         }
-        finish_cycle(&self.routers, &mut self.metrics, K::ACTIVE, now);
+        finish_cycle(
+            &self.routers,
+            &self.terminals,
+            &self.stats,
+            &mut self.metrics,
+            &mut self.telemetry,
+            K::ACTIVE,
+            now,
+        );
         self.now += 1;
     }
 
@@ -312,7 +339,15 @@ impl<S: TraceSink> Network<S> {
                 now,
             );
         }
-        finish_cycle(&self.routers, &mut self.metrics, false, now);
+        finish_cycle(
+            &self.routers,
+            &self.terminals,
+            &self.stats,
+            &mut self.metrics,
+            &mut self.telemetry,
+            false,
+            now,
+        );
         self.now += 1;
     }
 
@@ -359,7 +394,15 @@ impl<S: TraceSink> Network<S> {
                 now,
             );
         }
-        finish_cycle(&self.routers, &mut self.metrics, false, now);
+        finish_cycle(
+            &self.routers,
+            &self.terminals,
+            &self.stats,
+            &mut self.metrics,
+            &mut self.telemetry,
+            false,
+            now,
+        );
         self.now += 1;
     }
 
@@ -433,6 +476,7 @@ impl<S: TraceSink> Network<S> {
             stats,
             sink: _,
             metrics,
+            telemetry,
         } = self;
         let n = routers.len();
         let router_cells: Vec<UnsafeCell<Router>> =
@@ -537,7 +581,15 @@ impl<S: TraceSink> Network<S> {
                 let routers_ref: &[Router] = unsafe {
                     std::slice::from_raw_parts(router_cells.as_ptr() as *const Router, n)
                 };
-                finish_cycle(routers_ref, metrics, false, cycle_now);
+                finish_cycle(
+                    routers_ref,
+                    terminals,
+                    stats,
+                    metrics,
+                    telemetry,
+                    false,
+                    cycle_now,
+                );
             }
             stop.store(true, Ordering::Release);
         });
@@ -875,11 +927,15 @@ fn commit_outputs(
     }
 }
 
-/// Post-commit bookkeeping: debug-build invariant checks and sampled time
-/// series. Does not advance `now` — callers own the clock.
+/// Post-commit bookkeeping: debug-build invariant checks, sampled time
+/// series, and flight-recorder window snapshots. Does not advance `now` —
+/// callers own the clock.
 fn finish_cycle(
     routers: &[Router],
+    terminals: &[Terminal],
+    stats: &NetStats,
     metrics: &mut Option<MetricsRegistry>,
+    telemetry: &mut Option<FlightRecorder>,
     checker_active: bool,
     now: u64,
 ) {
@@ -911,6 +967,21 @@ fn finish_cycle(
                         r.ports(),
                     )
                 }),
+            );
+        }
+    }
+
+    // --- flight recorder ------------------------------------------------
+    // Keyed purely on the cycle number, so every engine records identical
+    // windows regardless of chunking or skipping.
+    if let Some(rec) = telemetry {
+        if rec.due(now) {
+            let injected: u64 = terminals.iter().map(|t| t.flits_injected).sum();
+            rec.record(
+                now,
+                injected,
+                stats.total_flits_ejected,
+                routers.iter().map(Router::telemetry_counters),
             );
         }
     }

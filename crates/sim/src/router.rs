@@ -17,7 +17,8 @@ use noc_core::{
     VcAllocator, VcRequest,
 };
 use noc_obs::{
-    FlitEvent, FlitEventKind, NopProfiler, NopSink, Phase, PhaseProfiler, RouterObs, TraceSink,
+    FlitEvent, FlitEventKind, NopProfiler, NopSink, Phase, PhaseProfiler, RouterCounters,
+    RouterObs, TraceSink,
 };
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -156,6 +157,27 @@ impl StepScratch {
     }
 }
 
+/// Opt-in matching-quality sampler: every `period` cycles, compares the
+/// switch grants actually issued against an exact maximum matching of the
+/// same cycle's port-level request matrix. The accumulated ratio
+/// `granted / max` is the allocator's *matching efficiency* — the metric
+/// the paper's Figure 4 uses to separate wavefront from separable
+/// allocators, here observable live on a running network. Sampling (rather
+/// than evaluating every cycle) keeps the Hopcroft-Karp-style augmenting
+/// search off the hot path; `period` is chosen by the telemetry layer.
+#[derive(Clone, Debug)]
+struct MatchSampler {
+    /// Sample cadence in cycles.
+    period: u64,
+    /// Switch grants issued on sampled cycles (cumulative).
+    granted: u64,
+    /// Maximum-matching sizes on sampled cycles (cumulative).
+    max: u64,
+    /// Reusable port-level request matrix (union of non-speculative and
+    /// speculative requests).
+    req: BitMatrix,
+}
+
 /// Counters for the speculation-efficiency analysis (§5.2).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RouterStats {
@@ -212,6 +234,9 @@ pub struct Router {
     /// Always-on observability counters (per-port flit counts and
     /// per-input-VC stall-cause attribution).
     pub obs: RouterObs,
+    /// Matching-quality sampler; `None` (the default) costs one branch per
+    /// cycle.
+    match_sampler: Option<MatchSampler>,
 }
 
 impl Router {
@@ -245,8 +270,21 @@ impl Router {
             skipped_cycles: 0,
             stats: RouterStats::default(),
             obs: RouterObs::new(ports, vcs),
+            match_sampler: None,
             cfg,
         }
+    }
+
+    /// Enables matching-quality sampling every `period` cycles (telemetry
+    /// opt-in; see [`MatchSampler`]).
+    pub fn enable_match_sampling(&mut self, period: u64) {
+        assert!(period > 0, "matching sample period must be positive");
+        self.match_sampler = Some(MatchSampler {
+            period,
+            granted: 0,
+            max: 0,
+            req: BitMatrix::new(self.ports, self.ports),
+        });
     }
 
     /// Ports on this router.
@@ -643,6 +681,28 @@ impl Router {
             prof.record(Phase::SwAlloc, t.elapsed().as_nanos() as u64, reqs);
         }
 
+        // ---- Matching-quality sample (opt-in telemetry) -----------------
+        // Runs after stage 1b so `st_stage` holds exactly this cycle's
+        // grants. Kept outside the `sa_timer` scope so the profiler's
+        // switch-allocation phase is not polluted by the exact-matching
+        // search.
+        if let Some(ms) = &mut self.match_sampler {
+            if any_req && now.is_multiple_of(ms.period) {
+                ms.req.clear();
+                for in_flat in 0..n {
+                    let (p, vc) = (in_flat / v, in_flat % v);
+                    if let Some(o) = self.scratch.nonspec.get(p, vc) {
+                        ms.req.set(p, o, true);
+                    }
+                    if let Some(o) = self.scratch.spec.get(p, vc) {
+                        ms.req.set(p, o, true);
+                    }
+                }
+                ms.granted += self.st_stage.len() as u64;
+                ms.max += noc_core::max_matching(&ms.req) as u64;
+            }
+        }
+
         // ---- Stall-cause attribution ------------------------------------
         // Each input VC lands in exactly one bucket per cycle. A VC that
         // pushed a flit into the switch, or just won the switch for next
@@ -687,6 +747,43 @@ impl Router {
                 s.empty += self.skipped_cycles;
             }
             self.skipped_cycles = 0;
+        }
+    }
+
+    /// Cumulative telemetry counters for the flight recorder. Reads only —
+    /// pending skipped-cycle debt is folded in arithmetically rather than
+    /// flushed, so sampling never perturbs engine-equivalence state and the
+    /// active-set engine reports byte-identical telemetry to the others.
+    pub fn telemetry_counters(&self) -> RouterCounters {
+        let mut active = 0u64;
+        let mut credit_stall = 0u64;
+        let mut vca_stall = 0u64;
+        let mut sa_stall = 0u64;
+        let mut empty = 0u64;
+        for s in &self.obs.vc {
+            active += s.active;
+            credit_stall += s.credit_stall;
+            vca_stall += s.vca_stall;
+            sa_stall += s.sa_stall;
+            empty += s.empty;
+        }
+        // Skipped cycles are owed one `empty` count per input VC.
+        empty += self.skipped_cycles * self.obs.vc.len() as u64;
+        let (match_granted, match_max) = match &self.match_sampler {
+            Some(ms) => (ms.granted, ms.max),
+            None => (0, 0),
+        };
+        RouterCounters {
+            out_flits: self.obs.total_out_flits(),
+            occupancy: self.buffered_flits() as u32,
+            busy_vcs: self.busy_vcs() as u32,
+            active,
+            credit_stall,
+            vca_stall,
+            sa_stall,
+            empty,
+            match_granted,
+            match_max,
         }
     }
 

@@ -23,6 +23,13 @@ pub enum RoutingKind {
     /// of the current dimension, the post-dateline class (1) afterwards,
     /// and return to class 0 when they switch dimensions.
     TorusDateline,
+    /// Torus routing with the dateline discipline deliberately removed:
+    /// every hop stays in resource class 0, so the channel-dependency
+    /// graph has the ring cycles the dateline exists to break. This is a
+    /// **negative fixture** — the dynamic twin of `noc check`'s
+    /// `no-dateline` static fixture — used to exercise the stall watchdog
+    /// on a genuine buffer-cycle deadlock. Never a shipped configuration.
+    TorusNoDateline,
 }
 
 impl RoutingKind {
@@ -32,6 +39,16 @@ impl RoutingKind {
             "mesh" => RoutingKind::DimensionOrder,
             "torus" => RoutingKind::TorusDateline,
             _ => RoutingKind::Ugal { threshold: 3 },
+        }
+    }
+
+    /// Short name, as used in config digests and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingKind::DimensionOrder => "dor",
+            RoutingKind::Ugal { .. } => "ugal",
+            RoutingKind::TorusDateline => "torus_dateline",
+            RoutingKind::TorusNoDateline => "torus_nodateline",
         }
     }
 }
@@ -133,18 +150,21 @@ pub fn route_at(
                 state,
             )
         }
-        RoutingKind::TorusDateline => torus_route(topo, router, dest, state),
+        RoutingKind::TorusDateline => torus_route(topo, router, dest, state, true),
+        RoutingKind::TorusNoDateline => torus_route(topo, router, dest, state, false),
     }
 }
 
 /// Torus DOR with per-dimension datelines. Direction choice is
 /// shortest-path with ties broken toward +; the dateline of each ring sits
-/// on its wraparound edge.
+/// on its wraparound edge. With `dateline` off, every hop stays in class 0
+/// (the deliberately deadlock-prone watchdog fixture).
 fn torus_route(
     topo: &Topology,
     router: usize,
     dest: usize,
     mut state: RouteState,
+    dateline: bool,
 ) -> (Lookahead, RouteState) {
     let (dest_router, _) = topo.terminal_attach(dest);
     if router == dest_router {
@@ -153,7 +173,7 @@ fn torus_route(
         return (
             Lookahead {
                 out_port: tp,
-                resource_class: 1,
+                resource_class: if dateline { 1 } else { 0 },
             },
             state,
         );
@@ -186,7 +206,11 @@ fn torus_route(
     if wraps {
         state.crossed_dateline = true;
     }
-    let rc = if state.crossed_dateline { 1 } else { 0 };
+    let rc = if dateline && state.crossed_dateline {
+        1
+    } else {
+        0
+    };
     (
         Lookahead {
             out_port,

@@ -6,8 +6,8 @@ use crate::network::Network;
 use crate::router::RouterStats;
 use crate::steady;
 use noc_obs::{
-    percentile_table_json, HdrHistogram, JsonValue, MetricsRegistry, Profiler, RouterBreakdown,
-    RouterObs, TraceSink, DEFAULT_QUANTILES,
+    percentile_table_json, FlightRecorder, HdrHistogram, JsonValue, MetricsRegistry, Profiler,
+    RouterBreakdown, RouterObs, TelemetrySummary, TraceSink, WindowSnapshot, DEFAULT_QUANTILES,
 };
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -50,6 +50,10 @@ pub struct SimResult {
     /// driver detected it ([`run_sim_auto`] / [`run_sim_replicated`]);
     /// `None` when the warmup was fixed by the caller.
     pub warmup_detected: Option<u64>,
+    /// Whole-run telemetry summary (per-window matching efficiency, flit
+    /// motion and in-flight series), when the run had the flight recorder
+    /// enabled; `None` otherwise.
+    pub telemetry: Option<TelemetrySummary>,
     /// Full latency histogram over the measurement window (merged across
     /// replicates for replicated runs).
     pub hist: HdrHistogram,
@@ -122,6 +126,9 @@ impl SimResult {
             self.warmup_detected
                 .map_or_else(|| "null".to_string(), |w| w.to_string())
         );
+        if let Some(t) = &self.telemetry {
+            let _ = write!(out, ",\"telemetry\":{}", t.to_json());
+        }
         let _ = write!(
             out,
             ",\"percentiles\":{}",
@@ -274,6 +281,10 @@ impl SimResult {
             seeds: u64_of("seeds")? as usize,
             warmup_detected: match v.get("warmup_detected") {
                 Some(JsonValue::Num(n)) => Some(*n as u64),
+                _ => None,
+            },
+            telemetry: match v.get("telemetry") {
+                Some(t @ JsonValue::Obj(_)) => Some(TelemetrySummary::from_value(t)?),
                 _ => None,
             },
             hist,
@@ -453,10 +464,162 @@ pub fn summarize<S: TraceSink>(net: &Network<S>) -> SimResult {
         ci95,
         seeds: 1,
         warmup_detected: None,
+        telemetry: net.telemetry.as_ref().map(FlightRecorder::summary),
         hist: net.stats.histogram().clone(),
         router_stats: net.router_stats(),
         routers: net.router_breakdowns(),
     }
+}
+
+/// Flight-recorder configuration for a recorded run
+/// ([`run_sim_recorded`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryOptions {
+    /// Telemetry window length in cycles.
+    pub window: u64,
+    /// Matching-quality sample cadence in *windows*: every
+    /// `match_every`-th window contributes one sampled cycle (an exact
+    /// maximum matching per router). 0 disables matching sampling.
+    pub match_every: u64,
+    /// Flight-recorder ring capacity, in windows.
+    pub capacity: usize,
+    /// Stall-watchdog threshold in consecutive motionless windows (zero
+    /// flit motion with flits in flight); `None` disables the watchdog.
+    pub watchdog: Option<u64>,
+}
+
+impl TelemetryOptions {
+    /// Full recording defaults: 100-cycle windows, a matching sample every
+    /// window, a 256-window post-mortem ring, watchdog at 100 motionless
+    /// windows (10k cycles).
+    pub fn recording() -> TelemetryOptions {
+        TelemetryOptions {
+            window: 100,
+            match_every: 1,
+            capacity: 256,
+            watchdog: Some(100),
+        }
+    }
+
+    /// Watchdog-only defaults: coarse windows, no matching sampling, a
+    /// small ring for the post-mortem dump; trips after roughly
+    /// `threshold_cycles` cycles without flit motion.
+    pub fn watchdog_only(threshold_cycles: u64) -> TelemetryOptions {
+        let window = 500;
+        TelemetryOptions {
+            window,
+            match_every: 0,
+            capacity: 64,
+            watchdog: Some(threshold_cycles.div_ceil(window).max(1)),
+        }
+    }
+
+    /// Matching sample period in cycles (0 when sampling is off).
+    fn matching_period(&self) -> u64 {
+        self.match_every.saturating_mul(self.window)
+    }
+}
+
+/// A stall-watchdog termination: the network went `stalled_windows`
+/// consecutive windows with zero flit motion while `in_flight` flits were
+/// stuck in the network — the dynamic signature of a deadlock or total
+/// livelock. Carries the flight recorder for the post-mortem dump.
+#[derive(Debug)]
+pub struct WatchdogTrip {
+    /// Cycle count when the watchdog fired.
+    pub cycle: u64,
+    /// Consecutive motionless windows observed.
+    pub stalled_windows: u64,
+    /// Telemetry window length in cycles.
+    pub window: u64,
+    /// Flits in flight when motion stopped.
+    pub in_flight: u64,
+    /// The recorder, ring intact, for the post-mortem dump.
+    pub recorder: FlightRecorder,
+}
+
+impl WatchdogTrip {
+    /// One-line diagnosis for error messages.
+    pub fn describe(&self) -> String {
+        format!(
+            "no flit motion for {} windows ({} cycles) with {} flits in flight at cycle {} \
+             — possible deadlock/livelock",
+            self.stalled_windows,
+            self.stalled_windows * self.window,
+            self.in_flight,
+            self.cycle
+        )
+    }
+}
+
+/// As [`run_sim_engine`], with the flight recorder on: drives the engine
+/// in window-sized chunks (chunking is cycle-exact on every engine),
+/// invokes `on_window` with each snapshot as its window closes (the live
+/// `noc top` / `--record` streaming hook), and checks the stall watchdog
+/// between chunks. Returns the summary (with its `telemetry` block) plus
+/// the recorder, or the [`WatchdogTrip`] if the network stopped moving.
+pub fn run_sim_recorded_with(
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    engine: Engine,
+    opts: TelemetryOptions,
+    mut on_window: impl FnMut(&WindowSnapshot),
+) -> Result<(SimResult, FlightRecorder), Box<WatchdogTrip>> {
+    let mut net = Network::new(cfg.clone());
+    net.enable_telemetry(opts.window, opts.capacity, opts.matching_period());
+    net.stats.set_window(warmup, warmup + measure);
+    let total = warmup + measure;
+    let mut done = 0u64;
+    while done < total {
+        let chunk = opts.window.min(total - done);
+        engine.run(&mut net, chunk);
+        done += chunk;
+        // The recorder was installed by enable_telemetry above; an `if let`
+        // keeps the hot path free of unwrap machinery.
+        let Some(rec) = net.telemetry.as_ref() else {
+            break;
+        };
+        if let Some(snap) = rec.latest() {
+            if snap.cycle == done {
+                on_window(snap);
+            }
+        }
+        if let Some(threshold) = opts.watchdog {
+            let stalled = rec.stalled_windows();
+            if stalled >= threshold {
+                let in_flight = rec.latest().map_or(0, |s| s.in_flight);
+                let recorder = net
+                    .telemetry
+                    .take()
+                    .unwrap_or_else(|| FlightRecorder::new(opts.window, opts.capacity));
+                return Err(Box::new(WatchdogTrip {
+                    cycle: net.now,
+                    stalled_windows: stalled,
+                    window: opts.window,
+                    in_flight,
+                    recorder,
+                }));
+            }
+        }
+    }
+    let result = summarize(&net);
+    let recorder = net
+        .telemetry
+        .take()
+        .unwrap_or_else(|| FlightRecorder::new(opts.window, opts.capacity));
+    Ok((result, recorder))
+}
+
+/// [`run_sim_recorded_with`] without a per-window callback.
+pub fn run_sim_recorded(
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    engine: Engine,
+    opts: TelemetryOptions,
+) -> Result<(SimResult, FlightRecorder), Box<WatchdogTrip>> {
+    run_sim_recorded_with(cfg, warmup, measure, engine, opts, |_| {})
 }
 
 /// Default warmup/measurement lengths used by the figure benches.
@@ -655,6 +818,7 @@ pub fn run_sim_replicated(cfg: &SimConfig, total: u64, n_seeds: usize) -> SimRes
         ci95: steady::ci95_half_width(&rep_means),
         seeds: n,
         warmup_detected: Some(warmup),
+        telemetry: None,
         hist,
         router_stats,
         routers: runs
@@ -862,6 +1026,102 @@ mod tests {
             500,
         );
         assert!(SimResult::from_json(&r.to_json()).is_err());
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_attaches_telemetry() {
+        let cfg = SimConfig {
+            injection_rate: 0.1,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let plain = run_sim_engine(&cfg, 500, 1_500, Engine::Sequential);
+        let mut windows_seen = 0u64;
+        let (rec_res, rec) = run_sim_recorded_with(
+            &cfg,
+            500,
+            1_500,
+            Engine::Sequential,
+            TelemetryOptions::recording(),
+            |_| windows_seen += 1,
+        )
+        .expect("healthy run must not trip the watchdog");
+        // Telemetry must be a pure observer: every simulation metric is
+        // identical to the unrecorded run.
+        assert_eq!(rec_res.avg_latency.to_bits(), plain.avg_latency.to_bits());
+        assert_eq!(rec_res.throughput.to_bits(), plain.throughput.to_bits());
+        assert_eq!(rec_res.hist, plain.hist);
+        assert_eq!(rec.windows(), 20); // 2000 cycles / 100-cycle windows
+        assert_eq!(windows_seen, 20);
+        let summary = rec_res.telemetry.as_ref().expect("telemetry attached");
+        assert_eq!(summary.windows, 20);
+        // Uniform traffic at 0.1 keeps flits moving: mean matching
+        // efficiency is a real number in (0, 1].
+        let eff = summary.mean_efficiency();
+        assert!(eff > 0.0 && eff <= 1.0, "mean efficiency {eff}");
+        // The telemetry block survives the JSON round trip bit-exactly.
+        let back = SimResult::from_json(&rec_res.to_json_full()).expect("parse");
+        assert_eq!(back.to_json(), rec_res.to_json());
+        assert_eq!(back.telemetry.unwrap().to_json(), summary.to_json());
+    }
+
+    #[test]
+    fn recorded_runs_are_engine_identical() {
+        let cfg = SimConfig {
+            injection_rate: 0.15,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let opts = TelemetryOptions::recording();
+        let run = |engine| {
+            let (res, rec) = run_sim_recorded(&cfg, 500, 1_500, engine, opts).expect("no trip");
+            (res.to_json(), rec.summary().to_json())
+        };
+        let seq = run(Engine::Sequential);
+        assert_eq!(seq, run(Engine::Parallel(4)));
+        assert_eq!(seq, run(Engine::ActiveSet));
+    }
+
+    #[test]
+    fn watchdog_trips_on_torus_without_dateline() {
+        // The no-dateline torus fixture deadlocks under load: packets wrap
+        // around the rings and form cyclic credit dependencies. The
+        // watchdog must terminate the run with a usable post-mortem.
+        let cfg = SimConfig {
+            topology: TopologyKind::Torus8x8,
+            injection_rate: 0.35,
+            routing_override: Some(crate::routing::RoutingKind::TorusNoDateline),
+            ..SimConfig::paper_baseline(TopologyKind::Torus8x8, 1)
+        };
+        let opts = TelemetryOptions {
+            watchdog: Some(10),
+            ..TelemetryOptions::recording()
+        };
+        let trip = run_sim_recorded(&cfg, 5_000, 45_000, Engine::Sequential, opts)
+            .expect_err("no-dateline torus must deadlock");
+        assert_eq!(trip.stalled_windows, 10);
+        assert!(trip.in_flight > 0, "a stall needs stuck flits");
+        assert!(
+            trip.recorder.latest().is_some(),
+            "post-mortem ring must hold the stalled windows"
+        );
+        assert!(trip.describe().contains("possible deadlock"));
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_dateline_torus() {
+        // Same load on the correct dateline routing: no trip.
+        let cfg = SimConfig {
+            topology: TopologyKind::Torus8x8,
+            injection_rate: 0.35,
+            ..SimConfig::paper_baseline(TopologyKind::Torus8x8, 1)
+        };
+        let opts = TelemetryOptions {
+            watchdog: Some(10),
+            ..TelemetryOptions::recording()
+        };
+        let (res, rec) =
+            run_sim_recorded(&cfg, 2_000, 8_000, Engine::Sequential, opts).expect("no trip");
+        assert!(res.throughput > 0.0);
+        assert_eq!(rec.max_stalled_windows(), 0);
     }
 
     #[test]

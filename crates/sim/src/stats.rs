@@ -19,6 +19,9 @@ pub struct NetStats {
     pub class_packets: [u64; 2],
     /// Flits ejected in the window.
     pub flits_ejected: u64,
+    /// Flits ejected since construction, window-independent — the
+    /// telemetry layer differences this per recording window.
+    pub total_flits_ejected: u64,
     /// Flits injected in the window (all terminals).
     pub flits_injected: u64,
     /// Sum of squared latencies, for the variance estimate.
@@ -118,6 +121,7 @@ impl NetStats {
 
     /// Records one ejected flit.
     pub fn record_flit_ejected(&mut self, now: u64) {
+        self.total_flits_ejected += 1;
         if self.in_window(now) {
             self.flits_ejected += 1;
         }

@@ -285,7 +285,9 @@ impl Terminal {
         let m = pkt.kind.msg_class();
         // Routing decision (mesh: trivial; fbfly: UGAL at the source).
         let route_state = match self.routing {
-            RoutingKind::DimensionOrder | RoutingKind::TorusDateline => RouteState::default(),
+            RoutingKind::DimensionOrder
+            | RoutingKind::TorusDateline
+            | RoutingKind::TorusNoDateline => RouteState::default(),
             RoutingKind::Ugal { threshold } => {
                 let intermediate = self.rng.gen_range(0..topo.num_routers());
                 ugal_choose(
@@ -301,8 +303,11 @@ impl Terminal {
         };
         // Injection-link resource class: phase 1 non-minimal, else minimal.
         let inj_rc = match self.routing {
-            // Torus packets start pre-dateline (class 0).
-            RoutingKind::DimensionOrder | RoutingKind::TorusDateline => 0,
+            // Torus packets start pre-dateline (class 0); the no-dateline
+            // fixture never leaves it.
+            RoutingKind::DimensionOrder
+            | RoutingKind::TorusDateline
+            | RoutingKind::TorusNoDateline => 0,
             RoutingKind::Ugal { .. } => {
                 if route_state.intermediate.is_some() {
                     RC_NONMIN

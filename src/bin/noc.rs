@@ -10,6 +10,8 @@
 //! * `noc quality` — measure open-loop matching quality
 //! * `noc verilog` — emit structural Verilog for a design point
 //! * `noc sweep`   — run/resume cached, journaled experiment sweeps
+//! * `noc top`     — live/offline congestion + matching-efficiency view
+//! * `noc replay`  — recompute a run summary from a telemetry dump
 //!
 //! Run `noc help` (or any subcommand with `--help`) for flags. Argument
 //! parsing is deliberately dependency-free.
@@ -19,10 +21,14 @@ use noc_bench::{
 };
 use noc_check::{check_design, check_fixture, fixtures, RouteModel};
 use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
-use noc_obs::{chrome_trace, metrics_csv, metrics_jsonl, VecSink, PHASES};
+use noc_obs::{
+    chrome_trace, metrics_csv, metrics_jsonl, render_top, window_jsonl, TelemetryDump,
+    TelemetryHeader, VecSink, WindowSnapshot, PHASES, TELEMETRY_SCHEMA,
+};
 use noc_sim::{
-    run_sim_engine, run_sim_observed, run_sim_profiled, run_sim_replicated, run_sim_verified,
-    Engine, SimConfig, TopologyKind, TrafficPattern,
+    run_sim_engine, run_sim_observed, run_sim_profiled, run_sim_recorded_with, run_sim_replicated,
+    run_sim_verified, Engine, RoutingKind, SimConfig, TelemetryOptions, TopologyKind,
+    TrafficPattern,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -37,6 +43,8 @@ USAGE:
               [--seeds N] [--profile] [--trace FILE] [--metrics FILE]
               [--sample-interval N] [--json] [--verify]
               [--engine seq|par|active|auto] [--threads N]
+              [--record FILE] [--top] [--window N] [--match-every K]
+              [--routing dor|dateline|nodateline] [--no-watchdog]
   noc check   [--topology mesh|fbfly|torus] [--vcs C] [--all]
               [--fixture no-dateline|cyclic-vc]
   noc bench   [--quick] [--out DIR] [--baseline FILE] [--tolerance PCT]
@@ -49,7 +57,9 @@ USAGE:
               [--dense]
   noc sweep   (run|resume|status|clean) [--preset NAME | --spec FILE]
               [--out DIR] [--cache-dir DIR] [--engine seq|par|active|auto]
-              [--threads N] [--quiet] [--no-render]
+              [--threads N] [--quiet] [--no-render] [--telemetry]
+  noc top     DUMP [--once]
+  noc replay  DUMP
   noc help
 
 KIND (allocator): sep_if_rr sep_if_m sep_of_rr sep_of_m wf
@@ -62,6 +72,28 @@ Observability (noc sim):
                           selects JSON lines, anything else CSV
   --sample-interval N     gauge sampling period in cycles (default 100)
   --json                  print the run summary as one JSON object
+
+Telemetry & live view (noc sim / noc top / noc replay):
+  --record FILE           flight-record the run: one noc-telemetry/v1 JSONL
+                          window snapshot every --window cycles, keyed by
+                          the config's content digest; the summary joins
+                          the --json report as a \"telemetry\" block
+  --top                   redraw a live congestion heatmap + matching-
+                          efficiency sparkline as the run progresses
+  --window N              telemetry window length in cycles (default 100)
+  --match-every K         sample matching efficiency (grants vs an exact
+                          maximum matching of the same cycle's requests)
+                          once every K windows; 0 disables (default 1)
+  --routing KIND          override the topology's routing algorithm; the
+                          'nodateline' torus fixture deadlocks by design
+                          (watchdog demo)
+  --no-watchdog           disable the stall watchdog (default: terminate
+                          after ~10k motionless cycles with flits stuck,
+                          writing a post-mortem dump)
+  noc top DUMP [--once]   render the latest frame of a dump and follow it
+                          as it grows (--once renders a single frame)
+  noc replay DUMP         recompute the run's telemetry summary from the
+                          dump (byte-identical to the in-process block)
 
 Performance engines (noc sim, noc bench):
   --engine NAME           cycle-loop engine: seq (in-order reference), par
@@ -127,6 +159,11 @@ Examples:
   noc check --fixture no-dateline
   noc sim --rate 0.25 --metrics out.csv --trace trace.json --json
   noc sim --rate 0.15 --seeds 8 --json
+  noc sim --rate 0.4 --record run.jsonl --json
+  noc sim --rate 0.3 --top
+  noc sim --topology torus --routing nodateline --rate 0.35
+  noc top run.jsonl --once
+  noc replay run.jsonl
   noc bench --quick --baseline results/bench_baseline.json
   noc synth vca --topology mesh --vcs 2 --alloc sep_if_rr
   noc quality swa --topology fbfly --vcs 4 --rate 0.5 --trials 5000
@@ -159,6 +196,10 @@ impl Args {
                     || key == "all"
                     || key == "quiet"
                     || key == "no-render"
+                    || key == "top"
+                    || key == "once"
+                    || key == "no-watchdog"
+                    || key == "telemetry"
                 {
                     flags.insert(key.to_string(), "true".to_string());
                     continue;
@@ -251,6 +292,18 @@ impl Args {
         }
     }
 
+    fn routing_override(&self) -> Result<Option<RoutingKind>, String> {
+        match self.flags.get("routing").map(String::as_str) {
+            None => Ok(None),
+            Some("dor") => Ok(Some(RoutingKind::DimensionOrder)),
+            Some("dateline") => Ok(Some(RoutingKind::TorusDateline)),
+            Some("nodateline") => Ok(Some(RoutingKind::TorusNoDateline)),
+            Some(other) => Err(format!(
+                "unknown routing '{other}' (dor|dateline|nodateline)"
+            )),
+        }
+    }
+
     fn pattern(&self) -> Result<TrafficPattern, String> {
         match self.flags.get("pattern").map(String::as_str) {
             None | Some("uniform") => Ok(TrafficPattern::UniformRandom),
@@ -273,6 +326,7 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         buf_depth: args.get("buf-depth", 8)?,
         burst: args.get("burst", 1)?,
         seed: args.get("seed", 0x5c09_2009u64)?,
+        routing_override: args.routing_override()?,
         ..SimConfig::paper_baseline(args.topology()?, args.get("vcs", 2)?)
     };
     let warmup: u64 = args.get("warmup", 3000u64)?;
@@ -283,6 +337,15 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     let seeds: usize = args.get("seeds", 1usize)?;
     let want_profile = args.flags.contains_key("profile");
     let want_verify = args.flags.contains_key("verify");
+    let record_path = args.flags.get("record").cloned();
+    let want_top = args.flags.contains_key("top");
+    let want_record = record_path.is_some() || want_top;
+    let window: u64 = args.get("window", 100u64)?;
+    let match_every: u64 = args.get("match-every", 1u64)?;
+    let no_watchdog = args.flags.contains_key("no-watchdog");
+    if window == 0 {
+        return Err("--window must be at least 1 cycle".to_string());
+    }
     let engine = args.engine()?;
     if seeds > 1 && (want_profile || trace_path.is_some() || metrics_path.is_some()) {
         return Err("--seeds cannot be combined with --profile, --trace or --metrics".to_string());
@@ -291,6 +354,19 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     {
         return Err(
             "--verify cannot be combined with --seeds, --profile, --trace or --metrics".to_string(),
+        );
+    }
+    if want_record
+        && (seeds > 1
+            || want_profile
+            || want_verify
+            || trace_path.is_some()
+            || metrics_path.is_some())
+    {
+        return Err(
+            "--record/--top cannot be combined with --seeds, --profile, --verify, --trace or \
+             --metrics"
+                .to_string(),
         );
     }
     if engine != Engine::Sequential
@@ -351,8 +427,91 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         let (r, prof) = run_sim_profiled(&cfg, warmup, measure);
         profile = Some(prof);
         r
-    } else {
+    } else if want_record {
+        let header = TelemetryHeader {
+            digest: cfg.digest(warmup, measure, TELEMETRY_SCHEMA),
+            label: format!("{} @ {}", cfg.label(), cfg.injection_rate),
+            window,
+            match_every,
+            routers: cfg.topology.build().num_routers(),
+            warmup,
+            measure,
+        };
+        let capacity_flits = (cfg.vc_spec().total_vcs() * cfg.buf_depth) as u32;
+        let opts = TelemetryOptions {
+            window,
+            match_every,
+            capacity: 256,
+            watchdog: (!no_watchdog).then(|| 10_000u64.div_ceil(window).max(1)),
+        };
+        let mut lines: Vec<String> = Vec::new();
+        let mut eff: Vec<f64> = Vec::new();
+        let outcome = run_sim_recorded_with(&cfg, warmup, measure, engine, opts, |snap| {
+            lines.push(window_jsonl(snap));
+            if want_top {
+                eff.push(snap.efficiency());
+                // ANSI clear + home; frames go to stderr so a --json
+                // summary on stdout stays machine-readable.
+                eprint!(
+                    "\x1b[2J\x1b[H{}",
+                    render_top(&header.label, snap, &eff, capacity_flits)
+                );
+            }
+        });
+        match outcome {
+            Ok((r, _recorder)) => {
+                if let Some(path) = &record_path {
+                    write_telemetry_dump(path, &header, &lines)?;
+                    eprintln!("wrote {} telemetry windows to {path}", lines.len());
+                }
+                r
+            }
+            Err(trip) => {
+                let path = record_path
+                    .unwrap_or_else(|| format!("noc-postmortem-{}.jsonl", header.digest));
+                write_telemetry_dump(&path, &header, &lines)?;
+                return Err(format!(
+                    "{}\npost-mortem telemetry dump ({} windows): {path}",
+                    trip.describe(),
+                    lines.len()
+                ));
+            }
+        }
+    } else if no_watchdog {
         run_sim_engine(&cfg, warmup, measure, engine)
+    } else {
+        // Plain runs keep a coarse watchdog-only recorder on guard: a
+        // deadlocked network terminates with a post-mortem dump instead of
+        // burning cycles until the measure window runs out.
+        let opts = TelemetryOptions::watchdog_only(10_000);
+        match noc_sim::run_sim_recorded(&cfg, warmup, measure, engine, opts) {
+            Ok((mut r, _recorder)) => {
+                // The guard recorder is internal; keep the default report
+                // identical to an unrecorded run.
+                r.telemetry = None;
+                r
+            }
+            Err(trip) => {
+                let header = TelemetryHeader {
+                    digest: cfg.digest(warmup, measure, TELEMETRY_SCHEMA),
+                    label: format!("{} @ {}", cfg.label(), cfg.injection_rate),
+                    window: trip.window,
+                    match_every: 0,
+                    routers: cfg.topology.build().num_routers(),
+                    warmup,
+                    measure,
+                };
+                let lines: Vec<String> = trip.recorder.ring().map(window_jsonl).collect();
+                let path = format!("noc-postmortem-{}.jsonl", header.digest);
+                write_telemetry_dump(&path, &header, &lines)?;
+                return Err(format!(
+                    "{}\npost-mortem telemetry dump ({} windows): {path}\n\
+                     (rerun with --no-watchdog to let the simulation spin)",
+                    trip.describe(),
+                    lines.len()
+                ));
+            }
+        }
     };
     if let Some(rep) = &verify_report {
         eprintln!(
@@ -395,6 +554,18 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         println!("warmup detected  {w} cycles (MSER steady-state truncation)");
     }
     println!("stable           {}", r.stable);
+    if let Some(t) = &r.telemetry {
+        println!(
+            "telemetry        {} windows x {} cycles, mean matching efficiency {:.3}",
+            t.windows,
+            t.window,
+            t.mean_efficiency()
+        );
+        println!(
+            "  worst stall streak {} consecutive motionless windows",
+            t.max_stalled_windows
+        );
+    }
     let s = r.router_stats;
     println!(
         "switch grants    {} non-speculative, {} speculative ({} masked, {} invalid)",
@@ -712,6 +883,7 @@ fn sweep_run(
         engine,
         quiet: args.flags.contains_key("quiet"),
         require_journal,
+        telemetry: args.flags.contains_key("telemetry"),
     };
     let outcome = run_sweep(&spec, &opts)?;
     eprintln!(
@@ -801,6 +973,95 @@ fn sweep_clean(out_dir: &std::path::Path, cache_dir: &std::path::Path) -> Result
     Ok(())
 }
 
+/// Writes a `noc-telemetry/v1` dump: the header line followed by one
+/// pre-rendered JSONL line per window.
+fn write_telemetry_dump(
+    path: &str,
+    header: &TelemetryHeader,
+    lines: &[String],
+) -> Result<(), String> {
+    let mut text = header.to_json();
+    text.push('\n');
+    for line in lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write telemetry dump '{path}': {e}"))
+}
+
+fn load_dump(args: &Args) -> Result<TelemetryDump, String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: noc top DUMP [--once] | noc replay DUMP")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read telemetry dump '{path}': {e}"))?;
+    TelemetryDump::parse(&text)
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let dump = load_dump(args)?;
+    println!("{}", dump.summary().to_json());
+    Ok(())
+}
+
+/// Renders the dump's latest window the way the live `--top` view would.
+///
+/// The header does not carry buffer capacities, so the occupancy heatmap is
+/// scaled by the largest occupancy seen anywhere in the dump: relative
+/// hotspots stay visible even without the absolute scale.
+fn render_dump_top(dump: &TelemetryDump) -> Option<String> {
+    let latest = dump.windows.last()?;
+    let capacity = dump
+        .windows
+        .iter()
+        .flat_map(|w| w.routers.iter().map(|r| r.occupancy))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let eff: Vec<f64> = dump
+        .windows
+        .iter()
+        .map(WindowSnapshot::efficiency)
+        .collect();
+    let label = format!("{} (replay)", dump.header.label);
+    Some(render_top(&label, latest, &eff, capacity))
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: noc top DUMP [--once]")?
+        .clone();
+    let once = args.flags.contains_key("once");
+    let mut last_len = 0usize;
+    loop {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read telemetry dump '{path}': {e}"))?;
+        if text.len() != last_len {
+            last_len = text.len();
+            let dump = TelemetryDump::parse(&text)?;
+            match render_dump_top(&dump) {
+                Some(frame) if once => {
+                    print!("{frame}");
+                    return Ok(());
+                }
+                Some(frame) => {
+                    print!("\x1b[2J\x1b[H{frame}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+                None if once => return Err(format!("'{path}' contains no telemetry windows")),
+                None => {}
+            }
+        } else if once {
+            return Err(format!("'{path}' contains no telemetry windows"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(&argv) {
@@ -824,6 +1085,8 @@ fn main() -> ExitCode {
         "quality" => cmd_quality(&args),
         "verilog" => cmd_verilog(&args),
         "sweep" => cmd_sweep(&args),
+        "top" => cmd_top(&args),
+        "replay" => cmd_replay(&args),
         "help" | "" => {
             println!("{HELP}");
             Ok(())
@@ -941,6 +1204,42 @@ mod tests {
         assert!(args("sim --engine warp").engine().is_err());
         assert!(args("sim --engine seq --threads 4").engine().is_err());
         assert!(args("sim --engine par --threads 0").engine().is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let a = args("sim --record run.jsonl --window 250 --match-every 4");
+        assert_eq!(a.flags.get("record").map(String::as_str), Some("run.jsonl"));
+        assert_eq!(a.get::<u64>("window", 100).unwrap(), 250);
+        assert_eq!(a.get::<u64>("match-every", 1).unwrap(), 4);
+        // top / once / no-watchdog / telemetry are bare flags.
+        let a = args("sim --top --no-watchdog --rate 0.2");
+        assert!(a.flags.contains_key("top"));
+        assert!(a.flags.contains_key("no-watchdog"));
+        assert!((a.get::<f64>("rate", 0.0).unwrap() - 0.2).abs() < 1e-12);
+        let a = args("top run.jsonl --once");
+        assert!(a.flags.contains_key("once"));
+        assert_eq!(a.positional, vec!["top", "run.jsonl"]);
+        let a = args("sweep run --telemetry");
+        assert!(a.flags.contains_key("telemetry"));
+    }
+
+    #[test]
+    fn routing_override_table() {
+        assert_eq!(args("sim").routing_override().unwrap(), None);
+        assert_eq!(
+            args("sim --routing dor").routing_override().unwrap(),
+            Some(RoutingKind::DimensionOrder)
+        );
+        assert_eq!(
+            args("sim --routing dateline").routing_override().unwrap(),
+            Some(RoutingKind::TorusDateline)
+        );
+        assert_eq!(
+            args("sim --routing nodateline").routing_override().unwrap(),
+            Some(RoutingKind::TorusNoDateline)
+        );
+        assert!(args("sim --routing minimal").routing_override().is_err());
     }
 
     #[test]

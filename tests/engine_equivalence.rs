@@ -13,8 +13,10 @@
 //!    cycle so the bug is bisectable.
 
 use noc_bench::workload_matrix;
-use noc_obs::DigestSink;
-use noc_sim::{run_sim_engine, Engine, Network, SimConfig};
+use noc_obs::{window_jsonl, DigestSink};
+use noc_sim::{
+    run_sim_engine, run_sim_recorded_with, Engine, Network, SimConfig, TelemetryOptions,
+};
 
 const WARMUP: u64 = 500;
 const MEASURE: u64 = 1500;
@@ -119,6 +121,59 @@ fn mesh_flit_traces_identical_across_engines() {
 #[test]
 fn fbfly_flit_traces_identical_across_engines() {
     assert_traces_identical("fbfly4x4");
+}
+
+/// Runs `cfg` with the flight recorder attached and returns every telemetry
+/// window as its dump-file JSONL line, plus the result JSON.
+fn telemetry_lines(cfg: &SimConfig, engine: Engine) -> (String, Vec<String>) {
+    let opts = TelemetryOptions {
+        watchdog: None,
+        ..TelemetryOptions::recording()
+    };
+    let mut lines = Vec::new();
+    let outcome = run_sim_recorded_with(cfg, WARMUP, MEASURE, engine, opts, |snap| {
+        lines.push(window_jsonl(snap));
+    });
+    let (res, _rec) = match outcome {
+        Ok(pair) => pair,
+        Err(trip) => panic!("run cannot trip without a watchdog: {}", trip.describe()),
+    };
+    (res.to_json(), lines)
+}
+
+/// Layer 3: the flight recorder is part of the cycle-exact contract. Every
+/// per-window JSONL line — per-router counters, stall mix, matching-quality
+/// samples — must be byte-identical across engines, so a recorded dump is
+/// reproducible evidence regardless of which engine produced it.
+#[test]
+fn telemetry_dumps_byte_identical_across_engines() {
+    for (name, cfg) in workload_matrix() {
+        // One mid-load workload per topology keeps the recorded layer
+        // cheap; the result/trace layers above already sweep the matrix.
+        if name != "mesh8x8_c2_r0.25" && name != "fbfly4x4_c2_r0.2" {
+            continue;
+        }
+        let (ref_json, ref_lines) = telemetry_lines(&cfg, Engine::Sequential);
+        assert!(
+            !ref_lines.is_empty(),
+            "{name}: recorder produced no windows"
+        );
+        for engine in fast_engines() {
+            let (got_json, got_lines) = telemetry_lines(&cfg, engine);
+            assert_eq!(
+                got_json,
+                ref_json,
+                "{name}: engine '{}' recorded-run SimResult diverged",
+                engine.label()
+            );
+            assert_eq!(
+                got_lines,
+                ref_lines,
+                "{name}: engine '{}' telemetry windows diverged",
+                engine.label()
+            );
+        }
+    }
 }
 
 /// The parallel engine must give the same answer whatever the worker
