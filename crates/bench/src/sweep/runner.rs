@@ -21,10 +21,12 @@ use crate::sweep::journal::{Journal, JournalHeader};
 use crate::sweep::spec::{SweepPoint, SweepSpec};
 use crate::sweep::SWEEP_SCHEMA;
 use noc_obs::{
-    sweep_manifest_json, window_jsonl, ProgressMeter, SweepManifestPoint, TelemetryHeader,
+    sweep_manifest_json, window_jsonl, AnatomyHeader, ProgressMeter, SweepManifestPoint,
+    TelemetryHeader,
 };
 use noc_sim::{
-    run_many, run_sim_engine, run_sim_recorded_with, Engine, SimConfig, SimResult, TelemetryOptions,
+    run_many, run_sim_anatomy, run_sim_engine, run_sim_recorded_with, Engine, SimConfig, SimResult,
+    TelemetryOptions,
 };
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -46,6 +48,10 @@ pub struct SweepOptions {
     /// directory) for every point this run computes; the manifest links
     /// each point to its dump.
     pub telemetry: bool,
+    /// Record a latency-anatomy dump (`<digest>.anatomy.jsonl` in the
+    /// cache directory) for every point this run computes; the manifest
+    /// links each point to its dump.
+    pub anatomy: bool,
 }
 
 impl SweepOptions {
@@ -58,6 +64,7 @@ impl SweepOptions {
             quiet: false,
             require_journal: false,
             telemetry: false,
+            anatomy: false,
         }
     }
 }
@@ -65,6 +72,50 @@ impl SweepOptions {
 /// File name (relative to the cache directory) of a point's telemetry dump.
 fn telemetry_filename(digest: &str) -> String {
     format!("{digest}.telemetry.jsonl")
+}
+
+/// File name (relative to the cache directory) of a point's anatomy dump.
+fn anatomy_filename(digest: &str) -> String {
+    format!("{digest}.anatomy.jsonl")
+}
+
+/// Per-packet ledger rows retained per anatomy-enabled sweep point.
+const SWEEP_ANATOMY_CAPACITY: usize = 1 << 16;
+/// Slowest-packet waterfalls kept per anatomy-enabled sweep point.
+const SWEEP_ANATOMY_TOP_K: usize = 8;
+
+/// Simulates one point with the per-packet latency ledger attached and
+/// writes the `noc-anatomy/v1` dump next to the cached result. Like
+/// telemetry, the dump stays out of both the point digest and the cached
+/// `SimResult` (the ledger is a pure observer), so anatomy and plain
+/// sweeps share cache entries byte for byte.
+fn compute_with_anatomy(
+    point: &SweepPoint,
+    engine: Engine,
+    cache_dir: &Path,
+    digest: &str,
+) -> Result<SimResult, String> {
+    let (r, col) = run_sim_anatomy(
+        &point.cfg,
+        point.warmup,
+        point.measure,
+        engine,
+        SWEEP_ANATOMY_CAPACITY,
+        SWEEP_ANATOMY_TOP_K,
+    );
+    let header = AnatomyHeader {
+        digest: digest.to_string(),
+        label: point.label.clone(),
+        routers: point.cfg.topology.build().num_routers(),
+        warmup: point.warmup,
+        measure: point.measure,
+        capacity: SWEEP_ANATOMY_CAPACITY as u64,
+        top_k: SWEEP_ANATOMY_TOP_K as u64,
+    };
+    let path = cache_dir.join(anatomy_filename(digest));
+    std::fs::write(&path, col.to_jsonl(&header))
+        .map_err(|e| format!("anatomy: cannot write {}: {e}", path.display()))?;
+    Ok(r)
 }
 
 /// Simulates one point with the flight recorder attached and writes the
@@ -188,9 +239,17 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                     let engine = opts.engine.unwrap_or(point.engine);
                     let r = if opts.telemetry {
                         compute_with_telemetry(point, engine, &opts.cache_dir, digest)?
+                    } else if opts.anatomy {
+                        compute_with_anatomy(point, engine, &opts.cache_dir, digest)?
                     } else {
                         run_sim_engine(&point.cfg, point.warmup, point.measure, engine)
                     };
+                    if opts.telemetry && opts.anatomy {
+                        // Both observers requested: the anatomy dump comes
+                        // from a second run, bit-identical because both
+                        // layers are pure observers.
+                        compute_with_anatomy(point, engine, &opts.cache_dir, digest)?;
+                    }
                     cache.store(digest, &r)?;
                     (r, "computed")
                 }
@@ -219,12 +278,18 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         // Dumps from this run or any earlier telemetry-enabled run are
         // linked the same way: by presence on disk next to the cache entry.
         let dump = telemetry_filename(&digests[i]);
+        let anatomy_dump = anatomy_filename(&digests[i]);
         manifest_points.push(SweepManifestPoint {
             label: points[i].label.clone(),
             digest: digests[i].clone(),
             source,
             wall_ms,
             telemetry: opts.cache_dir.join(&dump).is_file().then_some(dump),
+            anatomy: opts
+                .cache_dir
+                .join(&anatomy_dump)
+                .is_file()
+                .then_some(anatomy_dump),
         });
         results.push(result);
     }

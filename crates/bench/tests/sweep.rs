@@ -30,6 +30,7 @@ fn opts(root: &Path) -> SweepOptions {
         quiet: true,
         require_journal: false,
         telemetry: false,
+        anatomy: false,
     }
 }
 
@@ -219,6 +220,55 @@ fn telemetry_sweep_writes_linked_dumps_without_touching_the_cache_contract() {
     assert_eq!(rerun.computed, 0);
     let manifest = fs::read_to_string(&rerun.manifest_path).unwrap();
     assert_eq!(manifest.matches("\"telemetry\":\"").count(), 3);
+
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&plain_root);
+}
+
+#[test]
+fn anatomy_sweep_writes_linked_dumps_without_touching_the_cache_contract() {
+    let root = scratch("anatomy");
+    let spec = tiny_spec("t");
+    let recorded = run_sweep(
+        &spec,
+        &SweepOptions {
+            anatomy: true,
+            ..opts(&root)
+        },
+    )
+    .unwrap();
+    assert_eq!(recorded.computed, 3);
+
+    // Every point got a parseable noc-anatomy/v1 dump whose retained rows
+    // all reconcile, and the manifest links each one by file name.
+    let manifest = fs::read_to_string(&recorded.manifest_path).unwrap();
+    let mut linked = 0;
+    for part in manifest.split("\"anatomy\":\"").skip(1) {
+        let name = part.split('"').next().unwrap();
+        let dump_path = root.join("cache").join(name);
+        let dump = noc_obs::AnatomyDump::parse(&fs::read_to_string(&dump_path).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", dump_path.display()));
+        assert!(dump.totals.packets > 0, "dump must hold packets");
+        for p in &dump.records {
+            assert!(p.reconciles(), "{p:?}");
+        }
+        linked += 1;
+    }
+    assert_eq!(linked, 3, "all three points link a dump");
+
+    // The cached SimResults are byte-identical to a plain sweep's: the
+    // ledger is a pure observer and its dump stays out of the cache.
+    let plain_root = scratch("anatomy-plain");
+    let plain = run_sweep(&spec, &opts(&plain_root)).unwrap();
+    for (a, b) in recorded.results.iter().zip(&plain.results) {
+        assert_eq!(a.to_json_full(), b.to_json_full());
+    }
+
+    // A later *plain* re-run over the same cache still links the dumps.
+    let rerun = run_sweep(&spec, &opts(&root)).unwrap();
+    assert_eq!(rerun.computed, 0);
+    let manifest = fs::read_to_string(&rerun.manifest_path).unwrap();
+    assert_eq!(manifest.matches("\"anatomy\":\"").count(), 3);
 
     let _ = fs::remove_dir_all(&root);
     let _ = fs::remove_dir_all(&plain_root);

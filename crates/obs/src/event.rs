@@ -99,11 +99,43 @@ impl TraceSink for NopSink {
     fn record(&mut self, _: FlitEvent) {}
 }
 
-/// Buffers every event in memory (feeds [`crate::chrome_trace`]).
-#[derive(Clone, Debug, Default)]
+/// Buffers events in memory (feeds [`crate::chrome_trace`]), bounded:
+/// once `capacity` events are stored, further events are counted in
+/// [`VecSink::dropped`] instead of growing the buffer, so a long traced
+/// run cannot exhaust memory.
+#[derive(Clone, Debug)]
 pub struct VecSink {
     /// Recorded events, in emission order (non-decreasing cycle).
     pub events: Vec<FlitEvent>,
+    /// Events discarded after the buffer reached capacity.
+    pub dropped: u64,
+    capacity: usize,
+}
+
+impl Default for VecSink {
+    fn default() -> Self {
+        VecSink::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl VecSink {
+    /// Default event cap (~4.2M events, a few hundred MB at most): ample
+    /// for CLI-sized traces, bounded for everything else.
+    pub const DEFAULT_CAPACITY: usize = 1 << 22;
+
+    /// A sink storing at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> VecSink {
+        VecSink {
+            events: Vec::new(),
+            dropped: 0,
+            capacity,
+        }
+    }
+
+    /// The event cap this sink was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 impl TraceSink for VecSink {
@@ -111,7 +143,11 @@ impl TraceSink for VecSink {
 
     #[inline]
     fn record(&mut self, ev: FlitEvent) {
-        self.events.push(ev);
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
     }
 }
 
@@ -167,6 +203,21 @@ mod tests {
         s.record(ev(FlitEventKind::Eject));
         assert_eq!(s.events.len(), 2);
         assert_eq!(s.events[0].kind, FlitEventKind::Inject);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.capacity(), VecSink::DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn vec_sink_caps_memory_and_counts_drops() {
+        let mut s = VecSink::with_capacity(2);
+        s.record(ev(FlitEventKind::Inject));
+        s.record(ev(FlitEventKind::Route));
+        s.record(ev(FlitEventKind::SwitchTraversal));
+        s.record(ev(FlitEventKind::Eject));
+        // The first `capacity` events survive, the overflow is counted.
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[1].kind, FlitEventKind::Route);
+        assert_eq!(s.dropped, 2);
     }
 
     #[test]

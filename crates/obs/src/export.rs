@@ -10,6 +10,7 @@
 //! plus one async `"b"`/`"e"` pair per packet spanning injection to last
 //! ejection.
 
+use crate::anatomy::Waterfall;
 use crate::event::{FlitEvent, FlitEventKind};
 use crate::metrics::{MetricsRegistry, RouterObs};
 use std::collections::HashMap;
@@ -189,6 +190,97 @@ pub fn chrome_trace(events: &[FlitEvent]) -> String {
     out
 }
 
+/// Encodes slow-packet waterfalls as Chrome Trace Event Format stage-wait
+/// spans, so a `noc explain` top-K packet opens directly in
+/// `chrome://tracing` / Perfetto.
+///
+/// Each packet gets an async `"b"`/`"e"` span (birth → ejection) plus its
+/// source-queue and serialization waits on a per-packet `pid = 0` lane;
+/// each hop contributes consecutive `"X"` slices — `vca`, `sa`, `credit`,
+/// `active` — on the router's `pid = router`, `tid = port·256 + vc` lane,
+/// starting at the head flit's arrival cycle (the four slices tile the
+/// hop's span exactly, mirroring the ledger's reconciliation invariant).
+pub fn anatomy_chrome_trace(slow: &[&Waterfall]) -> String {
+    fn sep(out: &mut String, first: &mut bool) {
+        if !std::mem::take(first) {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn slice(
+        out: &mut String,
+        first: &mut bool,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        pid: u32,
+        tid: u32,
+        packet: u64,
+    ) {
+        if dur == 0 {
+            return;
+        }
+        sep(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"cat\":\"anatomy\",\"ph\":\"X\",\"ts\":{ts},\
+             \"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"packet\":\"{packet:x}\"}}}}"
+        );
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for (lane, w) in slow.iter().enumerate() {
+        let p = &w.packet;
+        for (ph, ts) in [("b", p.birth), ("e", p.eject.max(p.birth + 1))] {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"packet\",\"cat\":\"anatomy\",\"ph\":\"{ph}\",\
+                 \"id\":\"{:x}\",\"ts\":{ts},\"pid\":0,\"tid\":{lane}}}",
+                p.packet_id
+            );
+        }
+        let lane = lane as u32;
+        let f = &mut first;
+        slice(
+            &mut out,
+            f,
+            "src_queue",
+            p.birth,
+            p.stages[0],
+            0,
+            lane,
+            p.packet_id,
+        );
+        slice(
+            &mut out,
+            f,
+            "serialization",
+            p.eject - p.stages[6],
+            p.stages[6],
+            0,
+            lane,
+            p.packet_id,
+        );
+        for h in &w.hops {
+            let tid = (h.in_port as u32) * 256 + h.in_vc as u32;
+            let mut ts = h.arrive;
+            for (name, dur) in [
+                ("vca", h.vca),
+                ("sa", h.sa),
+                ("credit", h.credit),
+                ("active", h.active),
+            ] {
+                slice(&mut out, f, name, ts, dur, h.router, tid, h.packet_id);
+                ts += dur;
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 /// Encodes an [`HdrHistogram`](crate::HdrHistogram) as CSV: one row per
 /// non-empty bucket with cumulative counts and quantiles, ready for
 /// plotting a latency CDF.
@@ -222,6 +314,9 @@ pub struct SweepManifestPoint {
     /// File name of this point's `noc-telemetry/v1` dump (relative to the
     /// sweep's cache directory), when one was recorded for this digest.
     pub telemetry: Option<String>,
+    /// File name of this point's `noc-anatomy/v1` dump (relative to the
+    /// sweep's cache directory), when one was recorded for this digest.
+    pub anatomy: Option<String>,
 }
 
 /// Encodes a sweep-run manifest (schema `noc-sweep-manifest/v1`) as one
@@ -270,6 +365,9 @@ pub fn sweep_manifest_json(
         );
         if let Some(t) = &p.telemetry {
             let _ = write!(out, ",\"telemetry\":\"{}\"", esc(t));
+        }
+        if let Some(a) = &p.anatomy {
+            let _ = write!(out, ",\"anatomy\":\"{}\"", esc(a));
         }
         out.push('}');
     }
@@ -390,6 +488,47 @@ mod tests {
     #[test]
     fn empty_trace_still_valid() {
         validate_json(&chrome_trace(&[])).unwrap();
+    }
+
+    #[test]
+    fn anatomy_trace_tiles_each_hop_exactly() {
+        use crate::anatomy::{HopRecord, PacketAnatomy, Waterfall};
+        let w = Waterfall {
+            packet: PacketAnatomy {
+                packet_id: 0x7,
+                class: 0,
+                birth: 0,
+                eject: 12,
+                hops: 1,
+                stages: [2, 1, 1, 0, 3, 2, 3],
+            },
+            hops: vec![HopRecord {
+                packet_id: 0x7,
+                router: 5,
+                in_port: 2,
+                in_vc: 1,
+                arrive: 3,
+                depart: 7,
+                vca: 1,
+                sa: 1,
+                credit: 0,
+                active: 3,
+            }],
+        };
+        let trace = anatomy_chrome_trace(&[&w]);
+        validate_json(&trace).unwrap();
+        // Stage slices start at the arrival cycle and tile the span:
+        // vca [3,4), sa [4,5), active [5,8) — credit is zero-width and
+        // omitted.
+        assert!(trace.contains("\"name\":\"vca\",\"cat\":\"anatomy\",\"ph\":\"X\",\"ts\":3"));
+        assert!(trace.contains("\"name\":\"sa\",\"cat\":\"anatomy\",\"ph\":\"X\",\"ts\":4"));
+        assert!(trace.contains("\"name\":\"active\",\"cat\":\"anatomy\",\"ph\":\"X\",\"ts\":5"));
+        assert!(!trace.contains("\"name\":\"credit\""));
+        assert!(trace.contains("\"name\":\"src_queue\""));
+        assert!(trace.contains("\"name\":\"serialization\""));
+        assert!(trace.contains("\"ph\":\"b\""));
+        assert!(trace.contains("\"tid\":513"));
+        validate_json(&anatomy_chrome_trace(&[])).unwrap();
     }
 
     #[test]

@@ -42,7 +42,13 @@
 //!   and `noc replay`, so a replayed dump summarizes byte-identically.
 //! - [`top`]: terminal frames for `noc top` (congestion heatmap +
 //!   matching-efficiency sparkline), rendered as plain strings.
+//! - [`anatomy`]: the per-packet latency ledger behind `noc explain` —
+//!   hop-by-hop stage attribution ([`HopRecord`]), the folding collector
+//!   ([`AnatomyCollector`]) with exact reconciliation against end-to-end
+//!   latency, and the `noc-anatomy/v1` dump format with a replay-identical
+//!   blame report ([`AnatomySummary`]).
 
+pub mod anatomy;
 pub mod digest;
 pub mod event;
 pub mod export;
@@ -55,11 +61,15 @@ pub mod record;
 pub mod timeseries;
 pub mod top;
 
+pub use anatomy::{
+    render_waterfall, AnatomyCollector, AnatomyDump, AnatomyHeader, AnatomySummary, AnatomyTotals,
+    HopRecord, PacketAnatomy, Waterfall, ANATOMY_SCHEMA, STAGE_COUNT, STAGE_NAMES,
+};
 pub use digest::DigestSink;
 pub use event::{CountingSink, FlitEvent, FlitEventKind, NopSink, TraceSink, VecSink};
 pub use export::{
-    chrome_trace, histogram_csv, metrics_csv, metrics_jsonl, percentile_table_json,
-    sweep_manifest_json, SweepManifestPoint,
+    anatomy_chrome_trace, chrome_trace, histogram_csv, metrics_csv, metrics_jsonl,
+    percentile_table_json, sweep_manifest_json, SweepManifestPoint,
 };
 pub use hist::{HdrHistogram, DEFAULT_QUANTILES};
 pub use json::{validate_json, JsonValue};

@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 /// Schema tag written into every dump header and summary block.
 pub const TELEMETRY_SCHEMA: &str = "noc-telemetry/v1";
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -39,7 +39,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -8,8 +8,8 @@ use crate::terminal::{RouterProbe, Terminal};
 use crate::topology::Topology;
 use crate::verify::{InvariantChecker, NopChecker};
 use noc_obs::{
-    FlightRecorder, FlitEvent, FlitEventKind, MetricsRegistry, NopProfiler, NopSink, Phase,
-    PhaseProfiler, RouterBreakdown, RouterObs, TraceSink,
+    AnatomyCollector, FlightRecorder, FlitEvent, FlitEventKind, MetricsRegistry, NopProfiler,
+    NopSink, Phase, PhaseProfiler, RouterBreakdown, RouterObs, TraceSink,
 };
 use std::time::Instant;
 
@@ -98,6 +98,13 @@ pub struct Network<S: TraceSink = NopSink> {
     /// Opt-in windowed flight recorder (see
     /// [`Network::enable_telemetry`]).
     pub telemetry: Option<FlightRecorder>,
+    /// Opt-in per-packet latency ledger (see
+    /// [`Network::enable_anatomy`]). Folded on the main thread only: hop
+    /// records travel through [`RouterOutputs::hops`] and are ingested at
+    /// commit in router-id order, ejections fold during delivery in wheel
+    /// order — both engine-invariant, so dumps are byte-identical across
+    /// engines.
+    pub anatomy: Option<AnatomyCollector>,
 }
 
 impl Network<NopSink> {
@@ -164,6 +171,7 @@ impl<S: TraceSink> Network<S> {
             sink,
             metrics: None,
             telemetry: None,
+            anatomy: None,
         }
     }
 
@@ -185,6 +193,17 @@ impl<S: TraceSink> Network<S> {
             for r in &mut self.routers {
                 r.enable_match_sampling(matching_period);
             }
+        }
+    }
+
+    /// Turns on the per-packet latency ledger: every router stamps its
+    /// buffered heads each cycle, ejections fold into per-stage histograms
+    /// (`capacity` bounds retained per-packet records, `top_k` the slowest
+    /// waterfalls kept). Costs one branch per router per cycle when off.
+    pub fn enable_anatomy(&mut self, capacity: usize, top_k: usize) {
+        self.anatomy = Some(AnatomyCollector::new(capacity, top_k));
+        for r in &mut self.routers {
+            r.enable_anatomy();
         }
     }
 
@@ -230,6 +249,7 @@ impl<S: TraceSink> Network<S> {
             &mut self.terminals,
             &mut self.stats,
             &mut self.sink,
+            &mut self.anatomy,
             now,
             prof,
         );
@@ -255,6 +275,7 @@ impl<S: TraceSink> Network<S> {
                 &mut self.wheel,
                 r,
                 &mut self.out_buf[r],
+                &mut self.anatomy,
                 now,
             );
         }
@@ -297,6 +318,7 @@ impl<S: TraceSink> Network<S> {
             &mut self.terminals,
             &mut self.stats,
             &mut self.sink,
+            &mut self.anatomy,
             now,
             &mut NopProfiler,
         );
@@ -336,6 +358,7 @@ impl<S: TraceSink> Network<S> {
                 &mut self.wheel,
                 r,
                 &mut self.out_buf[r],
+                &mut self.anatomy,
                 now,
             );
         }
@@ -367,6 +390,7 @@ impl<S: TraceSink> Network<S> {
             &mut self.terminals,
             &mut self.stats,
             &mut self.sink,
+            &mut self.anatomy,
             now,
             &mut NopProfiler,
         );
@@ -391,6 +415,7 @@ impl<S: TraceSink> Network<S> {
                 &mut self.wheel,
                 r,
                 &mut self.out_buf[r],
+                &mut self.anatomy,
                 now,
             );
         }
@@ -477,6 +502,7 @@ impl<S: TraceSink> Network<S> {
             sink: _,
             metrics,
             telemetry,
+            anatomy,
         } = self;
         let n = routers.len();
         let router_cells: Vec<UnsafeCell<Router>> =
@@ -560,6 +586,7 @@ impl<S: TraceSink> Network<S> {
                         terminals,
                         stats,
                         &mut NopSink,
+                        anatomy,
                         cycle_now,
                         &mut NopProfiler,
                     );
@@ -576,7 +603,15 @@ impl<S: TraceSink> Network<S> {
                     std::slice::from_raw_parts_mut(out_cells.as_ptr() as *mut RouterOutputs, n)
                 };
                 for r in 0..n {
-                    commit_outputs(topo_ref, rev, wheel, r, &mut outs_mut[r], cycle_now);
+                    commit_outputs(
+                        topo_ref,
+                        rev,
+                        wheel,
+                        r,
+                        &mut outs_mut[r],
+                        anatomy,
+                        cycle_now,
+                    );
                 }
                 let routers_ref: &[Router] = unsafe {
                     std::slice::from_raw_parts(router_cells.as_ptr() as *const Router, n)
@@ -777,6 +812,7 @@ fn deliver_and_inject<S: TraceSink, P: PhaseProfiler>(
     terminals: &mut [Terminal],
     stats: &mut NetStats,
     sink: &mut S,
+    anatomy: &mut Option<AnatomyCollector>,
     now: u64,
     prof: &mut P,
 ) {
@@ -792,13 +828,28 @@ fn deliver_and_inject<S: TraceSink, P: PhaseProfiler>(
                 vc,
                 flit,
             } => {
-                routers[router].accept_flit(port, vc, flit);
+                routers[router].accept_flit(port, vc, flit, now);
             }
             Event::CreditToRouter { router, port, vc } => {
                 routers[router].accept_credit(port, vc);
             }
             Event::FlitToTerminal { term, vc, flit } => {
                 stats.record_flit_ejected(now);
+                if let Some(col) = anatomy {
+                    // Fold in wheel-delivery order: identical on every
+                    // engine (delivery always runs on the main thread).
+                    if flit.head {
+                        col.eject_head(flit.packet_id, flit.birth, flit.injected, now);
+                    }
+                    if flit.tail {
+                        col.eject_tail(
+                            flit.packet_id,
+                            flit.msg_class() as u8,
+                            now,
+                            stats.in_window(now),
+                        );
+                    }
+                }
                 if flit.tail {
                     stats.record_packet_from(now, flit.birth, flit.msg_class(), flit.src);
                 }
@@ -878,8 +929,19 @@ fn commit_outputs(
     wheel: &mut TimingWheel,
     r: usize,
     out: &mut RouterOutputs,
+    anatomy: &mut Option<AnatomyCollector>,
     now: u64,
 ) {
+    // Ingest hop records before the wheel drain: commit runs in router-id
+    // order on every engine, so collector state is engine-invariant.
+    match anatomy {
+        Some(col) => {
+            for h in out.hops.drain(..) {
+                col.ingest_hop(h);
+            }
+        }
+        None => out.hops.clear(),
+    }
     for of in out.flits.drain(..) {
         if let Some(term) = topo.port_terminal(r, of.port) {
             wheel.schedule(

@@ -17,8 +17,8 @@ use noc_core::{
     VcAllocator, VcRequest,
 };
 use noc_obs::{
-    FlitEvent, FlitEventKind, NopProfiler, NopSink, Phase, PhaseProfiler, RouterCounters,
-    RouterObs, TraceSink,
+    FlitEvent, FlitEventKind, HopRecord, NopProfiler, NopSink, Phase, PhaseProfiler,
+    RouterCounters, RouterObs, TraceSink,
 };
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -86,16 +86,23 @@ pub struct RouterOutputs {
     pub flits: Vec<OutgoingFlit>,
     /// Credits to return upstream: `(input port, input VC)` slots freed.
     pub credits: Vec<(usize, usize)>,
+    /// Hop-attribution records for head flits that traversed the switch
+    /// this cycle (empty unless the packet ledger is enabled). Drained by
+    /// the network's commit phase in router-id order, which is what makes
+    /// anatomy dumps byte-identical across engines.
+    pub hops: Vec<HopRecord>,
 }
 
 impl RouterOutputs {
-    /// Empties both lists, keeping their capacity for reuse next cycle.
+    /// Empties all lists, keeping their capacity for reuse next cycle.
     pub fn clear(&mut self) {
         self.flits.clear();
         self.credits.clear();
+        self.hops.clear();
     }
 
-    /// True when the cycle produced neither flits nor credits.
+    /// True when the cycle produced neither flits nor credits (a hop
+    /// record always accompanies a departing flit, so it needs no check).
     pub fn is_empty(&self) -> bool {
         self.flits.is_empty() && self.credits.is_empty()
     }
@@ -178,6 +185,31 @@ struct MatchSampler {
     req: BitMatrix,
 }
 
+/// Per-input-VC stage accumulator for the packet ledger: how many cycles
+/// the head flit currently at (or headed for) the front of the VC has been
+/// charged to each pipeline stage.
+#[derive(Clone, Copy, Debug, Default)]
+struct HopAcc {
+    vca: u64,
+    sa: u64,
+    credit: u64,
+    active: u64,
+}
+
+/// Opt-in per-packet latency ledger (the substrate of `noc explain`):
+/// arrival cycles of buffered head flits plus a stage accumulator per
+/// input VC. Disabled (`None` on [`Router::anatomy`]) it costs one branch
+/// per cycle, mirroring the [`MatchSampler`] pattern; the [`Flit`] struct
+/// itself stays untouched.
+#[derive(Clone, Debug)]
+struct RouterAnatomy {
+    /// Arrival cycle of each buffered head flit, `[port * V + vc]`, FIFO
+    /// (a VC never reorders packets, so pops match pushes).
+    arrivals: Vec<VecDeque<u64>>,
+    /// Stage accumulator per input VC for the head flit at the front.
+    acc: Vec<HopAcc>,
+}
+
 /// Counters for the speculation-efficiency analysis (§5.2).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RouterStats {
@@ -237,6 +269,9 @@ pub struct Router {
     /// Matching-quality sampler; `None` (the default) costs one branch per
     /// cycle.
     match_sampler: Option<MatchSampler>,
+    /// Packet-ledger state; `None` (the default) costs one branch per
+    /// cycle plus one per accepted head flit.
+    anatomy: Option<RouterAnatomy>,
 }
 
 impl Router {
@@ -271,8 +306,20 @@ impl Router {
             stats: RouterStats::default(),
             obs: RouterObs::new(ports, vcs),
             match_sampler: None,
+            anatomy: None,
             cfg,
         }
+    }
+
+    /// Enables the packet ledger: per-hop stage attribution for every head
+    /// flit passing through, emitted as [`HopRecord`]s on
+    /// [`RouterOutputs::hops`] at switch traversal.
+    pub fn enable_anatomy(&mut self) {
+        let n = self.ports * self.vcs;
+        self.anatomy = Some(RouterAnatomy {
+            arrivals: (0..n).map(|_| VecDeque::new()).collect(),
+            acc: vec![HopAcc::default(); n],
+        });
     }
 
     /// Enables matching-quality sampling every `period` cycles (telemetry
@@ -317,14 +364,21 @@ impl Router {
         self.out_vc[port * self.vcs + vc].credits
     }
 
-    /// Accepts a flit delivered by a link into input VC `(port, vc)`.
-    pub fn accept_flit(&mut self, port: usize, vc: usize, flit: Flit) {
+    /// Accepts a flit delivered by a link into input VC `(port, vc)` at
+    /// cycle `now` (the arrival cycle feeds the packet ledger's hop spans;
+    /// without the ledger it is unused).
+    pub fn accept_flit(&mut self, port: usize, vc: usize, flit: Flit, now: u64) {
         let idx = port * self.vcs + vc;
         assert!(
             self.in_buf[idx].len() < self.cfg.buf_depth,
             "router {} input ({port},{vc}) overflow — credit protocol violated",
             self.id
         );
+        if flit.head {
+            if let Some(an) = &mut self.anatomy {
+                an.arrivals[idx].push_back(now);
+            }
+        }
         self.in_buf[idx].push_back(flit);
     }
 
@@ -440,6 +494,37 @@ impl Router {
             }
             self.scratch.moved[in_flat] = true;
             self.obs.out_flits[out_port] += 1;
+            if flit.head {
+                if let Some(an) = &mut self.anatomy {
+                    // Close this head's hop ledger. The departure cycle
+                    // itself is switch traversal (`+ 1`); cycles the head
+                    // spent buffered behind an earlier packet were never
+                    // classified (only the VC front is) and are
+                    // head-of-line blocking — time waiting to even request
+                    // an output VC — so the residual folds into `vca`.
+                    let arrive = an.arrivals[in_flat].pop_front().unwrap_or(now);
+                    let acc = std::mem::take(&mut an.acc[in_flat]);
+                    let counted = acc.vca + acc.sa + acc.credit + acc.active + 1;
+                    let span = now - arrive + 1;
+                    debug_assert!(
+                        counted <= span,
+                        "router {}: hop ledger overcounted ({counted} > {span})",
+                        self.id
+                    );
+                    out.hops.push(HopRecord {
+                        packet_id: flit.packet_id,
+                        router: id,
+                        in_port: (in_flat / v) as u16,
+                        in_vc: (in_flat % v) as u16,
+                        arrive,
+                        depart: now,
+                        vca: acc.vca + (span - counted),
+                        sa: acc.sa,
+                        credit: acc.credit,
+                        active: acc.active + 1,
+                    });
+                }
+            }
             // Lookahead routing for the next router (head flits on network
             // links only; ejected flits need no further routing).
             if flit.head {
@@ -728,6 +813,36 @@ impl Router {
                 s.vca_stall += 1;
             }
         }
+
+        // ---- Packet-ledger stamping (opt-in anatomy) --------------------
+        // Mirrors the attribution above, but charges the cycle to the hop
+        // accumulator of the head flit at the VC front. Every scratch flag
+        // describes the *post-traversal* front (ST ran first), so `moved`
+        // is deliberately not consulted: a departing head was charged its
+        // final cycle at emission time, and whichever head now fronts the
+        // VC earns this cycle's verdict instead.
+        if let Some(an) = &mut self.anatomy {
+            for in_flat in 0..n {
+                let Some(f) = self.in_buf[in_flat].front() else {
+                    continue;
+                };
+                if !f.head {
+                    continue;
+                }
+                let a = &mut an.acc[in_flat];
+                if self.scratch.granted[in_flat] {
+                    a.active += 1;
+                } else if self.scratch.credit_blocked[in_flat] {
+                    a.credit += 1;
+                } else if self.scratch.bid[in_flat]
+                    || (self.scratch.spec_bid[in_flat] && self.scratch.va_winner[in_flat])
+                {
+                    a.sa += 1;
+                } else {
+                    a.vca += 1;
+                }
+            }
+        }
     }
 
     /// Records that the active-set engine skipped this router for a cycle.
@@ -995,7 +1110,7 @@ mod tests {
     fn speculative_single_flit_cuts_through_in_two_cycles() {
         let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
         // Single-flit packet heading out port 1.
-        r.accept_flit(0, 0, head_flit(63, 1));
+        r.accept_flit(0, 0, head_flit(63, 1), 0);
         let out = r.step(&topo, 0);
         assert!(out.flits.is_empty(), "flit cannot leave in its VA cycle");
         assert_eq!(r.stats.spec_grants, 1, "speculation should have won");
@@ -1009,7 +1124,7 @@ mod tests {
     #[test]
     fn nonspeculative_head_takes_three_cycles() {
         let (mut r, topo) = mesh_router(SpecMode::NonSpeculative);
-        r.accept_flit(0, 0, head_flit(63, 1));
+        r.accept_flit(0, 0, head_flit(63, 1), 0);
         let out = r.step(&topo, 0); // VA
         assert!(out.flits.is_empty());
         let out = r.step(&topo, 1); // SA
@@ -1023,7 +1138,7 @@ mod tests {
         let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
         // Dest terminal 31 = router 31 (x=7,y=3); router 27 is (3,3): DOR
         // goes +x (port 1); at router 28 the lookahead should again be +x.
-        r.accept_flit(0, 0, head_flit(31, 1));
+        r.accept_flit(0, 0, head_flit(31, 1), 0);
         r.step(&topo, 0);
         let out = r.step(&topo, 1);
         let f = &out.flits[0].flit;
@@ -1038,7 +1153,7 @@ mod tests {
         for i in 0..8 {
             let mut f = head_flit(63, 1);
             f.packet_id = i;
-            r.accept_flit(0, 0, f);
+            r.accept_flit(0, 0, f, 0);
         }
         let mut sent = 0;
         for t in 0..40 {
@@ -1050,7 +1165,7 @@ mod tests {
         for i in 0..2 {
             let mut f = head_flit(63, 1);
             f.packet_id = 100 + i;
-            r.accept_flit(0, 0, f);
+            r.accept_flit(0, 0, f, 40);
         }
         for t in 40..50 {
             sent += r.step(&topo, t).flits.len();
@@ -1074,7 +1189,7 @@ mod tests {
             f.flit_index = i;
             f.head = i == 0;
             f.tail = i == 4;
-            r.accept_flit(0, 0, f);
+            r.accept_flit(0, 0, f, 0);
         }
         let mut sent = 0;
         let mut vc_freed_before_tail = false;
@@ -1103,8 +1218,8 @@ mod tests {
         // Different input ports, same output port; mesh(1) has V=2 VCs
         // (one per message class), both packets are requests -> they
         // compete for the single request-class output VC.
-        r.accept_flit(2, 0, f0);
-        r.accept_flit(3, 0, f1);
+        r.accept_flit(2, 0, f0, 0);
+        r.accept_flit(3, 0, f1, 0);
         let mut sent = Vec::new();
         for t in 0..8 {
             for of in r.step(&topo, t).flits {
@@ -1125,7 +1240,7 @@ mod tests {
         // holds with equality — in both speculation schemes.
         for mode in [SpecMode::Pessimistic, SpecMode::Conventional] {
             let (mut r, topo) = mesh_router(mode);
-            r.accept_flit(0, 0, head_flit(63, 1));
+            r.accept_flit(0, 0, head_flit(63, 1), 0);
             r.step(&topo, 0);
             let s = r.stats;
             assert_eq!(s.spec_requests, 1, "{mode:?}");
@@ -1156,7 +1271,7 @@ mod tests {
                 f.flit_index = i;
                 f.head = i == 0;
                 f.tail = i == 1;
-                r.accept_flit(2, 0, f);
+                r.accept_flit(2, 0, f, 0);
             }
             r.step(&topo, 0); // head wins VA + speculative SA
             assert_eq!(r.stats.spec_requests, 1, "{mode:?}");
@@ -1165,7 +1280,7 @@ mod tests {
             // non-speculative request for out port 1 next cycle.
             let mut g = head_flit(63, 1);
             g.packet_id = 7;
-            r.accept_flit(3, 0, g);
+            r.accept_flit(3, 0, g, 1);
             r.step(&topo, 1);
             let s = r.stats;
             assert_eq!(s.spec_requests, 2, "{mode:?}");
@@ -1192,8 +1307,8 @@ mod tests {
             f0.packet_id = 1;
             let mut f1 = head_flit(63, 1);
             f1.packet_id = 2;
-            r.accept_flit(2, 0, f0);
-            r.accept_flit(3, 0, f1);
+            r.accept_flit(2, 0, f0, 0);
+            r.accept_flit(3, 0, f1, 0);
             let mut sent = 0;
             for t in 0..10 {
                 sent += r.step(&topo, t).flits.len();
@@ -1212,7 +1327,7 @@ mod tests {
     #[test]
     fn nonspeculative_mode_issues_no_spec_requests() {
         let (mut r, topo) = mesh_router(SpecMode::NonSpeculative);
-        r.accept_flit(0, 0, head_flit(63, 1));
+        r.accept_flit(0, 0, head_flit(63, 1), 0);
         for t in 0..6 {
             r.step(&topo, t);
         }
@@ -1225,7 +1340,7 @@ mod tests {
     #[test]
     fn stall_attribution_partitions_cycles() {
         let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
-        r.accept_flit(0, 0, head_flit(63, 1));
+        r.accept_flit(0, 0, head_flit(63, 1), 0);
         let total = 6u64;
         for t in 0..total {
             r.step(&topo, t);
@@ -1245,12 +1360,76 @@ mod tests {
         let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
         // Block the request-class output VC at port 1 by a fake owner.
         r.out_vc[r.vcs].owner = Some(99);
-        r.accept_flit(0, 0, head_flit(63, 1));
+        r.accept_flit(0, 0, head_flit(63, 1), 0);
         r.step(&topo, 0);
         assert_eq!(r.stats.vca_grants, 0);
         // The speculative request may have won the switch but must have
         // been discarded as invalid.
         assert_eq!(r.stats.spec_grants, 0);
         assert!(r.stats.spec_invalid + r.stats.spec_masked >= 1);
+    }
+
+    #[test]
+    fn anatomy_hop_record_for_speculative_cutthrough() {
+        // A lone head that wins VA and speculative SA in the same cycle
+        // spends exactly two active cycles in the router: the grant cycle
+        // and the traversal (pop) cycle.
+        let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
+        r.enable_anatomy();
+        r.accept_flit(0, 0, head_flit(63, 1), 0);
+        assert!(r.step(&topo, 0).hops.is_empty());
+        let out = r.step(&topo, 1);
+        assert_eq!(out.hops.len(), 1);
+        let h = out.hops[0];
+        assert_eq!((h.arrive, h.depart), (0, 1));
+        assert_eq!((h.vca, h.sa, h.credit, h.active), (0, 0, 0, 2));
+        assert!(h.reconciles());
+    }
+
+    #[test]
+    fn anatomy_charges_vca_wait_without_speculation() {
+        // Without speculation the head burns one cycle in VC allocation
+        // before it may even bid for the switch.
+        let (mut r, topo) = mesh_router(SpecMode::NonSpeculative);
+        r.enable_anatomy();
+        r.accept_flit(0, 0, head_flit(63, 1), 0);
+        let mut hops = Vec::new();
+        for t in 0..4 {
+            hops.extend(r.step(&topo, t).hops);
+        }
+        assert_eq!(hops.len(), 1);
+        let h = hops[0];
+        assert_eq!((h.vca, h.sa, h.credit, h.active), (1, 0, 0, 2));
+        assert_eq!(h.span(), 3);
+        assert!(h.reconciles());
+    }
+
+    #[test]
+    fn anatomy_folds_head_of_line_wait_into_vca() {
+        // Two single-flit packets queued on the same input VC: the second
+        // head waits behind the first without ever being at the front, and
+        // that residual must land in its vca bucket while the per-hop
+        // identity still holds exactly.
+        let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
+        r.enable_anatomy();
+        for i in 0..2 {
+            let mut f = head_flit(63, 1);
+            f.packet_id = i;
+            r.accept_flit(0, 0, f, 0);
+        }
+        let mut hops = Vec::new();
+        for t in 0..6 {
+            hops.extend(r.step(&topo, t).hops);
+        }
+        assert_eq!(hops.len(), 2);
+        for h in &hops {
+            assert!(h.reconciles(), "{h:?}");
+        }
+        assert_eq!(hops[0].packet_id, 0);
+        assert!(
+            hops[1].vca >= 1,
+            "head-of-line wait must charge vca: {:?}",
+            hops[1]
+        );
     }
 }

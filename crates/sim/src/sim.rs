@@ -6,8 +6,9 @@ use crate::network::Network;
 use crate::router::RouterStats;
 use crate::steady;
 use noc_obs::{
-    percentile_table_json, FlightRecorder, HdrHistogram, JsonValue, MetricsRegistry, Profiler,
-    RouterBreakdown, RouterObs, TelemetrySummary, TraceSink, WindowSnapshot, DEFAULT_QUANTILES,
+    percentile_table_json, AnatomyCollector, FlightRecorder, HdrHistogram, JsonValue,
+    MetricsRegistry, Profiler, RouterBreakdown, RouterObs, TelemetrySummary, TraceSink,
+    WindowSnapshot, DEFAULT_QUANTILES,
 };
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -376,6 +377,33 @@ pub fn run_sim_engine(cfg: &SimConfig, warmup: u64, measure: u64, engine: Engine
     net.stats.set_window(warmup, warmup + measure);
     engine.run(&mut net, warmup + measure);
     summarize(&net)
+}
+
+/// As [`run_sim_engine`], with the per-packet latency ledger on: every
+/// router stamps its waiting heads each cycle and ejections fold into the
+/// returned [`AnatomyCollector`] (`capacity` per-packet rows retained,
+/// `top_k` slowest waterfalls kept). The ledger is a pure observer — the
+/// [`SimResult`] is bit-identical to the plain run's — and the fold order
+/// is engine-invariant, so collector dumps are byte-identical across
+/// engines.
+pub fn run_sim_anatomy(
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    engine: Engine,
+    capacity: usize,
+    top_k: usize,
+) -> (SimResult, AnatomyCollector) {
+    let mut net = Network::new(cfg.clone());
+    net.enable_anatomy(capacity, top_k);
+    net.stats.set_window(warmup, warmup + measure);
+    engine.run(&mut net, warmup + measure);
+    let result = summarize(&net);
+    let collector = net
+        .anatomy
+        .take()
+        .unwrap_or_else(|| AnatomyCollector::new(capacity, top_k));
+    (result, collector)
 }
 
 /// Everything produced by an observed run: the summary, the sink with its
@@ -1074,6 +1102,78 @@ mod tests {
         let run = |engine| {
             let (res, rec) = run_sim_recorded(&cfg, 500, 1_500, engine, opts).expect("no trip");
             (res.to_json(), rec.summary().to_json())
+        };
+        let seq = run(Engine::Sequential);
+        assert_eq!(seq, run(Engine::Parallel(4)));
+        assert_eq!(seq, run(Engine::ActiveSet));
+    }
+
+    #[test]
+    fn anatomy_run_is_a_pure_observer() {
+        let cfg = SimConfig {
+            injection_rate: 0.1,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let plain = run_sim_engine(&cfg, 500, 1_500, Engine::Sequential);
+        let (res, col) = run_sim_anatomy(&cfg, 500, 1_500, Engine::Sequential, 1 << 16, 4);
+        // Every simulation metric must be bit-identical to the plain run.
+        assert_eq!(res.avg_latency.to_bits(), plain.avg_latency.to_bits());
+        assert_eq!(res.throughput.to_bits(), plain.throughput.to_bits());
+        assert_eq!(res.hist, plain.hist);
+        assert_eq!(res.to_json(), plain.to_json());
+        assert!(col.totals.packets > 0);
+    }
+
+    #[test]
+    fn anatomy_reconciles_exactly_with_measured_latency() {
+        let cfg = SimConfig {
+            injection_rate: 0.2,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let (res, col) = run_sim_anatomy(&cfg, 500, 1_500, Engine::Sequential, 1 << 16, 8);
+        assert!(col.totals.packets > 100, "window too thin to be meaningful");
+        assert_eq!(col.totals.dropped, 0);
+        assert_eq!(col.records.len() as u64, col.totals.packets);
+        // The tentpole invariant, packet by packet: the seven stages
+        // partition eject - birth with no cycle lost or double-counted.
+        for p in &col.records {
+            assert!(p.reconciles(), "{p:?}");
+        }
+        for w in col.slowest() {
+            assert!(w.packet.reconciles(), "{:?}", w.packet);
+            for h in &w.hops {
+                assert!(h.reconciles(), "{h:?}");
+            }
+        }
+        // And in aggregate: the stage sums rebuild the measured average
+        // latency bit for bit (same population, same dividend).
+        let mean = col.totals.total_sum() as f64 / col.totals.packets as f64;
+        assert_eq!(
+            mean.to_bits(),
+            res.avg_latency.to_bits(),
+            "anatomy mean {mean} != measured {}",
+            res.avg_latency
+        );
+    }
+
+    #[test]
+    fn anatomy_dumps_are_engine_identical() {
+        let cfg = SimConfig {
+            injection_rate: 0.15,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let header = noc_obs::AnatomyHeader {
+            digest: cfg.digest(500, 1_500, "noc-anatomy/v1"),
+            label: cfg.label(),
+            routers: 64,
+            warmup: 500,
+            measure: 1_500,
+            capacity: 1 << 16,
+            top_k: 4,
+        };
+        let run = |engine| {
+            let (res, col) = run_sim_anatomy(&cfg, 500, 1_500, engine, 1 << 16, 4);
+            (res.to_json(), col.to_jsonl(&header))
         };
         let seq = run(Engine::Sequential);
         assert_eq!(seq, run(Engine::Parallel(4)));

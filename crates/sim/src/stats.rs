@@ -82,8 +82,12 @@ impl NetStats {
             .collect()
     }
 
+    /// Whether `now` falls inside the measurement window. Public so other
+    /// measurement-windowed consumers (the latency-anatomy collector)
+    /// share exactly this boundary convention: start inclusive, end
+    /// exclusive, judged at ejection time.
     #[inline]
-    fn in_window(&self, now: u64) -> bool {
+    pub fn in_window(&self, now: u64) -> bool {
         now >= self.window_start && now < self.window_end
     }
 
@@ -242,6 +246,62 @@ mod tests {
         assert_eq!(s.latency_sum, 50);
         assert!((s.avg_latency() - 50.0).abs() < 1e-12);
         assert_eq!(s.class_packets, [1, 0]);
+    }
+
+    #[test]
+    fn window_boundaries_are_start_inclusive_end_exclusive() {
+        // The convention every windowed consumer shares (latency stats,
+        // anatomy ledger): eject at window_start counts, at window_end
+        // does not, judged purely at ejection time.
+        let mut s = NetStats::default();
+        s.set_window(100, 200);
+        assert!(s.in_window(100));
+        assert!(s.in_window(199));
+        assert!(!s.in_window(99));
+        assert!(!s.in_window(200));
+        s.record_packet(100, 60, 0); // on the start boundary: counts
+        s.record_packet(199, 150, 1); // last in-window cycle: counts
+        s.record_packet(200, 150, 0); // on the end boundary: excluded
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.latency_sum, 40 + 49);
+        assert_eq!(s.latency_max, 49);
+        s.record_flit_ejected(200);
+        s.record_flit_injected(200);
+        assert_eq!(s.flits_ejected, 0);
+        assert_eq!(s.flits_injected, 0);
+        assert_eq!(s.total_flits_ejected, 1, "all-time counter still moves");
+    }
+
+    #[test]
+    fn packet_born_in_warmup_counts_full_latency_when_ejected_in_window() {
+        // Window membership is judged at ejection: a packet born during
+        // warmup that ejects inside the window contributes its complete
+        // birth-to-eject latency, not just the in-window share.
+        let mut s = NetStats::default();
+        s.set_window(100, 200);
+        s.record_packet(150, 20, 0); // born at 20, well before the window
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.latency_sum, 130);
+        assert!((s.avg_latency() - 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_accounting_splits_requests_and_replies() {
+        let mut s = NetStats::default();
+        s.set_window(0, 1000);
+        s.record_packet(100, 90, 0); // request, 10 cycles
+        s.record_packet(200, 170, 0); // request, 30 cycles
+        s.record_packet(300, 250, 1); // reply, 50 cycles
+        assert_eq!(s.class_packets, [2, 1]);
+        assert_eq!(s.class_latency_sum, [40, 50]);
+        assert!((s.class_avg_latency(0) - 20.0).abs() < 1e-12);
+        assert!((s.class_avg_latency(1) - 50.0).abs() < 1e-12);
+        // Class splits re-aggregate to the totals exactly.
+        assert_eq!(s.class_packets[0] + s.class_packets[1], s.packets);
+        assert_eq!(
+            s.class_latency_sum[0] + s.class_latency_sum[1],
+            s.latency_sum
+        );
     }
 
     #[test]

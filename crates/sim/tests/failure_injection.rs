@@ -41,7 +41,7 @@ fn buffer_overflow_is_caught() {
     // the credit protocol forbids this, and the router must assert.
     let mut r = mesh_router();
     for _ in 0..9 {
-        r.accept_flit(2, 0, flit(1));
+        r.accept_flit(2, 0, flit(1), 0);
     }
 }
 
@@ -59,7 +59,7 @@ fn credits_balance_after_traffic() {
     // is back at full depth — no silent leaks.
     let topo = TopologyKind::Mesh8x8.build();
     let mut r = mesh_router();
-    r.accept_flit(0, 0, flit(1));
+    r.accept_flit(0, 0, flit(1), 0);
     let mut departed = false;
     for t in 0..6 {
         if !r.step(&topo, t).flits.is_empty() {
@@ -70,7 +70,7 @@ fn credits_balance_after_traffic() {
     }
     assert!(departed);
     // A second packet flows normally, proving the credit came back.
-    r.accept_flit(0, 0, flit(1));
+    r.accept_flit(0, 0, flit(1), 6);
     let mut again = false;
     for t in 6..12 {
         if !r.step(&topo, t).flits.is_empty() {
@@ -85,5 +85,5 @@ fn credits_balance_after_traffic() {
 fn out_of_range_port_is_caught() {
     let mut r = mesh_router();
     // Port 9 does not exist on a P=5 router.
-    r.accept_flit(9, 0, flit(1));
+    r.accept_flit(9, 0, flit(1), 0);
 }

@@ -3,6 +3,7 @@
 //! Subcommands:
 //!
 //! * `noc sim`     — run one network simulation and print latency/throughput
+//! * `noc explain` — decompose end-to-end packet latency into pipeline stages
 //! * `noc check`   — statically verify a design (deadlock freedom, liveness,
 //!   allocator wiring)
 //! * `noc bench`   — run the perf-regression workload matrix
@@ -22,13 +23,14 @@ use noc_bench::{
 use noc_check::{check_design, check_fixture, fixtures, RouteModel};
 use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind, VcAllocSpec};
 use noc_obs::{
-    chrome_trace, metrics_csv, metrics_jsonl, render_top, window_jsonl, TelemetryDump,
-    TelemetryHeader, VecSink, WindowSnapshot, PHASES, TELEMETRY_SCHEMA,
+    anatomy_chrome_trace, chrome_trace, metrics_csv, metrics_jsonl, render_top, render_waterfall,
+    window_jsonl, AnatomyCollector, AnatomyHeader, TelemetryDump, TelemetryHeader, VecSink,
+    WindowSnapshot, ANATOMY_SCHEMA, PHASES, TELEMETRY_SCHEMA,
 };
 use noc_sim::{
-    run_sim_engine, run_sim_observed, run_sim_profiled, run_sim_recorded_with, run_sim_replicated,
-    run_sim_verified, Engine, RoutingKind, SimConfig, TelemetryOptions, TopologyKind,
-    TrafficPattern,
+    run_sim_anatomy, run_sim_engine, run_sim_observed, run_sim_profiled, run_sim_recorded_with,
+    run_sim_replicated, run_sim_verified, Engine, RoutingKind, SimConfig, TelemetryOptions,
+    TopologyKind, TrafficPattern,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -45,6 +47,10 @@ USAGE:
               [--engine seq|par|active|auto] [--threads N]
               [--record FILE] [--top] [--window N] [--match-every K]
               [--routing dor|dateline|nodateline] [--no-watchdog]
+              [--anatomy] [--anatomy-out FILE]
+  noc explain [sim config flags] [--warmup N] [--measure N] [--seed S]
+              [--engine seq|par|active|auto] [--threads N] [--top-k K]
+              [--capacity N] [--out FILE] [--trace FILE] [--json]
   noc check   [--topology mesh|fbfly|torus] [--vcs C] [--all]
               [--fixture no-dateline|cyclic-vc]
   noc bench   [--quick] [--out DIR] [--baseline FILE] [--tolerance PCT]
@@ -57,7 +63,7 @@ USAGE:
               [--dense]
   noc sweep   (run|resume|status|clean) [--preset NAME | --spec FILE]
               [--out DIR] [--cache-dir DIR] [--engine seq|par|active|auto]
-              [--threads N] [--quiet] [--no-render] [--telemetry]
+              [--threads N] [--quiet] [--no-render] [--telemetry] [--anatomy]
   noc top     DUMP [--once]
   noc replay  DUMP
   noc help
@@ -94,6 +100,27 @@ Telemetry & live view (noc sim / noc top / noc replay):
                           as it grows (--once renders a single frame)
   noc replay DUMP         recompute the run's telemetry summary from the
                           dump (byte-identical to the in-process block)
+
+Latency anatomy (noc explain / noc sim --anatomy):
+  noc explain runs one simulation with the per-packet latency ledger on
+  and prints the blame report: mean/p50/p99/max cycles per pipeline stage
+  (src_queue, vca, sa, credit, active, wire, serialization), each stage's
+  share of total latency, and hop-by-hop waterfalls for the slowest
+  packets. Per-packet stage sums reconcile exactly with end-to-end
+  latency; the command exits nonzero if they do not.
+  --top-k K               waterfalls to retain for the slowest packets
+                          (default 4; 0 disables)
+  --capacity N            per-packet ledger rows to retain (default 65536;
+                          the blame report always covers every packet)
+  --out FILE              write the full noc-anatomy/v1 JSONL dump, keyed
+                          by the config's content digest (byte-identical
+                          across --engine seq/par/active)
+  --trace FILE            write the slowest packets as Chrome Trace spans
+                          (one row per packet, one span per stage/hop)
+  noc sim --anatomy       append the same blame report to a plain run's
+                          summary (--anatomy-out FILE also writes the dump)
+  noc sweep run --anatomy write a <digest>.anatomy.jsonl dump per computed
+                          point, linked from the sweep manifest
 
 Performance engines (noc sim, noc bench):
   --engine NAME           cycle-loop engine: seq (in-order reference), par
@@ -155,6 +182,9 @@ Experiment sweeps (noc sweep):
 Examples:
   noc sim --topology fbfly --vcs 4 --rate 0.3 --sa wf
   noc sim --rate 0.2 --verify
+  noc explain --rate 0.4 --top-k 3
+  noc explain --topology fbfly --rate 0.35 --out anatomy.jsonl --json
+  noc sim --rate 0.3 --anatomy
   noc check --all
   noc check --fixture no-dateline
   noc sim --rate 0.25 --metrics out.csv --trace trace.json --json
@@ -171,6 +201,13 @@ Examples:
   noc sweep run --preset fig13 --engine auto
   noc sweep status
 ";
+
+/// Default per-packet ledger row retention for `noc explain` and
+/// `noc sim --anatomy` (the blame report always covers every packet).
+const DEFAULT_ANATOMY_CAPACITY: usize = 1 << 16;
+
+/// Default slowest-packet waterfall count for the anatomy surfaces.
+const DEFAULT_ANATOMY_TOP_K: usize = 4;
 
 /// Parsed `--key value` flags plus positional arguments.
 struct Args {
@@ -200,6 +237,7 @@ impl Args {
                     || key == "once"
                     || key == "no-watchdog"
                     || key == "telemetry"
+                    || key == "anatomy"
                 {
                     flags.insert(key.to_string(), "true".to_string());
                     continue;
@@ -316,8 +354,10 @@ impl Args {
     }
 }
 
-fn cmd_sim(args: &Args) -> Result<(), String> {
-    let cfg = SimConfig {
+/// Builds the simulated design point from the shared `noc sim` /
+/// `noc explain` config flags.
+fn sim_config(args: &Args) -> Result<SimConfig, String> {
+    Ok(SimConfig {
         injection_rate: args.get("rate", 0.2)?,
         vca_kind: args.alloc_kind()?,
         sa_kind: args.sw_kind("sa")?,
@@ -328,7 +368,11 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         seed: args.get("seed", 0x5c09_2009u64)?,
         routing_override: args.routing_override()?,
         ..SimConfig::paper_baseline(args.topology()?, args.get("vcs", 2)?)
-    };
+    })
+}
+
+fn cmd_sim(args: &Args) -> Result<(), String> {
+    let cfg = sim_config(args)?;
     let warmup: u64 = args.get("warmup", 3000u64)?;
     let measure: u64 = args.get("measure", 6000u64)?;
     let trace_path = args.flags.get("trace").cloned();
@@ -343,6 +387,10 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     let window: u64 = args.get("window", 100u64)?;
     let match_every: u64 = args.get("match-every", 1u64)?;
     let no_watchdog = args.flags.contains_key("no-watchdog");
+    let anatomy_out = args.flags.get("anatomy-out").cloned();
+    let want_anatomy = args.flags.contains_key("anatomy") || anatomy_out.is_some();
+    let anatomy_capacity: usize = args.get("capacity", DEFAULT_ANATOMY_CAPACITY)?;
+    let anatomy_top_k: usize = args.get("top-k", DEFAULT_ANATOMY_TOP_K)?;
     if window == 0 {
         return Err("--window must be at least 1 cycle".to_string());
     }
@@ -369,6 +417,20 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
                 .to_string(),
         );
     }
+    if want_anatomy
+        && (seeds > 1
+            || want_profile
+            || want_verify
+            || want_record
+            || trace_path.is_some()
+            || metrics_path.is_some())
+    {
+        return Err(
+            "--anatomy cannot be combined with --seeds, --profile, --verify, --record, --top, \
+             --trace or --metrics (use 'noc explain' for a dedicated anatomy run)"
+                .to_string(),
+        );
+    }
     if engine != Engine::Sequential
         && (seeds > 1
             || want_profile
@@ -392,6 +454,7 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     );
     let mut profile = None;
     let mut verify_report = None;
+    let mut anatomy: Option<AnatomyCollector> = None;
     let r = if want_verify {
         let (r, rep) = run_sim_verified(&cfg, warmup, measure);
         verify_report = Some(rep);
@@ -426,6 +489,27 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     } else if want_profile {
         let (r, prof) = run_sim_profiled(&cfg, warmup, measure);
         profile = Some(prof);
+        r
+    } else if want_anatomy {
+        let (r, col) = run_sim_anatomy(
+            &cfg,
+            warmup,
+            measure,
+            engine,
+            anatomy_capacity,
+            anatomy_top_k,
+        );
+        if let Some(path) = &anatomy_out {
+            let header = anatomy_header(&cfg, warmup, measure, anatomy_capacity, anatomy_top_k);
+            std::fs::write(path, col.to_jsonl(&header))
+                .map_err(|e| format!("cannot write anatomy dump '{path}': {e}"))?;
+            eprintln!(
+                "wrote anatomy dump ({} packets, {} waterfalls) to {path}",
+                col.totals.packets,
+                col.slow.len()
+            );
+        }
+        anatomy = Some(col);
         r
     } else if want_record {
         let header = TelemetryHeader {
@@ -528,9 +612,14 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
         }
     }
     if args.flags.contains_key("json") {
-        match &profile {
-            Some(p) => println!("{{\"result\":{},\"profile\":{}}}", r.to_json(), p.to_json()),
-            None => println!("{}", r.to_json()),
+        match (&profile, &anatomy) {
+            (Some(p), _) => println!("{{\"result\":{},\"profile\":{}}}", r.to_json(), p.to_json()),
+            (None, Some(col)) => println!(
+                "{{\"result\":{},\"anatomy\":{}}}",
+                r.to_json(),
+                col.summary().to_json()
+            ),
+            (None, None) => println!("{}", r.to_json()),
         }
         return Ok(());
     }
@@ -612,6 +701,119 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
             "other",
             p.other_share() * 100.0
         );
+    }
+    if let Some(col) = &anatomy {
+        println!("latency anatomy (cycles per packet, decomposed by pipeline stage):");
+        print!("{}", col.summary().render());
+        println!("{}", check_reconciliation(col, &r)?);
+    }
+    Ok(())
+}
+
+/// The `noc-anatomy/v1` dump identity line for a run of `cfg`.
+fn anatomy_header(
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    capacity: usize,
+    top_k: usize,
+) -> AnatomyHeader {
+    AnatomyHeader {
+        digest: cfg.digest(warmup, measure, ANATOMY_SCHEMA),
+        label: format!("{} @ {}", cfg.label(), cfg.injection_rate),
+        routers: cfg.topology.build().num_routers(),
+        warmup,
+        measure,
+        capacity: capacity as u64,
+        top_k: top_k as u64,
+    }
+}
+
+/// Verifies the tentpole invariant on a finished run and renders the
+/// one-line receipt CI greps for: every retained per-packet row's stage
+/// components must sum to its end-to-end latency, and the full-population
+/// stage-sum mean must be bit-identical to the measured mean latency.
+fn check_reconciliation(col: &AnatomyCollector, r: &noc_sim::SimResult) -> Result<String, String> {
+    let exact = col.records.iter().filter(|p| p.reconciles()).count();
+    if exact != col.records.len() {
+        return Err(format!(
+            "latency anatomy failed to reconcile: {}/{} retained packets have stage sums != \
+             eject - birth",
+            col.records.len() - exact,
+            col.records.len()
+        ));
+    }
+    let mean_exact = col.totals.packets == 0
+        || (col.totals.total_sum() as f64 / col.totals.packets as f64).to_bits()
+            == r.avg_latency.to_bits();
+    if !mean_exact {
+        return Err(format!(
+            "latency anatomy failed to reconcile: stage-sum mean {} != measured mean latency {}",
+            col.totals.total_sum() as f64 / col.totals.packets as f64,
+            r.avg_latency
+        ));
+    }
+    Ok(format!(
+        "reconciliation   {exact}/{} retained packets exact; stage-sum mean == measured latency",
+        col.records.len()
+    ))
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let cfg = sim_config(args)?;
+    let warmup: u64 = args.get("warmup", 3000u64)?;
+    let measure: u64 = args.get("measure", 6000u64)?;
+    let engine = args.engine()?;
+    let capacity: usize = args.get("capacity", DEFAULT_ANATOMY_CAPACITY)?;
+    let top_k: usize = args.get("top-k", DEFAULT_ANATOMY_TOP_K)?;
+    eprintln!(
+        "explaining {} @ {} flits/cycle/terminal ({} + {} cycles, engine {})...",
+        cfg.label(),
+        cfg.injection_rate,
+        warmup,
+        measure,
+        engine.label()
+    );
+    let (r, col) = run_sim_anatomy(&cfg, warmup, measure, engine, capacity, top_k);
+    let receipt = check_reconciliation(&col, &r)?;
+    if let Some(path) = args.flags.get("out") {
+        let header = anatomy_header(&cfg, warmup, measure, capacity, top_k);
+        std::fs::write(path, col.to_jsonl(&header))
+            .map_err(|e| format!("cannot write anatomy dump '{path}': {e}"))?;
+        eprintln!(
+            "wrote anatomy dump ({} packets, {} waterfalls) to {path}",
+            col.totals.packets,
+            col.slow.len()
+        );
+    }
+    if let Some(path) = args.flags.get("trace") {
+        std::fs::write(path, anatomy_chrome_trace(&col.slowest()))
+            .map_err(|e| format!("cannot write anatomy trace '{path}': {e}"))?;
+        eprintln!(
+            "wrote {} slowest-packet stage timelines to {path}",
+            col.slow.len()
+        );
+    }
+    if args.flags.contains_key("json") {
+        println!(
+            "{{\"result\":{},\"anatomy\":{}}}",
+            r.to_json(),
+            col.summary().to_json()
+        );
+        return Ok(());
+    }
+    println!(
+        "offered          {:.4} flits/cycle/terminal, accepted {:.4}",
+        r.offered, r.throughput
+    );
+    print!("{}", col.summary().render());
+    println!("{receipt}");
+    let slowest = col.slowest();
+    if !slowest.is_empty() {
+        println!("slowest packets:");
+        for w in slowest {
+            print!("{}", render_waterfall(w));
+        }
     }
     Ok(())
 }
@@ -884,6 +1086,7 @@ fn sweep_run(
         quiet: args.flags.contains_key("quiet"),
         require_journal,
         telemetry: args.flags.contains_key("telemetry"),
+        anatomy: args.flags.contains_key("anatomy"),
     };
     let outcome = run_sweep(&spec, &opts)?;
     eprintln!(
@@ -1079,6 +1282,7 @@ fn main() -> ExitCode {
         .unwrap_or("help");
     let result = match cmd {
         "sim" => cmd_sim(&args),
+        "explain" => cmd_explain(&args),
         "check" => cmd_check(&args),
         "bench" => cmd_bench(&args),
         "synth" => cmd_synth(&args),
@@ -1222,6 +1426,36 @@ mod tests {
         assert_eq!(a.positional, vec!["top", "run.jsonl"]);
         let a = args("sweep run --telemetry");
         assert!(a.flags.contains_key("telemetry"));
+    }
+
+    #[test]
+    fn anatomy_flags_parse() {
+        // --anatomy is bare in both surfaces that accept it.
+        let a = args("sim --anatomy --rate 0.3");
+        assert!(a.flags.contains_key("anatomy"));
+        assert!((a.get::<f64>("rate", 0.0).unwrap() - 0.3).abs() < 1e-12);
+        let a = args("sweep run --anatomy --preset smoke");
+        assert!(a.flags.contains_key("anatomy"));
+        assert_eq!(a.positional, vec!["sweep", "run"]);
+        // explain takes sim-style config flags plus its own knobs.
+        let a = args("explain --rate 0.4 --top-k 3 --capacity 1024 --out anatomy.jsonl");
+        assert_eq!(a.positional, vec!["explain"]);
+        assert_eq!(a.get::<usize>("top-k", DEFAULT_ANATOMY_TOP_K).unwrap(), 3);
+        assert_eq!(
+            a.get::<usize>("capacity", DEFAULT_ANATOMY_CAPACITY)
+                .unwrap(),
+            1024
+        );
+        assert_eq!(
+            a.flags.get("out").map(String::as_str),
+            Some("anatomy.jsonl")
+        );
+        // --anatomy-out implies --anatomy in cmd_sim; it takes a value.
+        let a = args("sim --anatomy-out dump.jsonl");
+        assert_eq!(
+            a.flags.get("anatomy-out").map(String::as_str),
+            Some("dump.jsonl")
+        );
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //!    cycle so the bug is bisectable.
 
 use noc_bench::workload_matrix;
-use noc_obs::{window_jsonl, DigestSink};
+use noc_obs::{window_jsonl, AnatomyHeader, DigestSink, ANATOMY_SCHEMA};
 use noc_sim::{
-    run_sim_engine, run_sim_recorded_with, Engine, Network, SimConfig, TelemetryOptions,
+    run_sim_anatomy, run_sim_engine, run_sim_recorded_with, Engine, Network, SimConfig,
+    TelemetryOptions,
 };
 
 const WARMUP: u64 = 500;
@@ -170,6 +171,59 @@ fn telemetry_dumps_byte_identical_across_engines() {
                 got_lines,
                 ref_lines,
                 "{name}: engine '{}' telemetry windows diverged",
+                engine.label()
+            );
+        }
+    }
+}
+
+/// Runs `cfg` with the per-packet latency ledger attached and returns the
+/// result JSON plus the full `noc-anatomy/v1` dump text.
+fn anatomy_dump(cfg: &SimConfig, engine: Engine) -> (String, String) {
+    let (res, col) = run_sim_anatomy(cfg, WARMUP, MEASURE, engine, 1 << 16, 4);
+    let header = AnatomyHeader {
+        digest: cfg.digest(WARMUP, MEASURE, ANATOMY_SCHEMA),
+        label: cfg.label(),
+        routers: cfg.topology.build().num_routers(),
+        warmup: WARMUP,
+        measure: MEASURE,
+        capacity: 1 << 16,
+        top_k: 4,
+    };
+    (res.to_json(), col.to_jsonl(&header))
+}
+
+/// Layer 4: the latency-anatomy ledger is part of the cycle-exact contract.
+/// Hop records cross the engine boundary (drained in router-id order) and
+/// fold on ejection, so the full dump — totals, histograms, every retained
+/// per-packet row, the top-K waterfalls — must be byte-identical across
+/// engines, and attaching the ledger must not perturb the result.
+#[test]
+fn anatomy_dumps_byte_identical_across_engines() {
+    for (name, cfg) in workload_matrix() {
+        // Same two mid-load workloads as the telemetry layer: the
+        // result/trace layers above already sweep the matrix.
+        if name != "mesh8x8_c2_r0.25" && name != "fbfly4x4_c2_r0.2" {
+            continue;
+        }
+        let plain = run_sim_engine(&cfg, WARMUP, MEASURE, Engine::Sequential).to_json();
+        let (ref_json, ref_dump) = anatomy_dump(&cfg, Engine::Sequential);
+        assert_eq!(
+            ref_json, plain,
+            "{name}: attaching the anatomy ledger changed the sequential SimResult"
+        );
+        for engine in fast_engines() {
+            let (got_json, got_dump) = anatomy_dump(&cfg, engine);
+            assert_eq!(
+                got_json,
+                ref_json,
+                "{name}: engine '{}' anatomy-run SimResult diverged",
+                engine.label()
+            );
+            assert_eq!(
+                got_dump,
+                ref_dump,
+                "{name}: engine '{}' anatomy dump diverged",
                 engine.label()
             );
         }
