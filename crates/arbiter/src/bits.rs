@@ -3,30 +3,69 @@
 //! Allocator design points in this workspace go up to `P*V = 160` bits per
 //! request vector (flattened butterfly, `P = 10`, `V = 16`), so a single
 //! machine word is not enough. `Bits` stores an arbitrary fixed number of
-//! bits in a small `Vec<u64>` and keeps all unused high bits at zero, which
-//! lets the word-level operations (union, intersection, popcount) stay
-//! branch-free.
+//! bits — inline, for every width up to [`INLINE_WORDS`]` * 64`, so the
+//! request/grant vectors built each cycle in the allocator kernels never
+//! touch the heap (the `tests/zero_alloc.rs` audit counts on this), with
+//! a `Vec<u64>` fallback for wider sets — and keeps all unused high bits
+//! at zero, which lets the word-level operations (union, intersection,
+//! popcount) stay branch-free.
+
+/// Words stored inline before falling back to the heap: 192 bits, above
+/// the widest vector any paper design point builds (160).
+pub const INLINE_WORDS: usize = 3;
+
+#[derive(Clone)]
+enum Words {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
 
 /// Fixed-width bit vector. The width is set at construction and never changes.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Bits {
     len: usize,
-    words: Vec<u64>,
+    words: Words,
 }
 
 impl Bits {
+    #[inline]
+    fn nwords(len: usize) -> usize {
+        len.div_ceil(64).max(1)
+    }
+
     /// Creates an all-zero bit vector of width `len`.
     pub fn new(len: usize) -> Self {
-        Bits {
-            len,
-            words: vec![0u64; len.div_ceil(64).max(1)],
+        let n = Self::nwords(len);
+        let words = if n <= INLINE_WORDS {
+            Words::Inline([0; INLINE_WORDS])
+        } else {
+            Words::Heap(vec![0u64; n])
+        };
+        Bits { len, words }
+    }
+
+    /// The live words (exactly `nwords(len)` of them).
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(a) => &a[..Self::nwords(self.len)],
+            Words::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = Self::nwords(self.len);
+        match &mut self.words {
+            Words::Inline(a) => &mut a[..n],
+            Words::Heap(v) => v,
         }
     }
 
     /// Creates an all-ones bit vector of width `len`.
     pub fn ones(len: usize) -> Self {
         let mut b = Bits::new(len);
-        for w in &mut b.words {
+        for w in b.words_mut() {
             *w = u64::MAX;
         }
         b.mask_tail();
@@ -58,7 +97,7 @@ impl Bits {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        (self.words[i / 64] >> (i % 64)) & 1 != 0
+        (self.words()[i / 64] >> (i % 64)) & 1 != 0
     }
 
     /// Writes bit `i`. Panics if `i >= len`.
@@ -67,27 +106,27 @@ impl Bits {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let (w, s) = (i / 64, i % 64);
         if v {
-            self.words[w] |= 1 << s;
+            self.words_mut()[w] |= 1 << s;
         } else {
-            self.words[w] &= !(1 << s);
+            self.words_mut()[w] &= !(1 << s);
         }
     }
 
     /// Clears all bits.
     pub fn clear(&mut self) {
-        for w in &mut self.words {
+        for w in self.words_mut() {
             *w = 0;
         }
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True if no bit is set.
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// True if exactly one bit is set.
@@ -97,7 +136,7 @@ impl Bits {
 
     /// Index of the lowest set bit, if any.
     pub fn first_set(&self) -> Option<usize> {
-        for (wi, &w) in self.words.iter().enumerate() {
+        for (wi, &w) in self.words().iter().enumerate() {
             if w != 0 {
                 return Some(wi * 64 + w.trailing_zeros() as usize);
             }
@@ -110,34 +149,36 @@ impl Bits {
         if from >= self.len {
             return None;
         }
+        let words = self.words();
         let start_word = from / 64;
-        let mut w = self.words[start_word] & (u64::MAX << (from % 64));
+        let mut w = words[start_word] & (u64::MAX << (from % 64));
         let mut wi = start_word;
         loop {
             if w != 0 {
                 return Some(wi * 64 + w.trailing_zeros() as usize);
             }
             wi += 1;
-            if wi >= self.words.len() {
+            if wi >= words.len() {
                 return None;
             }
-            w = self.words[wi];
+            w = words[wi];
         }
     }
 
     /// Iterator over the indices of set bits, in increasing order.
     pub fn iter_set(&self) -> SetBitsIter<'_> {
+        let words = self.words();
         SetBitsIter {
-            bits: self,
+            words,
             word_idx: 0,
-            cur: self.words.first().copied().unwrap_or(0),
+            cur: words.first().copied().unwrap_or(0),
         }
     }
 
     /// In-place union with `other`. Panics on width mismatch.
     pub fn union_with(&mut self, other: &Bits) {
         assert_eq!(self.len, other.len, "Bits width mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -145,7 +186,7 @@ impl Bits {
     /// In-place intersection with `other`. Panics on width mismatch.
     pub fn intersect_with(&mut self, other: &Bits) {
         assert_eq!(self.len, other.len, "Bits width mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= b;
         }
     }
@@ -153,7 +194,7 @@ impl Bits {
     /// In-place set difference (`self & !other`). Panics on width mismatch.
     pub fn subtract(&mut self, other: &Bits) {
         assert_eq!(self.len, other.len, "Bits width mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= !b;
         }
     }
@@ -161,29 +202,50 @@ impl Bits {
     /// True if `self` and `other` share any set bit.
     pub fn intersects(&self, other: &Bits) -> bool {
         assert_eq!(self.len, other.len, "Bits width mismatch");
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// True if every set bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &Bits) -> bool {
         assert_eq!(self.len, other.len, "Bits width mismatch");
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .all(|(a, b)| a & !b == 0)
     }
 
     fn mask_tail(&mut self) {
         let rem = self.len % 64;
         if rem != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last &= (1u64 << rem) - 1;
             }
         } else if self.len == 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last = 0;
             }
         }
+    }
+}
+
+// Manual impls: two equal-width vectors compare by live words only, so an
+// inline and a heap representation of the same set (impossible today, but
+// cheap to be robust against) and the unused inline tail never leak into
+// equality or hashing.
+impl PartialEq for Bits {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+impl Eq for Bits {}
+
+impl std::hash::Hash for Bits {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -204,7 +266,7 @@ impl std::fmt::Debug for Bits {
 
 /// Iterator over set-bit indices of a [`Bits`].
 pub struct SetBitsIter<'a> {
-    bits: &'a Bits,
+    words: &'a [u64],
     word_idx: usize,
     cur: u64,
 }
@@ -220,10 +282,10 @@ impl Iterator for SetBitsIter<'_> {
                 return Some(self.word_idx * 64 + bit);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.bits.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.cur = self.bits.words[self.word_idx];
+            self.cur = self.words[self.word_idx];
         }
     }
 }
@@ -306,6 +368,30 @@ mod tests {
     fn one_hot() {
         assert!(Bits::from_indices(70, [69]).is_one_hot());
         assert!(!Bits::from_indices(70, [1, 69]).is_one_hot());
+    }
+
+    #[test]
+    fn wide_vectors_fall_back_to_the_heap() {
+        // Above INLINE_WORDS * 64 bits the heap representation takes over
+        // with identical semantics.
+        let wide = INLINE_WORDS * 64 + 37;
+        let mut b = Bits::new(wide);
+        assert!(b.is_zero());
+        b.set(wide - 1, true);
+        b.set(0, true);
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![0, wide - 1]);
+        assert_eq!(Bits::ones(wide).count_ones(), wide);
+    }
+
+    #[test]
+    fn inline_boundary_widths_roundtrip() {
+        for len in [63, 64, 65, 191, 192, 193] {
+            let b = Bits::ones(len);
+            assert_eq!(b.count_ones(), len, "width {len}");
+            assert_eq!(b.iter_set().count(), len);
+            assert_eq!(b, Bits::from_indices(len, 0..len));
+        }
     }
 
     #[test]

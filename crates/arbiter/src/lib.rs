@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Arbiter primitives for network-on-chip router allocators.
 //!
 //! This crate implements the arbitration substrate used by the separable and

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared infrastructure for the figure-regeneration binaries.
 //!
 //! Every table/figure in the paper's evaluation has a binary in

@@ -124,6 +124,7 @@ mod tests {
         let d = std::env::temp_dir().join(format!(
             "noc-cache-test-{}-{tag}-{}",
             std::process::id(),
+            // RELAXED: unique-name ticket only; nothing is published.
             N.fetch_add(1, Ordering::Relaxed)
         ));
         let _ = fs::remove_dir_all(&d);

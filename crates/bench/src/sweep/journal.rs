@@ -184,6 +184,7 @@ mod tests {
         std::env::temp_dir().join(format!(
             "noc-journal-test-{}-{tag}-{}.journal",
             std::process::id(),
+            // RELAXED: unique-name ticket only; nothing is published.
             N.fetch_add(1, Ordering::Relaxed)
         ))
     }

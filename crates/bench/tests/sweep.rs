@@ -16,6 +16,7 @@ fn scratch(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!(
         "noc-sweep-it-{}-{tag}-{}",
         std::process::id(),
+        // RELAXED: unique-name ticket only; nothing is published.
         N.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = fs::remove_dir_all(&d);

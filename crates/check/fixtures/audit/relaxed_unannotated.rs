@@ -1,0 +1,9 @@
+// Negative fixture: a relaxed-ordering atomic access with no audit
+// annotation nearby. `noc audit --fixtures` must report
+// `relaxed-without-audit-comment`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn silent_relaxed(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,9 @@
+// Negative fixture: an `unsafe` block in a crate that is not on the
+// audit allowlist. `noc audit --fixtures` must report
+// `unsafe-outside-allowlist` for the block below.
+
+pub fn sneak_a_pointer_deref(p: *const u64) -> u64 {
+    // Even a fully commented block is rejected — containment is by file,
+    // not by explanation.
+    unsafe { *p }
+}

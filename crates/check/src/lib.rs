@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Static deadlock/liveness verifier for sparse VC configurations.
 //!
 //! Given a topology, a routing relation and a [`VcAllocSpec`], the checker:
@@ -17,11 +18,13 @@
 //! the bench workload matrix; [`fixtures`] provides deliberately-deadlocked
 //! designs the checker must reject.
 
+pub mod audit;
 pub mod cdg;
 pub mod fixtures;
 pub mod model;
 pub mod wiring;
 
+pub use audit::{audit_fixtures, audit_workspace, AuditFinding, AuditReport};
 pub use cdg::{ChannelDependencyGraph, Cycle};
 pub use fixtures::Fixture;
 pub use model::RouteModel;

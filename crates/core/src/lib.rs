@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Allocator architectures for network-on-chip routers.
 //!
 //! This crate is the core contribution of the reproduction of Becker &

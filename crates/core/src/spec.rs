@@ -65,6 +65,16 @@ pub struct SpecAllocResult {
 }
 
 impl SpecAllocResult {
+    /// Grant lists pre-sized to one grant per output port (the per-cycle
+    /// worst case for each list), so reuse across cycles never reallocates.
+    pub fn with_capacity(ports: usize) -> Self {
+        SpecAllocResult {
+            nonspec: Vec::with_capacity(ports),
+            spec: Vec::with_capacity(ports),
+            masked: Vec::with_capacity(ports),
+        }
+    }
+
     /// Empties all three grant lists, keeping their capacity for reuse.
     pub fn clear(&mut self) {
         self.nonspec.clear();

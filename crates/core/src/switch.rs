@@ -89,6 +89,16 @@ impl SwitchRequests {
     /// output-first and wavefront implementations).
     pub fn port_matrix(&self) -> BitMatrix {
         let mut m = BitMatrix::new(self.ports, self.ports);
+        self.port_matrix_into(&mut m);
+        m
+    }
+
+    /// Fills a caller-owned `P × P` matrix with the port-level requests —
+    /// the reusable-scratch form of [`SwitchRequests::port_matrix`].
+    pub fn port_matrix_into(&self, m: &mut BitMatrix) {
+        assert_eq!(m.num_rows(), self.ports);
+        assert_eq!(m.num_cols(), self.ports);
+        m.clear();
         for i in 0..self.ports {
             for v in 0..self.vcs {
                 if let Some(o) = self.req[i * self.vcs + v] {
@@ -96,7 +106,6 @@ impl SwitchRequests {
                 }
             }
         }
-        m
     }
 
     /// True if any VC at `in_port` has a request (used by the pessimistic
@@ -192,6 +201,9 @@ pub struct SepIfSwitchAllocator {
     vcs: usize,
     input_arbs: Vec<Box<dyn Arbiter + Send>>,
     output_arbs: Vec<Box<dyn Arbiter + Send>>,
+    /// Stage-1 scratch, `(vc, out_port)` per input port; kept across calls
+    /// so steady-state allocation stays at zero.
+    winners: Vec<Option<(usize, usize)>>,
 }
 
 impl SepIfSwitchAllocator {
@@ -202,6 +214,7 @@ impl SepIfSwitchAllocator {
             vcs,
             input_arbs: (0..ports).map(|_| kind.build(vcs)).collect(),
             output_arbs: (0..ports).map(|_| kind.build(ports)).collect(),
+            winners: Vec::with_capacity(ports),
         }
     }
 }
@@ -229,13 +242,14 @@ impl SwitchAllocator for SepIfSwitchAllocator {
             return;
         }
         // Stage 1: winning VC per input port.
-        let winners: Vec<Option<(usize, usize)>> = (0..self.ports)
-            .map(|i| {
-                self.input_arbs[i]
-                    .arbitrate(&requests.active_vcs(i))
-                    .and_then(|v| requests.get(i, v).map(|out| (v, out)))
-            })
-            .collect();
+        self.winners.clear();
+        for i in 0..self.ports {
+            let w = self.input_arbs[i]
+                .arbitrate(&requests.active_vcs(i))
+                .and_then(|v| requests.get(i, v).map(|out| (v, out)));
+            self.winners.push(w);
+        }
+        let winners = &self.winners;
         // Stage 2: arbitration among forwarded requests at each output.
         for o in 0..self.ports {
             let mut incoming = Bits::new(self.ports);
@@ -279,6 +293,11 @@ pub struct SepOfSwitchAllocator {
     vcs: usize,
     output_arbs: Vec<Box<dyn Arbiter + Send>>,
     vc_arbs: Vec<Box<dyn Arbiter + Send>>,
+    /// Combined per-port request scratch, kept across calls so
+    /// steady-state allocation stays at zero.
+    port_reqs: BitMatrix,
+    /// Stage-1 scratch: winning input per output port.
+    stage1: Vec<Option<usize>>,
 }
 
 impl SepOfSwitchAllocator {
@@ -289,6 +308,8 @@ impl SepOfSwitchAllocator {
             vcs,
             output_arbs: (0..ports).map(|_| kind.build(ports)).collect(),
             vc_arbs: (0..ports).map(|_| kind.build(vcs)).collect(),
+            port_reqs: BitMatrix::new(ports, ports),
+            stage1: Vec::with_capacity(ports),
         }
     }
 }
@@ -315,11 +336,14 @@ impl SwitchAllocator for SepOfSwitchAllocator {
         if requests.is_empty() {
             return;
         }
-        let port_reqs = requests.port_matrix();
+        requests.port_matrix_into(&mut self.port_reqs);
         // Stage 1: each output arbitrates among all requesting inputs.
-        let stage1: Vec<Option<usize>> = (0..self.ports)
-            .map(|o| self.output_arbs[o].arbitrate(&port_reqs.col(o)))
-            .collect();
+        self.stage1.clear();
+        for o in 0..self.ports {
+            let w = self.output_arbs[o].arbitrate(&self.port_reqs.col(o));
+            self.stage1.push(w);
+        }
+        let stage1 = &self.stage1;
         // Stage 2: each input picks a winning VC among those whose requested
         // output was granted to it.
         for i in 0..self.ports {
@@ -371,6 +395,10 @@ pub struct WavefrontSwitchAllocator {
     /// `presel[i * P + o]`: V:1 round-robin arbiter choosing the VC at input
     /// `i` that will use output `o` if granted.
     presel: Vec<Box<dyn Arbiter + Send>>,
+    /// Combined-request and grant scratch matrices, kept across calls so
+    /// steady-state allocation stays at zero.
+    port_reqs: BitMatrix,
+    port_grants: BitMatrix,
 }
 
 impl WavefrontSwitchAllocator {
@@ -384,6 +412,8 @@ impl WavefrontSwitchAllocator {
             presel: (0..ports * ports)
                 .map(|_| ArbiterKind::RoundRobin.build(vcs))
                 .collect(),
+            port_reqs: BitMatrix::new(ports, ports),
+            port_grants: BitMatrix::new(ports, ports),
         }
     }
 }
@@ -410,9 +440,13 @@ impl SwitchAllocator for WavefrontSwitchAllocator {
         if requests.is_empty() {
             return;
         }
-        let port_grants = self.wavefront.allocate(&requests.port_matrix());
+        requests.port_matrix_into(&mut self.port_reqs);
+        self.wavefront
+            .allocate_into(&self.port_reqs, &mut self.port_grants);
+        let ports = self.ports;
+        let (port_grants, presel) = (&self.port_grants, &mut self.presel);
         for (i, o) in port_grants.iter_set() {
-            let arb = &mut self.presel[i * self.ports + o];
+            let arb = &mut presel[i * ports + o];
             // The wavefront core only grants port pairs that requested.
             let Some(v) = arb.arbitrate(&requests.vcs_for_output(i, o)) else {
                 debug_assert!(false, "wavefront granted a port pair with no requesting VC");
@@ -441,18 +475,22 @@ pub fn validate_switch_grants(
     requests: &SwitchRequests,
     grants: &[SwitchGrant],
 ) -> Result<(), String> {
-    let mut in_used = vec![false; requests.ports()];
-    let mut out_used = vec![false; requests.ports()];
+    // Bits instead of Vec<bool>: this runs per cycle under debug
+    // assertions and must not allocate in steady state.
+    let mut in_used = Bits::new(requests.ports());
+    let mut out_used = Bits::new(requests.ports());
     for g in grants {
         if requests.get(g.in_port, g.vc) != Some(g.out_port) {
             return Err(format!("grant without request: {g:?}"));
         }
-        if std::mem::replace(&mut in_used[g.in_port], true) {
+        if in_used.get(g.in_port) {
             return Err(format!("two grants at input port {}", g.in_port));
         }
-        if std::mem::replace(&mut out_used[g.out_port], true) {
+        in_used.set(g.in_port, true);
+        if out_used.get(g.out_port) {
             return Err(format!("two grants at output port {}", g.out_port));
         }
+        out_used.set(g.out_port, true);
     }
     Ok(())
 }

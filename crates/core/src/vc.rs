@@ -452,9 +452,11 @@ impl SeparableVcAllocator {
                 })
                 .collect(),
             spec,
-            bids: Vec::new(),
-            stage1: Vec::new(),
-            by_input: Vec::new(),
+            // One bid per input VC at most, so pre-sizing to `n` keeps the
+            // per-cycle scratch lists allocation-free.
+            bids: Vec::with_capacity(n),
+            stage1: Vec::with_capacity(n),
+            by_input: Vec::with_capacity(n),
         }
     }
 }
@@ -781,8 +783,16 @@ impl SparseVcAllocator {
                 .map(|_| DenseVcAllocator::new(sub_spec.clone(), kind))
                 .collect(),
             sub_reqs: vec![None; n_sub],
-            touched: Vec::new(),
-            spare: Vec::new(),
+            touched: Vec::with_capacity(n_sub),
+            // Pre-primed pool: at most one projected request per sub-slot,
+            // each requesting at most every resource class, so the
+            // steady-state projection loop never allocates.
+            spare: (0..n_sub)
+                .map(|_| VcRequest {
+                    out_port: 0,
+                    classes: Vec::with_capacity(sub_spec.resource_classes()),
+                })
+                .collect(),
             sub_free: BitMatrix::new(spec.ports(), sub_spec.total_vcs()),
             sub_grants: Vec::new(),
             sub_spec,
@@ -970,7 +980,9 @@ pub fn validate_vc_grants(
     grants: &[Option<OutVc>],
 ) -> Result<(), String> {
     let v = spec.total_vcs();
-    let mut used = std::collections::HashSet::new();
+    // Runs per cycle under debug assertions; `Bits` keeps the dedup set
+    // inline (no allocation) for realistic port/VC counts.
+    let mut used = noc_arbiter::Bits::new(free_out.num_rows() * v);
     for (g, grant) in grants.iter().enumerate() {
         let Some(grant) = grant else { continue };
         let req = requests[g]
@@ -990,12 +1002,14 @@ pub fn validate_vc_grants(
         if !free_out.get(grant.port, grant.vc) {
             return Err(format!("input VC {g}: granted busy output VC"));
         }
-        if !used.insert((grant.port, grant.vc)) {
+        let slot = grant.port * v + grant.vc;
+        if used.get(slot) {
             return Err(format!(
                 "output VC {}:{} granted twice",
                 grant.port, grant.vc
             ));
         }
+        used.set(slot, true);
     }
     Ok(())
 }

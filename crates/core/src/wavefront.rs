@@ -1,6 +1,7 @@
 //! Wavefront allocator (§2.2).
 
 use crate::{Allocator, BitMatrix};
+use noc_arbiter::Bits;
 
 /// Wavefront allocator (`wf`), after Tamir & Chi's wrapped wavefront
 /// arbiter.
@@ -70,25 +71,49 @@ impl WavefrontAllocator {
     /// implementation computes; [`Allocator::allocate`] selects among the
     /// `n` replicas with the rotating state.
     pub fn allocate_with_diagonal(&self, requests: &BitMatrix, start: usize) -> BitMatrix {
+        let mut grants = BitMatrix::new(self.requesters, self.resources);
+        self.allocate_with_diagonal_into(requests, start, &mut grants);
+        grants
+    }
+
+    /// [`WavefrontAllocator::allocate_with_diagonal`] into a caller-owned
+    /// grant matrix, so a per-cycle caller can keep one scratch matrix and
+    /// never allocate (`Bits` tracks free rows/columns inline).
+    pub fn allocate_with_diagonal_into(
+        &self,
+        requests: &BitMatrix,
+        start: usize,
+        grants: &mut BitMatrix,
+    ) {
         assert_eq!(requests.num_rows(), self.requesters);
         assert_eq!(requests.num_cols(), self.resources);
+        assert_eq!(grants.num_rows(), self.requesters);
+        assert_eq!(grants.num_cols(), self.resources);
         let n = self.n;
-        let mut grants = BitMatrix::new(self.requesters, self.resources);
-        let mut row_free = vec![true; n];
-        let mut col_free = vec![true; n];
+        grants.clear();
+        let mut row_free = Bits::ones(n);
+        let mut col_free = Bits::ones(n);
         for k in 0..n {
             let d = (start + k) % n;
             // Entries (i, j) with (i + j) mod n == d.
             for i in 0..self.requesters {
                 let j = (d + n - i % n) % n;
-                if j < self.resources && row_free[i] && col_free[j] && requests.get(i, j) {
+                if j < self.resources && row_free.get(i) && col_free.get(j) && requests.get(i, j) {
                     grants.set(i, j, true);
-                    row_free[i] = false;
-                    col_free[j] = false;
+                    row_free.set(i, false);
+                    col_free.set(j, false);
                 }
             }
         }
-        grants
+    }
+
+    /// [`Allocator::allocate`] into a caller-owned grant matrix (advances
+    /// the rotating diagonal exactly like `allocate`).
+    pub fn allocate_into(&mut self, requests: &BitMatrix, grants: &mut BitMatrix) {
+        self.allocate_with_diagonal_into(requests, self.diagonal, grants);
+        if self.policy == DiagonalPolicy::Rotating {
+            self.diagonal = (self.diagonal + 1) % self.n;
+        }
     }
 }
 

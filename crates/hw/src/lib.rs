@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Hardware cost model: the workspace's stand-in for RTL synthesis.
 //!
 //! The paper evaluates allocator implementations by synthesizing Verilog

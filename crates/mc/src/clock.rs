@@ -1,0 +1,97 @@
+//! Vector clocks: the happens-before bookkeeping under the race detector.
+//!
+//! Every virtual thread carries a [`VectorClock`]; every modeled atomic
+//! variable carries one as its *synchronization clock* (the clock published
+//! by the last release operation, extended through read-modify-writes per
+//! the C++20 release-sequence rules). A non-atomic access A happens-before
+//! an access B iff A's recording thread clock at the time of A is
+//! componentwise `<=` B's thread clock at the time of B — exactly the
+//! FastTrack/Miri formulation, evaluated here over sequentially consistent
+//! interleavings.
+
+/// A fixed-width vector clock, one lamport component per virtual thread.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VectorClock {
+    ticks: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `threads` components.
+    pub fn new(threads: usize) -> Self {
+        VectorClock {
+            ticks: vec![0; threads],
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True when the clock has no components.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// This thread performed one more step.
+    pub fn tick(&mut self, thread: usize) {
+        self.ticks[thread] += 1;
+    }
+
+    /// The component for `thread`.
+    pub fn get(&self, thread: usize) -> u64 {
+        self.ticks[thread]
+    }
+
+    /// Componentwise maximum: `self = self ⊔ other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (t, o) in self.ticks.iter_mut().zip(&other.ticks) {
+            *t = (*t).max(*o);
+        }
+    }
+
+    /// True when every component of `self` is `<=` the matching component
+    /// of `other` — i.e. the event stamped `self` happens-before (or is)
+    /// the event stamped `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.ticks.iter().zip(&other.ticks).all(|(a, b)| a <= b)
+    }
+
+    /// Clears every component (a `Relaxed` store severs the release
+    /// sequence, so the variable's sync clock resets to zero).
+    pub fn clear(&mut self) {
+        self.ticks.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        b.join(&a);
+        assert!(a.le(&b));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = VectorClock::new(2);
+        a.tick(1);
+        a.clear();
+        assert!(a.le(&VectorClock::new(2)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Exhaustive DFS over scheduling-point interleavings.
+//!
+//! The explorer branches over which runnable thread executes its next
+//! synchronization operation; everything between synchronization
+//! operations runs eagerly inside the transition (a DPOR-lite reduction —
+//! data accesses never commute with the race verdict, so only the order
+//! of synchronization operations needs exploring). States clone at branch
+//! points, so the search needs no replay machinery and depth is bounded
+//! by the schedule length.
+//!
+//! Soundness note (why SC exploration proves anything about a weak
+//! memory model): the checker enumerates every sequentially consistent
+//! interleaving and flags any pair of cell accesses unordered by
+//! happens-before. If no interleaving has such a pair, the program is
+//! data-race-free, and by the DRF-SC theorem its executions under the
+//! C++/Rust memory model coincide with the sequentially consistent ones
+//! explored here. A reported race, conversely, is undefined behaviour
+//! outright. Values carried by the atomics themselves are explored
+//! through every interleaving of the (per-variable totally ordered)
+//! atomic operations, which is how lost-signal deadlocks surface.
+
+use crate::state::{Model, ModelState, TraceEntry, Violation};
+
+/// Exploration caps: a backstop against accidental state-space blowups,
+/// not a tuning knob (the shipped models are far below them).
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum number of complete executions.
+    pub max_executions: u64,
+    /// Maximum scheduling-point transitions along one execution.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_executions: 20_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// Aggregate statistics of a completed exhaustive exploration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Outcome {
+    /// Complete executions explored (every one terminated cleanly).
+    pub executions: u64,
+    /// Total scheduling-point transitions executed.
+    pub transitions: u64,
+    /// Longest schedule seen.
+    pub max_depth: usize,
+}
+
+/// A rejected model: the violation plus the exact schedule reaching it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    pub violation: Violation,
+    pub schedule: Vec<TraceEntry>,
+}
+
+impl Counterexample {
+    /// Human-readable rendering: the violation, then the schedule that
+    /// produced it, one scheduling decision per line.
+    pub fn render(&self, model: &Model) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "VIOLATION in model `{}`: {}\n",
+            model.name,
+            model.render_violation(&self.violation)
+        ));
+        out.push_str("schedule (thread: operation):\n");
+        for (i, e) in self.schedule.iter().enumerate() {
+            out.push_str(&format!(
+                "  {i:3}. {:<10} {}\n",
+                model.thread_name(e.thread),
+                e.desc
+            ));
+        }
+        out
+    }
+}
+
+/// Errors from [`explore`]: either a genuine counterexample or a blown
+/// exploration cap.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The model has a violating schedule.
+    Violation(Box<Counterexample>),
+    /// The state space exceeded [`Limits`] — the model must shrink.
+    LimitExceeded { executions: u64 },
+}
+
+impl ExploreError {
+    /// Renders against the model's names.
+    pub fn render(&self, model: &Model) -> String {
+        match self {
+            ExploreError::Violation(cx) => cx.render(model),
+            ExploreError::LimitExceeded { executions } => format!(
+                "exploration limit exceeded after {executions} executions \
+                 in model `{}` — shrink the model parameters",
+                model.name
+            ),
+        }
+    }
+}
+
+/// Exhaustively explores every interleaving of `model`. Returns the
+/// outcome when every schedule terminates with all threads finished and
+/// no violation; returns the first counterexample otherwise.
+pub fn explore(model: &Model, limits: Limits) -> Result<Outcome, ExploreError> {
+    let mut outcome = Outcome::default();
+    let init = match ModelState::new(model) {
+        Ok(st) => st,
+        Err(violation) => {
+            return Err(ExploreError::Violation(Box::new(Counterexample {
+                violation,
+                schedule: Vec::new(),
+            })))
+        }
+    };
+    dfs(model, init, limits, &mut outcome)?;
+    Ok(outcome)
+}
+
+fn dfs(
+    model: &Model,
+    state: ModelState,
+    limits: Limits,
+    outcome: &mut Outcome,
+) -> Result<(), ExploreError> {
+    if state.all_finished() {
+        outcome.executions += 1;
+        outcome.max_depth = outcome.max_depth.max(state.trace.len());
+        if outcome.executions > limits.max_executions {
+            return Err(ExploreError::LimitExceeded {
+                executions: outcome.executions,
+            });
+        }
+        return Ok(());
+    }
+    let runnable = state.runnable_threads(model);
+    if runnable.is_empty() {
+        let violation = Violation::Deadlock {
+            blocked: state.unfinished(),
+        };
+        return Err(ExploreError::Violation(Box::new(Counterexample {
+            violation,
+            schedule: state.trace,
+        })));
+    }
+    if state.trace.len() >= limits.max_depth {
+        return Err(ExploreError::LimitExceeded {
+            executions: outcome.executions,
+        });
+    }
+    // With a single runnable thread there is no scheduling choice: step in
+    // place without cloning.
+    if runnable.len() == 1 {
+        let mut next = state;
+        step(model, &mut next, runnable[0], outcome)?;
+        return dfs(model, next, limits, outcome);
+    }
+    for t in runnable {
+        let mut next = state.clone();
+        step(model, &mut next, t, outcome)?;
+        dfs(model, next, limits, outcome)?;
+    }
+    Ok(())
+}
+
+fn step(
+    model: &Model,
+    state: &mut ModelState,
+    t: usize,
+    outcome: &mut Outcome,
+) -> Result<(), ExploreError> {
+    outcome.transitions += 1;
+    if let Err(violation) = state.transition(model, t) {
+        return Err(ExploreError::Violation(Box::new(Counterexample {
+            violation,
+            schedule: state.trace.clone(),
+        })));
+    }
+    Ok(())
+}

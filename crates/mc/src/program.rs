@@ -1,0 +1,263 @@
+//! The virtual-thread DSL: straight-line programs over registers, modeled
+//! atomics, and tracked non-atomic cells.
+//!
+//! Programs are data (no closures), so model states clone cheaply during
+//! DFS and every executed operation renders into the counterexample
+//! schedule. Atomic operations ([`Op::Load`], [`Op::Store`],
+//! [`Op::FetchAdd`], [`Op::Await`], [`Op::AwaitEither`]) are *scheduling
+//! points*: the explorer branches over which runnable thread performs its
+//! next one. Everything else (register arithmetic, branches, cell
+//! accesses) runs eagerly after the scheduling point, which is sound
+//! because happens-before — and therefore the race verdict — depends only
+//! on the synchronization structure, not on where data accesses fall
+//! between synchronization operations.
+
+use std::fmt;
+
+/// Memory orderings the model distinguishes. `SeqCst` is deliberately
+/// absent: the audited protocol never uses it, and modeling it would only
+/// mask missing Acquire/Release edges.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ordering {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+}
+
+impl Ordering {
+    /// True when a load with this ordering acquires the variable's
+    /// synchronization clock.
+    pub fn acquires(self) -> bool {
+        matches!(self, Ordering::Acquire | Ordering::AcqRel)
+    }
+
+    /// True when a store/RMW with this ordering releases the thread's
+    /// clock into the variable.
+    pub fn releases(self) -> bool {
+        self == Ordering::Release || self == Ordering::AcqRel
+    }
+}
+
+impl fmt::Display for Ordering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ordering::Relaxed => "Relaxed",
+            Ordering::Acquire => "Acquire",
+            Ordering::Release => "Release",
+            Ordering::AcqRel => "AcqRel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A value read from the register file.
+#[derive(Clone, Copy, Debug)]
+pub enum Expr {
+    /// A literal.
+    Const(u64),
+    /// The current value of a register.
+    Reg(usize),
+    /// `regs[reg] + delta` — loop counters and offset cell indices.
+    RegPlus(usize, u64),
+}
+
+impl Expr {
+    /// Evaluates against a register file.
+    pub fn eval(&self, regs: &[u64]) -> u64 {
+        match *self {
+            Expr::Const(c) => c,
+            Expr::Reg(r) => regs[r],
+            Expr::RegPlus(r, d) => regs[r] + d,
+        }
+    }
+}
+
+/// A predicate over a freshly loaded atomic value (used by the blocking
+/// await operations).
+#[derive(Clone, Copy, Debug)]
+pub enum Pred {
+    /// `value > regs[reg]`
+    GtReg(usize),
+    /// `value >= k`
+    GeConst(u64),
+    /// `value != k`
+    NeConst(u64),
+}
+
+impl Pred {
+    /// Evaluates the predicate for `value` under `regs`.
+    pub fn eval(&self, value: u64, regs: &[u64]) -> bool {
+        match *self {
+            Pred::GtReg(r) => value > regs[r],
+            Pred::GeConst(k) => value >= k,
+            Pred::NeConst(k) => value != k,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Pred::GtReg(r) => write!(f, "> r{r}"),
+            Pred::GeConst(k) => write!(f, ">= {k}"),
+            Pred::NeConst(k) => write!(f, "!= {k}"),
+        }
+    }
+}
+
+/// A branch condition over the register file.
+#[derive(Clone, Copy, Debug)]
+pub enum Cond {
+    /// `regs[reg] >= k`
+    RegGeConst(usize, u64),
+    /// `regs[a] >= regs[b]`
+    RegGeReg(usize, usize),
+}
+
+impl Cond {
+    /// Evaluates against a register file.
+    pub fn eval(&self, regs: &[u64]) -> bool {
+        match *self {
+            Cond::RegGeConst(r, k) => regs[r] >= k,
+            Cond::RegGeReg(a, b) => regs[a] >= regs[b],
+        }
+    }
+}
+
+/// Whether a tracked cell access reads or writes the cell. An exclusive
+/// (`&mut`) access through an `UnsafeCell` models as a write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// One virtual-thread instruction.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Atomic load into a register. Scheduling point.
+    Load {
+        var: usize,
+        ord: Ordering,
+        reg: usize,
+    },
+    /// Atomic store. Scheduling point.
+    Store {
+        var: usize,
+        ord: Ordering,
+        value: Expr,
+    },
+    /// Atomic fetch-add; the *previous* value lands in `reg`. Scheduling
+    /// point.
+    FetchAdd {
+        var: usize,
+        ord: Ordering,
+        operand: Expr,
+        reg: usize,
+    },
+    /// Blocking spin-wait: runnable only while `pred` holds for the
+    /// current value of `var`; when scheduled it performs one load with
+    /// `ord` into `reg`. Models a spin loop with an empty body — sound
+    /// because failed spin reads have no side effects, and dropping their
+    /// acquire edges only *removes* happens-before, which can never hide a
+    /// race. Scheduling point.
+    Await {
+        var: usize,
+        ord: Ordering,
+        pred: Pred,
+        reg: usize,
+    },
+    /// Two-condition spin-wait (the worker's `epoch`-or-`stop` loop):
+    /// runnable when either predicate holds for its variable. When
+    /// scheduled it checks `var` first (matching the real loop's program
+    /// order); on success it behaves like [`Op::Await`] and falls
+    /// through, otherwise it loads `alt_var` with `alt_ord` and jumps to
+    /// `alt_target`. Scheduling point.
+    AwaitEither {
+        var: usize,
+        ord: Ordering,
+        pred: Pred,
+        reg: usize,
+        alt_var: usize,
+        alt_ord: Ordering,
+        alt_pred: Pred,
+        alt_target: usize,
+    },
+    /// Tracked non-atomic access to cell `cell` (an `UnsafeCell` shard in
+    /// the real code). Not a scheduling point; checked against the race
+    /// detector.
+    Cell { cell: Expr, kind: AccessKind },
+    /// `regs[reg] = value`.
+    Set { reg: usize, value: Expr },
+    /// Conditional forward/backward jump.
+    Branch { cond: Cond, target: usize },
+    /// Unconditional jump.
+    Jump { target: usize },
+    /// Model invariant; a false condition is a reported violation.
+    Assert { cond: Cond, msg: &'static str },
+}
+
+impl Op {
+    /// True for operations the explorer branches on.
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Op::Load { .. }
+                | Op::Store { .. }
+                | Op::FetchAdd { .. }
+                | Op::Await { .. }
+                | Op::AwaitEither { .. }
+        )
+    }
+}
+
+/// A named straight-line program plus its register-file size.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub name: String,
+    pub ops: Vec<Op>,
+    pub regs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_edges() {
+        assert!(Ordering::Acquire.acquires());
+        assert!(Ordering::AcqRel.acquires());
+        assert!(!Ordering::Relaxed.acquires());
+        assert!(!Ordering::Release.acquires());
+        assert!(Ordering::Release.releases());
+        assert!(Ordering::AcqRel.releases());
+        assert!(!Ordering::Relaxed.releases());
+        assert!(!Ordering::Acquire.releases());
+    }
+
+    #[test]
+    fn expr_and_cond_eval() {
+        let regs = [5u64, 7];
+        assert_eq!(Expr::Const(3).eval(&regs), 3);
+        assert_eq!(Expr::Reg(1).eval(&regs), 7);
+        assert_eq!(Expr::RegPlus(0, 2).eval(&regs), 7);
+        assert!(Cond::RegGeConst(0, 5).eval(&regs));
+        assert!(!Cond::RegGeConst(0, 6).eval(&regs));
+        assert!(Cond::RegGeReg(1, 0).eval(&regs));
+        assert!(!Cond::RegGeReg(0, 1).eval(&regs));
+        assert!(Pred::GtReg(0).eval(6, &regs));
+        assert!(!Pred::GtReg(0).eval(5, &regs));
+        assert!(Pred::GeConst(2).eval(2, &regs));
+        assert!(Pred::NeConst(0).eval(1, &regs));
+    }
+}

@@ -1,0 +1,359 @@
+//! The `run_par` epoch/done/stop protocol as a checkable model, plus the
+//! deliberately weakened mutants that prove the checker has teeth.
+//!
+//! The real code (`noc-sim`, `Network::run_parallel`) shards router and
+//! output-buffer state into `UnsafeCell`s and coordinates one main thread
+//! with N workers per cycle:
+//!
+//! 1. main: deliver/inject — writes every router shard
+//! 2. main: `done.store(0, Relaxed)`
+//! 3. main: `epoch.fetch_add(1, Release)` — publishes the cycle
+//! 4. worker k: spin until `epoch > seen` (`Acquire`) or `stop`
+//!    (`Acquire`), then write router+output shards `[lo, hi)`
+//! 5. worker k: `done.fetch_add(1, Release)`
+//! 6. main: spin until `done >= threads` (`Acquire`)
+//! 7. main: commit — writes every output shard; finish — reads every
+//!    router shard
+//! 8. after the last cycle, main: `stop.store(true, Release)`
+//!
+//! The model encodes exactly this with one virtual thread per real
+//! thread, one tracked cell per `UnsafeCell` shard, and the identical
+//! atomic orderings. Spin loops become blocking awaits (failed spin reads
+//! have no side effects, and dropping their acquire edges only removes
+//! happens-before — it can hide no race). The checker then proves, over
+//! every interleaving: no two shard accesses race (mutual exclusion of
+//! every cell access window) and every schedule terminates.
+//!
+//! Constants deliberately mirror `noc_sim::network::par_protocol`; the
+//! drift test in `crates/sim/tests/protocol_drift.rs` fails if either
+//! side changes alone.
+
+use crate::program::{AccessKind, Cond, Expr, Op, Ordering, Pred, Program};
+use crate::state::Model;
+use std::rc::Rc;
+
+/// Mirror of the real engine's spin threshold (`par_protocol::SPIN_LIMIT`
+/// in `noc-sim`): iterations of `spin_loop` before yielding the
+/// timeslice. The model abstracts spinning into blocking awaits, so the
+/// value does not change the explored state space — it exists so the
+/// drift test can pin the real constant to the audited protocol.
+pub const SPIN_LIMIT: u32 = 64;
+
+/// The protocol's phase order, shared verbatim with
+/// `par_protocol::PHASES` in `noc-sim`. Reordering either side without
+/// the other fails the drift test.
+pub const PHASES: [&str; 7] = [
+    "deliver_inject",
+    "reset_done",
+    "publish_epoch",
+    "worker_step",
+    "signal_done",
+    "commit",
+    "finish",
+];
+
+/// The atomic orderings at every synchronization site of the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtocolOrderings {
+    /// `epoch.fetch_add(1, _)` on the main thread.
+    pub epoch_publish: Ordering,
+    /// `done.store(0, _)` on the main thread (ordered by the subsequent
+    /// release publication, hence relaxed).
+    pub done_reset: Ordering,
+    /// `done.fetch_add(1, _)` on each worker.
+    pub done_signal: Ordering,
+    /// Main's `done.load(_)` spin.
+    pub done_wait: Ordering,
+    /// Worker's `epoch.load(_)` spin.
+    pub epoch_wait: Ordering,
+    /// `stop.store(true, _)` after the last cycle.
+    pub stop_publish: Ordering,
+    /// Worker's `stop.load(_)` check.
+    pub stop_wait: Ordering,
+}
+
+impl Default for ProtocolOrderings {
+    /// The orderings the real engine uses.
+    fn default() -> Self {
+        ProtocolOrderings {
+            epoch_publish: Ordering::Release,
+            done_reset: Ordering::Relaxed,
+            done_signal: Ordering::Release,
+            done_wait: Ordering::Acquire,
+            epoch_wait: Ordering::Acquire,
+            stop_publish: Ordering::Release,
+            stop_wait: Ordering::Acquire,
+        }
+    }
+}
+
+/// Worker `k`'s shard `[lo, hi)` of `n` routers across `threads` workers
+/// — the same split expression `run_parallel` uses.
+pub fn shard_range(k: usize, n: usize, threads: usize) -> (usize, usize) {
+    (k * n / threads, (k + 1) * n / threads)
+}
+
+/// A parameterized instance of the `run_par` protocol model.
+#[derive(Clone, Debug)]
+pub struct RunParModel {
+    /// Model name (shows up in reports and counterexamples).
+    pub name: String,
+    /// Worker thread count (the main thread is additional).
+    pub workers: usize,
+    /// Router shard count.
+    pub routers: usize,
+    /// Simulated cycles (epochs).
+    pub cycles: u64,
+    /// Atomic orderings at each site.
+    pub ord: ProtocolOrderings,
+    /// Mutant: move `done.store(0)` *after* the epoch publication,
+    /// losing worker signals that land in between (deadlock).
+    pub reset_after_publish: bool,
+    /// Mutant: grow every worker's shard by one router, breaking the
+    /// disjointness that mutual exclusion rests on (data race).
+    pub overlap_shards: bool,
+}
+
+impl RunParModel {
+    /// The faithful model at the given size.
+    pub fn faithful(workers: usize, routers: usize, cycles: u64) -> Self {
+        RunParModel {
+            name: format!("run_par {workers}w x {routers}r x {cycles}c"),
+            workers,
+            routers,
+            cycles,
+            ord: ProtocolOrderings::default(),
+            reset_after_publish: false,
+            overlap_shards: false,
+        }
+    }
+
+    /// The deliberately weakened mutant catalogue at the given size.
+    /// Every one must be rejected by the checker; a mutant that passes
+    /// means the checker lost its teeth.
+    pub fn mutants(workers: usize, routers: usize, cycles: u64) -> Vec<RunParModel> {
+        let base = |name: &str| RunParModel {
+            name: format!("mutant {name} ({workers}w x {routers}r x {cycles}c)"),
+            ..RunParModel::faithful(workers, routers, cycles)
+        };
+        let mut out = Vec::new();
+        let mut m = base("epoch-publish-relaxed");
+        m.ord.epoch_publish = Ordering::Relaxed;
+        out.push(m);
+        let mut m = base("epoch-wait-relaxed");
+        m.ord.epoch_wait = Ordering::Relaxed;
+        out.push(m);
+        let mut m = base("done-signal-relaxed");
+        m.ord.done_signal = Ordering::Relaxed;
+        out.push(m);
+        let mut m = base("done-wait-relaxed");
+        m.ord.done_wait = Ordering::Relaxed;
+        out.push(m);
+        let mut m = base("done-reset-after-publish");
+        m.reset_after_publish = true;
+        out.push(m);
+        let mut m = base("overlapping-shards");
+        m.overlap_shards = true;
+        out.push(m);
+        out
+    }
+
+    /// Lowers the protocol instance into an explorable [`Model`].
+    ///
+    /// Atomics: `epoch`, `done`, `stop`. Cells: one per router shard
+    /// (`router[i]`), one per output buffer (`out[i]`, index `routers +
+    /// i`). Thread 0 is the main thread, threads `1..=workers` the
+    /// workers.
+    pub fn build(&self) -> Model {
+        const EPOCH: usize = 0;
+        const DONE: usize = 1;
+        const STOP: usize = 2;
+        let r = self.routers as u64;
+        let w = self.workers as u64;
+
+        // --- main thread ------------------------------------------------
+        // r0 = cycle, r1 = loop index, r2 = scratch (await/fetch results)
+        let mut ops: Vec<Op> = Vec::new();
+        ops.push(Op::Set {
+            reg: 0,
+            value: Expr::Const(0),
+        });
+        let l_cycle = ops.len();
+        let b_exit = ops.len();
+        ops.push(Op::Branch {
+            cond: Cond::RegGeConst(0, self.cycles),
+            target: usize::MAX, // patched to L_STOP
+        });
+        // deliver/inject: write every router cell.
+        push_cell_loop(&mut ops, 1, 0, r, 0, AccessKind::Write);
+        // reset + publish (mutant may swap the order).
+        let reset = Op::Store {
+            var: DONE,
+            ord: self.ord.done_reset,
+            value: Expr::Const(0),
+        };
+        let publish = Op::FetchAdd {
+            var: EPOCH,
+            ord: self.ord.epoch_publish,
+            operand: Expr::Const(1),
+            reg: 2,
+        };
+        if self.reset_after_publish {
+            ops.push(publish);
+            ops.push(reset);
+        } else {
+            ops.push(reset);
+            ops.push(publish);
+        }
+        // wait for every worker's signal.
+        ops.push(Op::Await {
+            var: DONE,
+            ord: self.ord.done_wait,
+            pred: Pred::GeConst(w),
+            reg: 2,
+        });
+        // commit: write every out cell.
+        push_cell_loop(&mut ops, 1, 0, r, r, AccessKind::Write);
+        // finish: read every router cell.
+        push_cell_loop(&mut ops, 1, 0, r, 0, AccessKind::Read);
+        ops.push(Op::Set {
+            reg: 0,
+            value: Expr::RegPlus(0, 1),
+        });
+        ops.push(Op::Jump { target: l_cycle });
+        let l_stop = ops.len();
+        ops.push(Op::Store {
+            var: STOP,
+            ord: self.ord.stop_publish,
+            value: Expr::Const(1),
+        });
+        if let Op::Branch { target, .. } = &mut ops[b_exit] {
+            *target = l_stop;
+        }
+        let main = Program {
+            name: "main".to_string(),
+            ops,
+            regs: 3,
+        };
+
+        // --- workers ----------------------------------------------------
+        let mut programs = vec![Rc::new(main)];
+        for k in 0..self.workers {
+            let (lo, mut hi) = shard_range(k, self.routers, self.workers);
+            if self.overlap_shards {
+                hi = (hi + 1).min(self.routers);
+            }
+            // r0 = seen, r1 = loop index, r2 = loaded epoch, r3 = scratch
+            let mut ops: Vec<Op> = Vec::new();
+            ops.push(Op::Set {
+                reg: 0,
+                value: Expr::Const(0),
+            });
+            let l_wait = ops.len();
+            let await_idx = ops.len();
+            ops.push(Op::AwaitEither {
+                var: EPOCH,
+                ord: self.ord.epoch_wait,
+                pred: Pred::GtReg(0),
+                reg: 2,
+                alt_var: STOP,
+                alt_ord: self.ord.stop_wait,
+                alt_pred: Pred::NeConst(0),
+                alt_target: usize::MAX, // patched to program end
+            });
+            ops.push(Op::Set {
+                reg: 0,
+                value: Expr::Reg(2),
+            });
+            // step each owned router: exclusive access to router + out.
+            ops.push(Op::Set {
+                reg: 1,
+                value: Expr::Const(lo as u64),
+            });
+            let l_work = ops.len();
+            let b_done = ops.len();
+            ops.push(Op::Branch {
+                cond: Cond::RegGeConst(1, hi as u64),
+                target: usize::MAX, // patched to L_SIG
+            });
+            ops.push(Op::Cell {
+                cell: Expr::Reg(1),
+                kind: AccessKind::Write,
+            });
+            ops.push(Op::Cell {
+                cell: Expr::RegPlus(1, r),
+                kind: AccessKind::Write,
+            });
+            ops.push(Op::Set {
+                reg: 1,
+                value: Expr::RegPlus(1, 1),
+            });
+            ops.push(Op::Jump { target: l_work });
+            let l_sig = ops.len();
+            ops.push(Op::FetchAdd {
+                var: DONE,
+                ord: self.ord.done_signal,
+                operand: Expr::Const(1),
+                reg: 3,
+            });
+            ops.push(Op::Jump { target: l_wait });
+            let end = ops.len();
+            if let Op::Branch { target, .. } = &mut ops[b_done] {
+                *target = l_sig;
+            }
+            if let Op::AwaitEither { alt_target, .. } = &mut ops[await_idx] {
+                *alt_target = end;
+            }
+            programs.push(Rc::new(Program {
+                name: format!("worker{k}"),
+                ops,
+                regs: 4,
+            }));
+        }
+
+        Model {
+            name: self.name.clone(),
+            atomic_names: vec!["epoch".into(), "done".into(), "stop".into()],
+            atomic_init: vec![0, 0, 0],
+            cell_names: (0..self.routers)
+                .map(|i| format!("router[{i}]"))
+                .chain((0..self.routers).map(|i| format!("out[{i}]")))
+                .collect(),
+            programs,
+        }
+    }
+}
+
+/// Emits `for reg in 0..count { cell[base + reg] access }` into `ops`.
+fn push_cell_loop(
+    ops: &mut Vec<Op>,
+    reg: usize,
+    start: u64,
+    count: u64,
+    base: u64,
+    kind: AccessKind,
+) {
+    ops.push(Op::Set {
+        reg,
+        value: Expr::Const(start),
+    });
+    let l_top = ops.len();
+    let b_exit = ops.len();
+    ops.push(Op::Branch {
+        cond: Cond::RegGeConst(reg, count),
+        target: usize::MAX,
+    });
+    ops.push(Op::Cell {
+        cell: Expr::RegPlus(reg, base),
+        kind,
+    });
+    ops.push(Op::Set {
+        reg,
+        value: Expr::RegPlus(reg, 1),
+    });
+    ops.push(Op::Jump { target: l_top });
+    let after = ops.len();
+    if let Op::Branch { target, .. } = &mut ops[b_exit] {
+        *target = after;
+    }
+}

@@ -1,0 +1,469 @@
+//! Model state and the big-step transition interpreter.
+//!
+//! A [`ModelState`] holds every modeled atomic (value + synchronization
+//! clock), every tracked cell (FastTrack-style last-write clock plus
+//! per-thread read clocks), and every virtual thread (program counter,
+//! registers, vector clock). [`ModelState::transition`] executes one
+//! scheduling-point operation of the chosen thread and then runs its
+//! following non-synchronizing operations eagerly, recording everything
+//! into the schedule trace and checking each cell access for races.
+
+use crate::clock::VectorClock;
+use crate::program::{AccessKind, Op, Ordering, Program};
+use std::fmt;
+use std::rc::Rc;
+
+/// A modeled atomic variable: its value and the clock published by the
+/// last release operation (kept through read-modify-writes, severed by a
+/// relaxed store — the C++20 release-sequence rule).
+#[derive(Clone, Debug)]
+struct AtomicVar {
+    value: u64,
+    sync: VectorClock,
+}
+
+/// Race-detector metadata for one tracked cell.
+#[derive(Clone, Debug)]
+struct CellVar {
+    /// Clock of the last write, and the thread that performed it.
+    last_write: Option<(usize, VectorClock)>,
+    /// Per-thread clock of that thread's last read since the last write.
+    reads: Vec<Option<VectorClock>>,
+}
+
+/// One virtual thread's mutable half (its [`Program`] is shared).
+#[derive(Clone, Debug)]
+struct ThreadState {
+    pc: usize,
+    regs: Vec<u64>,
+    clock: VectorClock,
+    finished: bool,
+}
+
+/// One executed scheduling-point transition, for counterexample printing.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    pub thread: usize,
+    pub desc: String,
+}
+
+/// A pinpointed racy access in a counterexample.
+#[derive(Clone, Debug)]
+pub struct Access {
+    pub thread: usize,
+    pub kind: AccessKind,
+}
+
+/// Why an execution was rejected.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// Two accesses to the same cell unordered by happens-before.
+    DataRace {
+        cell: usize,
+        first: Access,
+        second: Access,
+    },
+    /// Unfinished threads with no runnable transition.
+    Deadlock { blocked: Vec<usize> },
+    /// An [`Op::Assert`] failed.
+    AssertFailed { thread: usize, msg: &'static str },
+}
+
+/// The immutable model definition: names for rendering, initial values,
+/// and one program per virtual thread.
+#[derive(Clone, Debug)]
+pub struct Model {
+    pub name: String,
+    pub atomic_names: Vec<String>,
+    pub atomic_init: Vec<u64>,
+    pub cell_names: Vec<String>,
+    pub programs: Vec<Rc<Program>>,
+}
+
+impl Model {
+    /// Render a thread id as its program name.
+    pub fn thread_name(&self, t: usize) -> &str {
+        &self.programs[t].name
+    }
+
+    /// Renders a violation with model-level names.
+    pub fn render_violation(&self, v: &Violation) -> String {
+        match v {
+            Violation::DataRace {
+                cell,
+                first,
+                second,
+            } => format!(
+                "data race on `{}`: {} by `{}` is unordered with {} by `{}`",
+                self.cell_names[*cell],
+                first.kind,
+                self.thread_name(first.thread),
+                second.kind,
+                self.thread_name(second.thread),
+            ),
+            Violation::Deadlock { blocked } => {
+                let names: Vec<&str> = blocked.iter().map(|&t| self.thread_name(t)).collect();
+                format!("deadlock: {names:?} blocked with no runnable thread")
+            }
+            Violation::AssertFailed { thread, msg } => {
+                format!("assertion failed in `{}`: {msg}", self.thread_name(*thread))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DataRace {
+                cell,
+                first,
+                second,
+            } => write!(
+                f,
+                "data race on cell {cell}: {} by thread {} is unordered with {} by thread {}",
+                first.kind, first.thread, second.kind, second.thread
+            ),
+            Violation::Deadlock { blocked } => {
+                write!(f, "deadlock: threads {blocked:?} blocked, none runnable")
+            }
+            Violation::AssertFailed { thread, msg } => {
+                write!(f, "assertion failed in thread {thread}: {msg}")
+            }
+        }
+    }
+}
+
+/// A full exploration state: cloned at every DFS branch point.
+#[derive(Clone)]
+pub struct ModelState {
+    atomics: Vec<AtomicVar>,
+    cells: Vec<CellVar>,
+    threads: Vec<ThreadState>,
+    /// Scheduling-point schedule taken so far (the counterexample).
+    pub trace: Vec<TraceEntry>,
+}
+
+impl ModelState {
+    /// The reset state of `model`, with every thread advanced up to (but
+    /// not through) its first scheduling point.
+    pub fn new(model: &Model) -> Result<Self, Violation> {
+        let nthreads = model.programs.len();
+        let mut st = ModelState {
+            atomics: model
+                .atomic_init
+                .iter()
+                .map(|&value| AtomicVar {
+                    value,
+                    sync: VectorClock::new(nthreads),
+                })
+                .collect(),
+            cells: model
+                .cell_names
+                .iter()
+                .map(|_| CellVar {
+                    last_write: None,
+                    reads: vec![None; nthreads],
+                })
+                .collect(),
+            threads: model
+                .programs
+                .iter()
+                .enumerate()
+                .map(|(t, p)| {
+                    // Every thread's clock starts with its own component
+                    // at 1: an access stamped before any synchronization
+                    // must still be *unordered* with other threads, not
+                    // vacuously ordered by an all-zero clock.
+                    let mut clock = VectorClock::new(nthreads);
+                    clock.tick(t);
+                    ThreadState {
+                        pc: 0,
+                        regs: vec![0; p.regs],
+                        clock,
+                        finished: false,
+                    }
+                })
+                .collect(),
+            trace: Vec::new(),
+        };
+        for t in 0..nthreads {
+            st.run_local(model, t)?;
+        }
+        Ok(st)
+    }
+
+    /// True when every thread ran to completion.
+    pub fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finished)
+    }
+
+    /// Thread ids that are unfinished (necessarily parked on an await
+    /// whose predicates are false, since local ops run eagerly).
+    pub fn unfinished(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| !self.threads[t].finished)
+            .collect()
+    }
+
+    /// True when thread `t` can take a transition now: unfinished and, if
+    /// parked on an await, at least one awaited predicate holds.
+    pub fn runnable(&self, model: &Model, t: usize) -> bool {
+        let th = &self.threads[t];
+        if th.finished {
+            return false;
+        }
+        match &model.programs[t].ops[th.pc] {
+            Op::Await { var, pred, .. } => pred.eval(self.atomics[*var].value, &th.regs),
+            Op::AwaitEither {
+                var,
+                pred,
+                alt_var,
+                alt_pred,
+                ..
+            } => {
+                pred.eval(self.atomics[*var].value, &th.regs)
+                    || alt_pred.eval(self.atomics[*alt_var].value, &th.regs)
+            }
+            _ => true,
+        }
+    }
+
+    /// All currently runnable thread ids.
+    pub fn runnable_threads(&self, model: &Model) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.runnable(model, t))
+            .collect()
+    }
+
+    /// Executes thread `t`'s pending scheduling-point operation, then runs
+    /// its following local operations eagerly until the next scheduling
+    /// point or the end of the program. `t` must be runnable.
+    pub fn transition(&mut self, model: &Model, t: usize) -> Result<(), Violation> {
+        let program = Rc::clone(&model.programs[t]);
+        let op = program.ops[self.threads[t].pc].clone();
+        self.threads[t].clock.tick(t);
+        let desc = self.exec_sync(model, t, &op)?;
+        self.trace.push(TraceEntry { thread: t, desc });
+        self.run_local(model, t)
+    }
+
+    /// Executes one synchronization operation, returning its rendering.
+    fn exec_sync(&mut self, model: &Model, t: usize, op: &Op) -> Result<String, Violation> {
+        match *op {
+            Op::Load { var, ord, reg } => {
+                let value = self.atomic_load(t, var, ord);
+                self.threads[t].regs[reg] = value;
+                self.threads[t].pc += 1;
+                Ok(format!(
+                    "load {}({ord}) -> {value}",
+                    model.atomic_names[var]
+                ))
+            }
+            Op::Store { var, ord, value } => {
+                let v = value.eval(&self.threads[t].regs);
+                self.atomic_store(t, var, ord, v);
+                self.threads[t].pc += 1;
+                Ok(format!("store {}({ord}) = {v}", model.atomic_names[var]))
+            }
+            Op::FetchAdd {
+                var,
+                ord,
+                operand,
+                reg,
+            } => {
+                let d = operand.eval(&self.threads[t].regs);
+                let old = self.atomic_rmw_add(t, var, ord, d);
+                self.threads[t].regs[reg] = old;
+                self.threads[t].pc += 1;
+                Ok(format!(
+                    "fetch_add {}({ord}) += {d} (was {old})",
+                    model.atomic_names[var]
+                ))
+            }
+            Op::Await {
+                var,
+                ord,
+                pred,
+                reg,
+            } => {
+                let value = self.atomic_load(t, var, ord);
+                debug_assert!(
+                    pred.eval(value, &self.threads[t].regs),
+                    "await scheduled while blocked"
+                );
+                self.threads[t].regs[reg] = value;
+                self.threads[t].pc += 1;
+                Ok(format!(
+                    "await {} {pred} ({ord}) -> {value}",
+                    model.atomic_names[var]
+                ))
+            }
+            Op::AwaitEither {
+                var,
+                ord,
+                pred,
+                reg,
+                alt_var,
+                alt_ord,
+                alt_pred,
+                alt_target,
+            } => {
+                // Matches the real loop's program order: check the primary
+                // condition first, only then the alternate.
+                let thread_regs_ok = {
+                    let value = self.atomics[var].value;
+                    pred.eval(value, &self.threads[t].regs)
+                };
+                if thread_regs_ok {
+                    let value = self.atomic_load(t, var, ord);
+                    self.threads[t].regs[reg] = value;
+                    self.threads[t].pc += 1;
+                    Ok(format!(
+                        "await {} {pred} ({ord}) -> {value}",
+                        model.atomic_names[var]
+                    ))
+                } else {
+                    let value = self.atomic_load(t, alt_var, alt_ord);
+                    debug_assert!(alt_pred.eval(value, &self.threads[t].regs));
+                    self.threads[t].pc = alt_target;
+                    Ok(format!(
+                        "await-alt {} {alt_pred} ({alt_ord}) -> {value}",
+                        model.atomic_names[alt_var]
+                    ))
+                }
+            }
+            _ => unreachable!("exec_sync on local op"),
+        }
+    }
+
+    /// Runs local (non-scheduling-point) operations of thread `t` until it
+    /// blocks at a sync op, finishes, or hits a violation.
+    fn run_local(&mut self, model: &Model, t: usize) -> Result<(), Violation> {
+        let program = Rc::clone(&model.programs[t]);
+        loop {
+            let Some(op) = program.ops.get(self.threads[t].pc) else {
+                self.threads[t].finished = true;
+                return Ok(());
+            };
+            if op.is_sync() {
+                return Ok(());
+            }
+            match *op {
+                Op::Cell { cell, kind } => {
+                    let c = cell.eval(&self.threads[t].regs) as usize;
+                    self.cell_access(t, c, kind)?;
+                    self.threads[t].pc += 1;
+                }
+                Op::Set { reg, value } => {
+                    self.threads[t].regs[reg] = value.eval(&self.threads[t].regs);
+                    self.threads[t].pc += 1;
+                }
+                Op::Branch { cond, target } => {
+                    if cond.eval(&self.threads[t].regs) {
+                        self.threads[t].pc = target;
+                    } else {
+                        self.threads[t].pc += 1;
+                    }
+                }
+                Op::Jump { target } => self.threads[t].pc = target,
+                Op::Assert { cond, msg } => {
+                    if !cond.eval(&self.threads[t].regs) {
+                        return Err(Violation::AssertFailed { thread: t, msg });
+                    }
+                    self.threads[t].pc += 1;
+                }
+                _ => unreachable!("sync op handled above"),
+            }
+        }
+    }
+
+    fn atomic_load(&mut self, t: usize, var: usize, ord: Ordering) -> u64 {
+        let a = &self.atomics[var];
+        let value = a.value;
+        if ord.acquires() {
+            let sync = a.sync.clone();
+            self.threads[t].clock.join(&sync);
+        }
+        value
+    }
+
+    fn atomic_store(&mut self, t: usize, var: usize, ord: Ordering, value: u64) {
+        let clock = self.threads[t].clock.clone();
+        let a = &mut self.atomics[var];
+        a.value = value;
+        if ord.releases() {
+            a.sync = clock;
+        } else {
+            // A relaxed store severs the release sequence.
+            a.sync.clear();
+        }
+    }
+
+    fn atomic_rmw_add(&mut self, t: usize, var: usize, ord: Ordering, delta: u64) -> u64 {
+        if ord.acquires() {
+            let sync = self.atomics[var].sync.clone();
+            self.threads[t].clock.join(&sync);
+        }
+        let clock = self.threads[t].clock.clone();
+        let a = &mut self.atomics[var];
+        let old = a.value;
+        a.value = old + delta;
+        if ord.releases() {
+            // An RMW extends the release sequence: join, don't overwrite.
+            a.sync.join(&clock);
+        }
+        // A relaxed RMW leaves the variable's sync clock intact (C++20:
+        // read-modify-writes continue a release sequence regardless of
+        // their own ordering).
+        old
+    }
+
+    /// Records a tracked cell access and checks it for races against the
+    /// detector metadata.
+    fn cell_access(&mut self, t: usize, cell: usize, kind: AccessKind) -> Result<(), Violation> {
+        let clock = self.threads[t].clock.clone();
+        let c = &mut self.cells[cell];
+        // Any access must happen-after the last write.
+        if let Some((wt, wc)) = &c.last_write {
+            if *wt != t && !wc.le(&clock) {
+                return Err(Violation::DataRace {
+                    cell,
+                    first: Access {
+                        thread: *wt,
+                        kind: AccessKind::Write,
+                    },
+                    second: Access { thread: t, kind },
+                });
+            }
+        }
+        match kind {
+            AccessKind::Read => {
+                c.reads[t] = Some(clock);
+            }
+            AccessKind::Write => {
+                // A write must additionally happen-after every read.
+                for (rt, rc) in c.reads.iter().enumerate() {
+                    if rt == t {
+                        continue;
+                    }
+                    if let Some(rc) = rc {
+                        if !rc.le(&clock) {
+                            return Err(Violation::DataRace {
+                                cell,
+                                first: Access {
+                                    thread: rt,
+                                    kind: AccessKind::Read,
+                                },
+                                second: Access { thread: t, kind },
+                            });
+                        }
+                    }
+                }
+                c.reads.iter_mut().for_each(|r| *r = None);
+                c.last_write = Some((t, clock));
+            }
+        }
+        Ok(())
+    }
+}

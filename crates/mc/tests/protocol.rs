@@ -1,0 +1,122 @@
+//! The tentpole proof: the faithful `run_par` protocol model passes
+//! exhaustive exploration at and beyond the acceptance size (3 workers ×
+//! 4 routers × 2 epochs), and every shipped weakened mutant is rejected
+//! with a concrete counterexample schedule.
+
+use noc_mc::{explore, ExploreError, Limits, RunParModel, Violation};
+
+/// Sizes the faithful model must survive, acceptance size last.
+const FAITHFUL_SIZES: &[(usize, usize, u64)] = &[
+    (1, 1, 1),
+    (1, 4, 2),
+    (2, 2, 2),
+    (2, 4, 3),
+    (3, 3, 2),
+    (3, 4, 2),
+];
+
+#[test]
+fn faithful_model_is_race_free_and_terminates() {
+    for &(w, r, c) in FAITHFUL_SIZES {
+        let spec = RunParModel::faithful(w, r, c);
+        let model = spec.build();
+        match explore(&model, Limits::default()) {
+            Ok(outcome) => {
+                assert!(
+                    outcome.executions >= 1,
+                    "{}: no execution explored",
+                    model.name
+                );
+                // The acceptance-floor instance must genuinely exercise
+                // concurrency: many distinct interleavings, not a
+                // degenerate single schedule.
+                if (w, r, c) == (3, 4, 2) {
+                    assert!(
+                        outcome.executions > 1_000,
+                        "{}: only {} interleavings explored — model lost \
+                         its concurrency",
+                        model.name,
+                        outcome.executions
+                    );
+                }
+            }
+            Err(e) => panic!("{}", e.render(&model)),
+        }
+    }
+}
+
+#[test]
+fn every_mutant_is_rejected_with_a_counterexample() {
+    let mutants = RunParModel::mutants(3, 4, 2);
+    assert!(mutants.len() >= 5, "mutant catalogue shrank");
+    for spec in mutants {
+        let model = spec.build();
+        match explore(&model, Limits::default()) {
+            Ok(outcome) => panic!(
+                "mutant `{}` PASSED exploration ({} executions) — the \
+                 checker has lost its teeth",
+                model.name, outcome.executions
+            ),
+            Err(ExploreError::Violation(cx)) => {
+                let rendered = cx.render(&model);
+                assert!(
+                    rendered.contains("schedule"),
+                    "counterexample lacks a schedule: {rendered}"
+                );
+            }
+            Err(e @ ExploreError::LimitExceeded { .. }) => {
+                panic!("mutant `{}`: {}", model.name, e.render(&model))
+            }
+        }
+    }
+}
+
+#[test]
+fn relaxed_orderings_race_and_reordered_reset_deadlocks() {
+    // The mutant catalogue's failure *modes* are part of the contract:
+    // weakening a publication ordering must surface as a data race on a
+    // shard, while reordering the done reset must surface as a lost
+    // signal (deadlock).
+    for spec in RunParModel::mutants(2, 2, 2) {
+        let model = spec.build();
+        let Err(ExploreError::Violation(cx)) = explore(&model, Limits::default()) else {
+            panic!("mutant `{}` not rejected", model.name);
+        };
+        if model.name.contains("done-reset-after-publish") {
+            assert!(
+                matches!(cx.violation, Violation::Deadlock { .. }),
+                "`{}`: expected deadlock, got {}",
+                model.name,
+                cx.violation
+            );
+        } else {
+            assert!(
+                matches!(cx.violation, Violation::DataRace { .. }),
+                "`{}`: expected data race, got {}",
+                model.name,
+                cx.violation
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_split_matches_the_engine_formula() {
+    // Shards must partition 0..n exactly — the disjointness the mutual-
+    // exclusion proof quantifies over.
+    for threads in 1..=4 {
+        for n in [1usize, 2, 3, 4, 7, 64] {
+            let mut covered = 0;
+            for k in 0..threads {
+                let (lo, hi) = noc_mc::shard_range(k, n, threads);
+                assert!(lo <= hi && hi <= n);
+                if k > 0 {
+                    let (_, prev_hi) = noc_mc::shard_range(k - 1, n, threads);
+                    assert_eq!(prev_hi, lo, "gap or overlap at shard {k}");
+                }
+                covered += hi - lo;
+            }
+            assert_eq!(covered, n, "shards do not cover 0..{n}");
+        }
+    }
+}

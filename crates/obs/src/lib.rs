@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Flit-level observability for the NoC simulator.
 //!
 //! Three layers, usable independently:

@@ -60,11 +60,14 @@ impl ProgressMeter {
         }
         recent.push_back(stamp);
         drop(recent);
+        // RELAXED: monotonic progress counter read only for display; no
+        // other memory is published through it.
         self.done.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Items completed so far.
     pub fn done(&self) -> usize {
+        // RELAXED: display-only read of the monotonic counter above.
         self.done.load(Ordering::Relaxed).min(self.total)
     }
 

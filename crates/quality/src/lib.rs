@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Open-loop matching-quality evaluation (§3.1 of the paper).
 //!
 //! The paper assesses each allocator by feeding it 10 000 pseudo-random

@@ -17,6 +17,63 @@ use std::time::Instant;
 /// for a network input port, or `None` for terminal-facing ports.
 type RevLink = Option<(usize, usize, u64)>;
 
+/// The parallel engine's epoch/done/stop protocol constants, named so the
+/// `noc-mc` model checker's encoding can be pinned to them (see
+/// `crates/sim/tests/protocol_drift.rs` — if either side changes alone,
+/// that test fails and the machine-checked proof in `crates/mc` must be
+/// re-run against the new protocol).
+///
+/// The happens-before argument these orderings carry is §11 of DESIGN.md:
+/// main's shard writes are released by [`EPOCH_PUBLISH`] and acquired by
+/// each worker's [`EPOCH_WAIT`]; each worker's shard writes are released
+/// by [`DONE_SIGNAL`] and acquired by main's [`DONE_WAIT`]. [`DONE_RESET`]
+/// may be relaxed *only because* it is program-ordered before the release
+/// publication on the same thread.
+pub mod par_protocol {
+    use std::sync::atomic::Ordering;
+
+    /// Iterations of `spin_loop` before yielding the timeslice.
+    pub const SPIN_LIMIT: u32 = 64;
+
+    /// The protocol's phase order within one cycle (epoch), shared
+    /// verbatim with `noc_mc::protocol::PHASES`.
+    pub const PHASES: [&str; 7] = [
+        "deliver_inject",
+        "reset_done",
+        "publish_epoch",
+        "worker_step",
+        "signal_done",
+        "commit",
+        "finish",
+    ];
+
+    /// `epoch.fetch_add(1, _)` on the main thread: releases the
+    /// deliver-phase shard writes to the workers.
+    pub const EPOCH_PUBLISH: Ordering = Ordering::Release;
+    /// `done.store(0, _)` on the main thread.
+    // RELAXED: sound because the program-order-later `EPOCH_PUBLISH`
+    // release fence-orders the reset before any worker can observe the
+    // new epoch (mutant `done-reset-after-publish` in crates/mc deadlocks).
+    pub const DONE_RESET: Ordering = Ordering::Relaxed;
+    /// `done.fetch_add(1, _)` on each worker: releases its shard writes.
+    pub const DONE_SIGNAL: Ordering = Ordering::Release;
+    /// Main's `done.load(_)` spin: acquires every worker's shard writes.
+    pub const DONE_WAIT: Ordering = Ordering::Acquire;
+    /// Worker's `epoch.load(_)` spin: acquires main's shard writes.
+    pub const EPOCH_WAIT: Ordering = Ordering::Acquire;
+    /// `stop.store(true, _)` when the run ends (or unwinds).
+    pub const STOP_PUBLISH: Ordering = Ordering::Release;
+    /// Worker's `stop.load(_)` check.
+    pub const STOP_WAIT: Ordering = Ordering::Acquire;
+
+    /// Worker `k`'s contiguous shard `[lo, hi)` of `n` routers across
+    /// `threads` workers. Shards partition `0..n` exactly — the
+    /// disjointness the mutual-exclusion argument quantifies over.
+    pub fn shard_range(k: usize, n: usize, threads: usize) -> (usize, usize) {
+        (k * n / threads, (k + 1) * n / threads)
+    }
+}
+
 /// An event in flight on a link or credit wire.
 #[derive(Clone, Debug)]
 enum Event {
@@ -46,12 +103,23 @@ enum Event {
 /// Fixed-latency event delivery (latencies are small: 1–3 cycles).
 struct TimingWheel {
     slots: Vec<Vec<Event>>,
+    /// Recycled slot buffer: [`TimingWheel::take`] hands out the current
+    /// slot and replaces it with this spare; [`TimingWheel::recycle`]
+    /// returns the drained buffer. Capacities converge to the high-water
+    /// mark, so steady-state scheduling never allocates.
+    spare: Vec<Event>,
 }
 
 impl TimingWheel {
-    fn new() -> Self {
+    /// Pre-sizes every slot (and the recycled spare) to `cap` events. Each
+    /// link direction delivers at most one flit and one credit per cycle
+    /// and every slot drains once per wheel revolution, so a capacity of
+    /// two events per port plus two per terminal makes steady-state
+    /// scheduling allocation-free from the first cycle.
+    fn with_slot_capacity(cap: usize) -> Self {
         TimingWheel {
-            slots: (0..8).map(|_| Vec::new()).collect(),
+            slots: (0..8).map(|_| Vec::with_capacity(cap)).collect(),
+            spare: Vec::with_capacity(cap),
         }
     }
 
@@ -63,7 +131,13 @@ impl TimingWheel {
 
     fn take(&mut self, now: u64) -> Vec<Event> {
         let idx = (now % self.slots.len() as u64) as usize;
-        std::mem::take(&mut self.slots[idx])
+        std::mem::replace(&mut self.slots[idx], std::mem::take(&mut self.spare))
+    }
+
+    /// Returns a buffer obtained from [`TimingWheel::take`] for reuse.
+    fn recycle(&mut self, mut events: Vec<Event>) {
+        events.clear();
+        self.spare = events;
     }
 
     fn is_empty(&self) -> bool {
@@ -157,13 +231,17 @@ impl<S: TraceSink> Network<S> {
         }
         let mut stats = NetStats::default();
         stats.init_sources(topo.num_terminals());
-        let out_buf = vec![RouterOutputs::default(); routers.len()];
+        let out_buf = routers
+            .iter()
+            .map(|r| RouterOutputs::with_capacity(r.ports()))
+            .collect();
+        let wheel_cap = 2 * routers.iter().map(Router::ports).sum::<usize>() + 2 * terminals.len();
         Network {
             topo,
             cfg,
             routers,
             terminals,
-            wheel: TimingWheel::new(),
+            wheel: TimingWheel::with_slot_capacity(wheel_cap),
             rev,
             out_buf,
             now: 0,
@@ -205,6 +283,19 @@ impl<S: TraceSink> Network<S> {
         for r in &mut self.routers {
             r.enable_anatomy();
         }
+    }
+
+    /// Arms a one-shot injected panic in router `r` at cycle `cycle` (see
+    /// [`Router::arm_test_panic`]); panic-safety regression tests only.
+    #[doc(hidden)]
+    pub fn arm_router_panic(&mut self, r: usize, cycle: u64) {
+        self.routers[r].arm_test_panic(cycle);
+    }
+
+    /// Number of routers currently held by the network — the panic-safety
+    /// tests assert this survives an unwinding engine run.
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
     }
 
     /// The active configuration.
@@ -471,23 +562,74 @@ impl<S: TraceSink> Network<S> {
             return;
         }
 
+        use par_protocol as pp;
         use std::cell::UnsafeCell;
-        use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+        use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 
         /// Shared view of the router and output-buffer cells.
         ///
-        /// Safety protocol: access alternates in phases. Between the main
-        /// thread's epoch publication (`epoch.fetch_add`, Release) and a
-        /// worker's completion signal (`done.fetch_add`, Release) only that
-        /// worker touches its disjoint index range `[lo, hi)`; at every
-        /// other time (delivery, commit, finish) only the main thread
-        /// touches any cell. The epoch/done atomics carry the
-        /// Acquire/Release edges ordering those accesses.
+        /// Safety protocol (machine-checked as the `run_par` model in
+        /// `crates/mc`, see DESIGN.md §11): access alternates in phases.
+        /// Between the main thread's epoch publication
+        /// ([`par_protocol::EPOCH_PUBLISH`]) and a worker's completion
+        /// signal ([`par_protocol::DONE_SIGNAL`]) only that worker touches
+        /// its disjoint index range `[lo, hi)`; at every other time
+        /// (delivery, commit, finish) only the main thread touches any
+        /// cell. The epoch/done atomics carry the Acquire/Release edges
+        /// ordering those accesses.
         struct Shards<'a> {
             routers: &'a [UnsafeCell<Router>],
             outs: &'a [UnsafeCell<RouterOutputs>],
         }
+        // SAFETY: sharing the raw cells across worker threads is exactly
+        // what the epoch/done protocol above makes sound; without this
+        // impl the cells could not cross the `thread::scope` boundary.
         unsafe impl Sync for Shards<'_> {}
+
+        /// Moves the drained router and output-buffer cells back into the
+        /// network on drop — on the normal path *and* on unwind, so a
+        /// panic below (a worker's, or the main thread's in
+        /// commit/deliver) cannot leave the `Network` with empty router
+        /// state. After an unwind the routers may reflect a partially
+        /// computed cycle; the guarantee is structural (every router is
+        /// back, memory-safe), not transactional.
+        struct Restore<'a> {
+            router_cells: Vec<UnsafeCell<Router>>,
+            out_cells: Vec<UnsafeCell<RouterOutputs>>,
+            routers: &'a mut Vec<Router>,
+            out_buf: &'a mut Vec<RouterOutputs>,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.routers
+                    .extend(self.router_cells.drain(..).map(UnsafeCell::into_inner));
+                self.out_buf
+                    .extend(self.out_cells.drain(..).map(UnsafeCell::into_inner));
+            }
+        }
+
+        /// Publishes `stop` when dropped, releasing every parked worker.
+        /// Lives at the top of the scope closure so both the normal exit
+        /// and a main-thread unwind set it *before* `thread::scope` joins
+        /// — otherwise a panic in commit would hang the join forever.
+        struct StopOnDrop<'a>(&'a AtomicBool);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, pp::STOP_PUBLISH);
+            }
+        }
+
+        /// Worker-side unwind detector: a panicking worker never signals
+        /// `done`, so without this flag the main thread would spin on
+        /// `done < threads` forever instead of propagating the panic.
+        struct PoisonOnPanic<'a>(&'a AtomicBool);
+        impl Drop for PoisonOnPanic<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, pp::STOP_PUBLISH);
+                }
+            }
+        }
 
         let Network {
             topo,
@@ -505,17 +647,20 @@ impl<S: TraceSink> Network<S> {
             anatomy,
         } = self;
         let n = routers.len();
-        let router_cells: Vec<UnsafeCell<Router>> =
-            routers.drain(..).map(UnsafeCell::new).collect();
-        let out_cells: Vec<UnsafeCell<RouterOutputs>> =
-            out_buf.drain(..).map(UnsafeCell::new).collect();
+        let guard = Restore {
+            router_cells: routers.drain(..).map(UnsafeCell::new).collect(),
+            out_cells: out_buf.drain(..).map(UnsafeCell::new).collect(),
+            routers,
+            out_buf,
+        };
         let shards = Shards {
-            routers: &router_cells,
-            outs: &out_cells,
+            routers: &guard.router_cells,
+            outs: &guard.out_cells,
         };
         let epoch = AtomicU64::new(0);
         let done = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
+        let poisoned = AtomicBool::new(false);
         let base_now = *now;
         let topo_ref: &Topology = topo;
 
@@ -524,7 +669,7 @@ impl<S: TraceSink> Network<S> {
         // before the peer thread can make the awaited progress.
         fn spin_or_yield(spins: &mut u32) {
             *spins += 1;
-            if *spins < 64 {
+            if *spins < pp::SPIN_LIMIT {
                 std::hint::spin_loop();
             } else {
                 std::thread::yield_now();
@@ -532,20 +677,24 @@ impl<S: TraceSink> Network<S> {
         }
 
         std::thread::scope(|s| {
+            let stop_guard = StopOnDrop(&stop);
+            let mut handles = Vec::with_capacity(threads);
             for k in 0..threads {
-                let (lo, hi) = (k * n / threads, (k + 1) * n / threads);
-                let (shards, epoch, done, stop) = (&shards, &epoch, &done, &stop);
-                s.spawn(move || {
+                let (lo, hi) = pp::shard_range(k, n, threads);
+                let (shards, epoch, done, stop, poisoned) =
+                    (&shards, &epoch, &done, &stop, &poisoned);
+                handles.push(s.spawn(move || {
+                    let _poison_guard = PoisonOnPanic(poisoned);
                     let mut seen = 0u64;
                     loop {
                         let mut spins = 0u32;
                         loop {
-                            let e = epoch.load(Ordering::Acquire);
+                            let e = epoch.load(pp::EPOCH_WAIT);
                             if e > seen {
                                 seen = e;
                                 break;
                             }
-                            if stop.load(Ordering::Acquire) {
+                            if stop.load(pp::STOP_WAIT) {
                                 return;
                             }
                             spin_or_yield(&mut spins);
@@ -553,8 +702,11 @@ impl<S: TraceSink> Network<S> {
                         let cycle_now = base_now + (seen - 1);
                         for i in lo..hi {
                             // SAFETY: this worker owns indices [lo, hi) for
-                            // the duration of the epoch (see `Shards`).
+                            // the duration of the epoch (see `Shards`);
+                            // `par_protocol::shard_range` partitions `0..n`
+                            // disjointly across workers.
                             let router = unsafe { &mut *shards.routers[i].get() };
+                            // SAFETY: as above — same owner, same window.
                             let out = unsafe { &mut *shards.outs[i].get() };
                             router.step_into(
                                 topo_ref,
@@ -564,9 +716,9 @@ impl<S: TraceSink> Network<S> {
                                 &mut NopProfiler,
                             );
                         }
-                        done.fetch_add(1, Ordering::Release);
+                        done.fetch_add(1, pp::DONE_SIGNAL);
                     }
-                });
+                }));
             }
 
             for c in 0..cycles {
@@ -576,7 +728,10 @@ impl<S: TraceSink> Network<S> {
                     // the main thread has exclusive access to every cell;
                     // `UnsafeCell` is `repr(transparent)` over its payload.
                     let routers_mut: &mut [Router] = unsafe {
-                        std::slice::from_raw_parts_mut(router_cells.as_ptr() as *mut Router, n)
+                        std::slice::from_raw_parts_mut(
+                            guard.router_cells.as_ptr() as *mut Router,
+                            n,
+                        )
                     };
                     deliver_and_inject(
                         topo_ref,
@@ -591,16 +746,42 @@ impl<S: TraceSink> Network<S> {
                         &mut NopProfiler,
                     );
                 }
-                done.store(0, Ordering::Relaxed);
-                epoch.fetch_add(1, Ordering::Release);
+                // RELAXED: ordered before the workers' reads by the
+                // program-order-later `EPOCH_PUBLISH` release on this same
+                // thread (mutant `done-reset-after-publish` in crates/mc
+                // shows why the order, not the ordering, is what matters).
+                done.store(0, pp::DONE_RESET);
+                epoch.fetch_add(1, pp::EPOCH_PUBLISH);
                 let mut spins = 0u32;
-                while done.load(Ordering::Acquire) < threads {
+                loop {
+                    if done.load(pp::DONE_WAIT) >= threads {
+                        break;
+                    }
+                    if poisoned.load(pp::STOP_WAIT) {
+                        // A worker is unwinding and will never signal.
+                        // Stop touching the cells, release the surviving
+                        // workers, and re-raise the worker's own panic
+                        // payload (`thread::scope` would otherwise
+                        // replace it with a generic "a scoped thread
+                        // panicked"); `guard` restores the router state
+                        // on the way out.
+                        stop.store(true, pp::STOP_PUBLISH);
+                        for h in handles.drain(..) {
+                            if let Err(payload) = h.join() {
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                        return;
+                    }
                     spin_or_yield(&mut spins);
                 }
                 // SAFETY: every worker signalled `done` for this epoch, so
                 // the main thread again has exclusive access.
                 let outs_mut: &mut [RouterOutputs] = unsafe {
-                    std::slice::from_raw_parts_mut(out_cells.as_ptr() as *mut RouterOutputs, n)
+                    std::slice::from_raw_parts_mut(
+                        guard.out_cells.as_ptr() as *mut RouterOutputs,
+                        n,
+                    )
                 };
                 for r in 0..n {
                     commit_outputs(
@@ -613,8 +794,9 @@ impl<S: TraceSink> Network<S> {
                         cycle_now,
                     );
                 }
+                // SAFETY: same exclusive-access window as the commit above.
                 let routers_ref: &[Router] = unsafe {
-                    std::slice::from_raw_parts(router_cells.as_ptr() as *const Router, n)
+                    std::slice::from_raw_parts(guard.router_cells.as_ptr() as *const Router, n)
                 };
                 finish_cycle(
                     routers_ref,
@@ -626,12 +808,9 @@ impl<S: TraceSink> Network<S> {
                     cycle_now,
                 );
             }
-            stop.store(true, Ordering::Release);
+            *now = base_now + cycles;
+            drop(stop_guard);
         });
-
-        routers.extend(router_cells.into_iter().map(UnsafeCell::into_inner));
-        out_buf.extend(out_cells.into_iter().map(UnsafeCell::into_inner));
-        *now = base_now + cycles;
     }
 
     /// Verifies credit conservation on every channel: upstream credits plus
@@ -819,7 +998,11 @@ fn deliver_and_inject<S: TraceSink, P: PhaseProfiler>(
     // --- deliver link/credit events landing this cycle ----------------
     let wheel_timer = P::ACTIVE.then(Instant::now);
     let mut wheel_events = 0u64;
-    for ev in wheel.take(now) {
+    // Take the slot, drain it, hand the buffer back: nothing schedules
+    // into the *current* slot (delays are >= 1 and < the wheel size), so
+    // the buffer is free to recycle once the loop ends.
+    let mut events = wheel.take(now);
+    for ev in events.drain(..) {
         wheel_events += 1;
         match ev {
             Event::FlitToRouter {
@@ -874,6 +1057,7 @@ fn deliver_and_inject<S: TraceSink, P: PhaseProfiler>(
             }
         }
     }
+    wheel.recycle(events);
     if let Some(t) = wheel_timer {
         prof.record(Phase::Credit, t.elapsed().as_nanos() as u64, wheel_events);
     }

@@ -94,6 +94,17 @@ pub struct RouterOutputs {
 }
 
 impl RouterOutputs {
+    /// Output lists pre-sized to the per-cycle worst case — one switch
+    /// traversal (flit + credit + hop record) per output port — so a
+    /// steady-state engine reusing the buffers never reallocates them.
+    pub fn with_capacity(ports: usize) -> Self {
+        RouterOutputs {
+            flits: Vec::with_capacity(ports),
+            credits: Vec::with_capacity(ports),
+            hops: Vec::with_capacity(ports),
+        }
+    }
+
     /// Empties all lists, keeping their capacity for reuse next cycle.
     pub fn clear(&mut self) {
         self.flits.clear();
@@ -153,13 +164,21 @@ impl StepScratch {
             spec_bid: vec![false; n],
             granted: vec![false; n],
             vca_reqs: vec![None; n],
-            spare_reqs: Vec::new(),
+            // Pre-primed pool: at most one live request per input VC, and
+            // each request carries at most `vcs` candidate classes, so the
+            // steady-state loop never grows these vectors.
+            spare_reqs: (0..n)
+                .map(|_| VcRequest {
+                    out_port: 0,
+                    classes: Vec::with_capacity(vcs),
+                })
+                .collect(),
             free: BitMatrix::new(ports, vcs),
             vca_grants: Vec::new(),
             nonspec: SwitchRequests::new(ports, vcs),
             spec: SwitchRequests::new(ports, vcs),
-            sa_result: SpecAllocResult::default(),
-            st_prev: Vec::new(),
+            sa_result: SpecAllocResult::with_capacity(ports),
+            st_prev: Vec::with_capacity(ports),
         }
     }
 }
@@ -272,9 +291,20 @@ pub struct Router {
     /// Packet-ledger state; `None` (the default) costs one branch per
     /// cycle plus one per accepted head flit.
     anatomy: Option<RouterAnatomy>,
+    /// Test-only failure injection: panic when stepped at this cycle.
+    /// `None` in all production paths; costs one comparison per step.
+    test_panic_at: Option<u64>,
 }
 
 impl Router {
+    /// Arms a one-shot injected panic: the router panics when stepped at
+    /// `cycle`. Exists solely for the engine panic-safety regression
+    /// tests (`crates/sim/tests/par_panic.rs`).
+    #[doc(hidden)]
+    pub fn arm_test_panic(&mut self, cycle: u64) {
+        self.test_panic_at = Some(cycle);
+    }
+
     /// Creates a router with empty buffers and full credits.
     pub fn new(id: usize, cfg: RouterConfig) -> Self {
         let ports = cfg.spec.ports();
@@ -290,7 +320,12 @@ impl Router {
             id,
             ports,
             vcs,
-            in_buf: (0..n).map(|_| VecDeque::new()).collect(),
+            // Pre-sized to the credit limit: the overflow assertion in
+            // `accept_flit` bounds occupancy at `buf_depth`, so these never
+            // reallocate and the steady state stays allocation-free.
+            in_buf: (0..n)
+                .map(|_| VecDeque::with_capacity(cfg.buf_depth))
+                .collect(),
             in_out_vc: vec![None; n],
             out_vc: (0..n)
                 .map(|_| OutVcState {
@@ -300,13 +335,15 @@ impl Router {
                 .collect(),
             vca,
             sa,
-            st_stage: Vec::new(),
+            // At most one traversal per output port per cycle.
+            st_stage: Vec::with_capacity(ports),
             scratch: StepScratch::new(ports, vcs),
             skipped_cycles: 0,
             stats: RouterStats::default(),
             obs: RouterObs::new(ports, vcs),
             match_sampler: None,
             anatomy: None,
+            test_panic_at: None,
             cfg,
         }
     }
@@ -443,6 +480,9 @@ impl Router {
         sink: &mut S,
         prof: &mut P,
     ) {
+        if self.test_panic_at == Some(now) {
+            panic!("injected router panic (router {} cycle {now})", self.id);
+        }
         out.clear();
         self.flush_skipped();
         let v = self.vcs;
@@ -917,12 +957,15 @@ impl Router {
         let depth = self.cfg.buf_depth;
         let mut checks = 0u64;
 
-        // Matching legality over the grants traversing next cycle.
-        let mut in_used = vec![false; n];
-        let mut out_used = vec![false; self.ports];
+        // Matching legality over the grants traversing next cycle. `Bits`
+        // rather than `Vec<bool>`: this runs per cycle whenever the checker
+        // is active (including debug-assertion builds) and must not
+        // allocate in steady state.
+        let mut in_used = noc_arbiter::Bits::new(n);
+        let mut out_used = noc_arbiter::Bits::new(self.ports);
         for &(in_flat, out_port) in &self.st_stage {
             checks += 5;
-            if std::mem::replace(&mut in_used[in_flat], true) {
+            if in_used.get(in_flat) {
                 chk.violation(format!(
                     "router {}: two switch grants for input VC ({}, {})",
                     self.id,
@@ -930,12 +973,14 @@ impl Router {
                     in_flat % v
                 ));
             }
-            if std::mem::replace(&mut out_used[out_port], true) {
+            in_used.set(in_flat, true);
+            if out_used.get(out_port) {
                 chk.violation(format!(
                     "router {}: two switch grants for output port {out_port}",
                     self.id
                 ));
             }
+            out_used.set(out_port, true);
             match self.in_out_vc[in_flat] {
                 None => chk.violation(format!(
                     "router {}: switch grant without an output VC at input ({}, {})",

@@ -693,6 +693,8 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // RELAXED: pure work-stealing ticket; each slot is written
+                // once through its own OnceLock, which carries the ordering.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;

@@ -50,6 +50,11 @@ pub struct Terminal {
     /// independently so reply priority is not blocked behind a stalled
     /// request).
     active: [Option<ActivePacket>; 2],
+    /// Recycled flit buffer per message class from the last completed
+    /// packet, so steady-state injection never allocates (a packet's flit
+    /// count is bounded by the payload size, so one spare per class reaches
+    /// a fixed point).
+    spare_flits: [Vec<Flit>; 2],
     /// Credits per router-input VC at the terminal port.
     credits: Vec<usize>,
     /// VC busy flags (held by an active packet until its tail is sent).
@@ -108,6 +113,7 @@ impl Terminal {
             src_queue: VecDeque::new(),
             reply_queue: VecDeque::new(),
             active: [None, None],
+            spare_flits: [Vec::new(), Vec::new()],
             credits: vec![buf_depth; v],
             vc_busy: vec![false; v],
             rng: rand::rngs::StdRng::seed_from_u64(
@@ -264,7 +270,10 @@ impl Terminal {
             let vc = active.vc;
             if active.next == active.flits.len() {
                 self.vc_busy[vc] = false;
-                self.active[class] = None;
+                if let Some(mut done) = self.active[class].take() {
+                    done.flits.clear();
+                    self.spare_flits[class] = done.flits;
+                }
             }
             return TerminalOutputs {
                 flit: Some((vc, flit)),
@@ -336,21 +345,21 @@ impl Terminal {
         debug_assert!(self.id < 1 << 16 && self.next_seq < 1 << 48);
         let packet_id = (self.id as u64) << 48 | self.next_seq;
         self.next_seq += 1;
-        let flits = (0..len)
-            .map(|i| Flit {
-                packet_id,
-                flit_index: i,
-                head: i == 0,
-                tail: i == len - 1,
-                kind: pkt.kind,
-                src: self.id,
-                dest: pkt.dest,
-                birth: pkt.birth,
-                injected: now,
-                lookahead,
-                route_state,
-            })
-            .collect();
+        let mut flits = std::mem::take(&mut self.spare_flits[m]);
+        flits.clear();
+        flits.extend((0..len).map(|i| Flit {
+            packet_id,
+            flit_index: i,
+            head: i == 0,
+            tail: i == len - 1,
+            kind: pkt.kind,
+            src: self.id,
+            dest: pkt.dest,
+            birth: pkt.birth,
+            injected: now,
+            lookahead,
+            route_state,
+        }));
         self.vc_busy[vc] = true;
         Some(ActivePacket { flits, next: 0, vc })
     }

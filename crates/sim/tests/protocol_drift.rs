@@ -1,0 +1,71 @@
+//! Model-vs-real drift test: the `crates/mc` `run_par` model proves the
+//! protocol *it encodes* race-free. That proof transfers to the engine
+//! only while the two stay in lockstep, so every shared constant — spin
+//! threshold, phase order, the atomic ordering at each synchronization
+//! site, and the shard-split formula — is compared field by field here.
+//! If `run_parallel` changes an ordering without updating the model (or
+//! vice versa), this test fails before the unsound build ships.
+
+use noc_sim::network::par_protocol as real;
+use std::sync::atomic::Ordering as StdOrdering;
+
+/// Maps a modeled ordering onto the `std` ordering it abstracts.
+fn as_std(ord: noc_mc::Ordering) -> StdOrdering {
+    match ord {
+        // RELAXED: a table mapping modeled orderings to std names, not an
+        // atomic access site.
+        noc_mc::Ordering::Relaxed => StdOrdering::Relaxed,
+        noc_mc::Ordering::Acquire => StdOrdering::Acquire,
+        noc_mc::Ordering::Release => StdOrdering::Release,
+        noc_mc::Ordering::AcqRel => StdOrdering::AcqRel,
+    }
+}
+
+#[test]
+fn spin_limit_matches() {
+    assert_eq!(real::SPIN_LIMIT, noc_mc::protocol::SPIN_LIMIT);
+}
+
+#[test]
+fn phase_order_matches() {
+    assert_eq!(real::PHASES, noc_mc::protocol::PHASES);
+}
+
+#[test]
+fn every_ordering_site_matches() {
+    let model = noc_mc::protocol::ProtocolOrderings::default();
+    let sites = [
+        ("epoch_publish", real::EPOCH_PUBLISH, model.epoch_publish),
+        ("done_reset", real::DONE_RESET, model.done_reset),
+        ("done_signal", real::DONE_SIGNAL, model.done_signal),
+        ("done_wait", real::DONE_WAIT, model.done_wait),
+        ("epoch_wait", real::EPOCH_WAIT, model.epoch_wait),
+        ("stop_publish", real::STOP_PUBLISH, model.stop_publish),
+        ("stop_wait", real::STOP_WAIT, model.stop_wait),
+    ];
+    for (site, engine, modeled) in sites {
+        assert_eq!(
+            engine,
+            as_std(modeled),
+            "ordering drift at `{site}`: engine uses {engine:?}, model checks {modeled:?}"
+        );
+    }
+}
+
+#[test]
+fn shard_split_matches() {
+    // Same formula, same outputs — including the uneven cases (64
+    // routers over 3 or 5 workers) where an off-by-one would overlap or
+    // leak a router.
+    for n in [1usize, 2, 7, 16, 63, 64, 100] {
+        for threads in 1..=8 {
+            for k in 0..threads {
+                assert_eq!(
+                    real::shard_range(k, n, threads),
+                    noc_mc::protocol::shard_range(k, n, threads),
+                    "shard drift at k={k} n={n} threads={threads}"
+                );
+            }
+        }
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `noc` — command-line front end for the allocator study toolkit.
 //!
 //! Subcommands:
@@ -66,6 +67,8 @@ USAGE:
               [--threads N] [--quiet] [--no-render] [--telemetry] [--anatomy]
   noc top     DUMP [--once]
   noc replay  DUMP
+  noc audit   [--root DIR] [--fixtures]
+  noc mc      [--workers N] [--routers N] [--cycles N]
   noc help
 
 KIND (allocator): sep_if_rr sep_if_m sep_of_rr sep_of_m wf
@@ -130,6 +133,27 @@ Performance engines (noc sim, noc bench):
                           cycle-identical; only wall-clock speed differs.
   --threads N             worker-pool size for --engine par (default: all
                           available cores)
+
+Soundness (noc audit / noc mc):
+  noc audit               static soundness gate: walks every workspace .rs
+                          file and fails on `unsafe` outside the allowlist,
+                          `unsafe` without a nearby SAFETY: comment,
+                          `Ordering::Relaxed` without a RELAXED: audit
+                          note, or a crate root missing its unsafe-code
+                          lint guard
+  --root DIR              workspace root to audit (default .)
+  --fixtures              also check the negative fixtures under
+                          crates/check/fixtures/audit: every one must be
+                          flagged, proving the auditor has teeth
+  noc mc                  exhaustive interleaving model check of the
+                          parallel engine's epoch/done/stop protocol: the
+                          faithful model must pass (race-free, deadlock-
+                          free, all executions terminate) and every
+                          weakened mutant must be rejected with a printed
+                          counterexample schedule
+  --workers N             modeled worker threads (default 3)
+  --routers N             modeled router shards  (default 4)
+  --cycles N              modeled epochs         (default 2)
 
 Statistics (noc sim):
   --seeds N               replicate the run over N seeds: auto-detected
@@ -238,6 +262,7 @@ impl Args {
                     || key == "no-watchdog"
                     || key == "telemetry"
                     || key == "anatomy"
+                    || key == "fixtures"
                 {
                     flags.insert(key.to_string(), "true".to_string());
                     continue;
@@ -1265,6 +1290,111 @@ fn cmd_top(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `noc audit` — the static soundness gate (see `noc_check::audit`).
+/// Exits nonzero on any finding, so CI can call it directly; `--fixtures`
+/// additionally requires every negative fixture to be flagged.
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let root = std::path::PathBuf::from(args.flags.get("root").map(String::as_str).unwrap_or("."));
+    if !root.join("crates").is_dir() {
+        return Err(format!(
+            "'{}' does not look like the workspace root (no crates/ \
+             directory); pass --root DIR",
+            root.display()
+        ));
+    }
+    let report =
+        noc_check::audit_workspace(&root).map_err(|e| format!("audit walk failed: {e}"))?;
+    print!("{}", report.render());
+    let mut failed = !report.passed();
+    if args.flags.contains_key("fixtures") {
+        let fixtures =
+            noc_check::audit_fixtures(&root).map_err(|e| format!("fixture walk failed: {e}"))?;
+        if fixtures.is_empty() {
+            return Err("no audit fixtures found".to_string());
+        }
+        for (path, rep) in fixtures {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            if rep.passed() {
+                println!("[FAIL] fixture {name}: not flagged — the auditor has lost its teeth");
+                failed = true;
+            } else {
+                println!(
+                    "[OK]   fixture {name}: flagged as expected ({})",
+                    rep.findings
+                        .iter()
+                        .map(|f| f.rule)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+    }
+    if failed {
+        Err("audit failed".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+/// `noc mc` — exhaustive interleaving model check of the `run_parallel`
+/// epoch/done/stop protocol. The faithful model must pass and every
+/// weakened mutant must be rejected; a rejected mutant prints its
+/// counterexample schedule so the failure mode is inspectable.
+fn cmd_mc(args: &Args) -> Result<(), String> {
+    use noc_mc::{explore, ExploreError, Limits, RunParModel};
+    let workers: usize = args.get("workers", 3)?;
+    let routers: usize = args.get("routers", 4)?;
+    let cycles: u64 = args.get("cycles", 2)?;
+    if workers == 0 || routers == 0 || cycles == 0 {
+        return Err("--workers, --routers, and --cycles must be positive".to_string());
+    }
+    let mut failed = false;
+
+    let spec = RunParModel::faithful(workers, routers, cycles);
+    let model = spec.build();
+    match explore(&model, Limits::default()) {
+        Ok(o) => println!(
+            "[PASS] {}: {} executions, {} transitions, max schedule depth {}",
+            model.name, o.executions, o.transitions, o.max_depth
+        ),
+        Err(e) => {
+            println!("[FAIL] {}:\n{}", model.name, e.render(&model));
+            failed = true;
+        }
+    }
+
+    for spec in RunParModel::mutants(workers, routers, cycles) {
+        let model = spec.build();
+        match explore(&model, Limits::default()) {
+            Err(ExploreError::Violation(cx)) => {
+                println!("[OK]   {} rejected:", model.name);
+                print!("{}", cx.render(&model));
+            }
+            Err(e @ ExploreError::LimitExceeded { .. }) => {
+                println!("[FAIL] {}: {}", model.name, e.render(&model));
+                failed = true;
+            }
+            Ok(o) => {
+                println!(
+                    "[FAIL] {} PASSED exploration ({} executions) — the \
+                     checker has lost its teeth",
+                    model.name, o.executions
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        Err("model check failed".to_string())
+    } else {
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(&argv) {
@@ -1291,6 +1421,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args),
         "top" => cmd_top(&args),
         "replay" => cmd_replay(&args),
+        "audit" => cmd_audit(&args),
+        "mc" => cmd_mc(&args),
         "help" | "" => {
             println!("{HELP}");
             Ok(())
