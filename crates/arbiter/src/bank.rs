@@ -1,0 +1,345 @@
+//! Struct-of-arrays banks of `u64`-kernel arbiters.
+//!
+//! The allocators instantiate many identical small arbiters — `P` input
+//! arbiters, `P*V` output arbiters, `P*P` pre-selection arbiters — and the
+//! original representation (`Vec<Box<dyn Arbiter + Send>>`) scatters their
+//! priority state across the heap, one allocation per arbiter, with a
+//! virtual call per decision. A bank stores the state of a whole family of
+//! same-kind, same-width arbiters contiguously (pointer array for
+//! round-robin, packed `u64` beat rows for matrix) and makes decisions
+//! directly on `u64` request words via the kernel primitives in
+//! [`crate::bits`]. Behaviour is bit-identical to the boxed arbiters — the
+//! differential test layer in `noc-core` drives both representations on
+//! identical request streams and asserts grant equality.
+
+use crate::bits::{rr_pick, width_mask};
+use crate::ArbiterKind;
+
+/// A bank of `count` identical arbiters of `width <= 64` inputs each.
+#[derive(Clone, Debug)]
+pub struct ArbiterBank {
+    kind: ArbiterKind,
+    count: usize,
+    width: usize,
+    /// Round-robin: the priority pointer of each arbiter. Empty otherwise.
+    ptrs: Vec<u32>,
+    /// Matrix: `beats[a * width + i]` is row `i` of arbiter `a` — bit `j`
+    /// set iff input `i` currently beats input `j`. Empty otherwise.
+    beats: Vec<u64>,
+}
+
+impl ArbiterBank {
+    /// Creates a bank of `count` fresh arbiters. Panics if `width` is 0 or
+    /// exceeds the 64-bit kernel word.
+    pub fn new(kind: ArbiterKind, count: usize, width: usize) -> Self {
+        assert!(
+            (1..=64).contains(&width),
+            "ArbiterBank width {width} outside kernel range"
+        );
+        let mut bank = ArbiterBank {
+            kind,
+            count,
+            width,
+            ptrs: Vec::new(),
+            beats: Vec::new(),
+        };
+        match kind {
+            ArbiterKind::FixedPriority => {}
+            ArbiterKind::RoundRobin => bank.ptrs = vec![0; count],
+            ArbiterKind::Matrix => {
+                bank.beats = vec![0; count * width];
+                bank.reset();
+            }
+        }
+        bank
+    }
+
+    /// Number of arbiters in the bank.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Inputs per arbiter.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Arbiter kind shared by the bank.
+    pub fn kind(&self) -> ArbiterKind {
+        self.kind
+    }
+
+    /// Combinationally selects a winner for arbiter `a` among the set bits
+    /// of `requests` (which must have no bits at or above the width).
+    /// Semantically identical to [`crate::Arbiter::arbitrate`] on the
+    /// corresponding boxed arbiter.
+    #[inline]
+    pub fn arbitrate(&self, a: usize, requests: u64) -> Option<usize> {
+        debug_assert!(a < self.count);
+        debug_assert_eq!(requests & !width_mask(self.width), 0);
+        match self.kind {
+            ArbiterKind::FixedPriority => {
+                if requests == 0 {
+                    None
+                } else {
+                    Some(requests.trailing_zeros() as usize)
+                }
+            }
+            ArbiterKind::RoundRobin => rr_pick(requests, self.ptrs[a] as usize),
+            ArbiterKind::Matrix => {
+                if requests == 0 {
+                    return None;
+                }
+                let rows = &self.beats[a * self.width..(a + 1) * self.width];
+                let mut cand = requests;
+                while cand != 0 {
+                    let i = cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
+                    // `i` wins iff it beats every other requester.
+                    if requests & !(rows[i] | 1 << i) == 0 {
+                        return Some(i);
+                    }
+                }
+                // The beat matrix always encodes a strict total order, so a
+                // winner exists whenever any input requests.
+                debug_assert!(false, "inconsistent matrix bank state");
+                None
+            }
+        }
+    }
+
+    /// Commits a successful grant to `winner` on arbiter `a`, advancing its
+    /// priority state exactly like [`crate::Arbiter::update`].
+    #[inline]
+    pub fn update(&mut self, a: usize, winner: usize) {
+        debug_assert!(a < self.count && winner < self.width);
+        match self.kind {
+            ArbiterKind::FixedPriority => {}
+            ArbiterKind::RoundRobin => {
+                self.ptrs[a] = ((winner + 1) % self.width) as u32;
+            }
+            ArbiterKind::Matrix => {
+                let rows = &mut self.beats[a * self.width..(a + 1) * self.width];
+                let wbit = 1u64 << winner;
+                // Winner beats nobody; everybody now beats the winner.
+                for (i, row) in rows.iter_mut().enumerate() {
+                    if i == winner {
+                        *row = 0;
+                    } else {
+                        *row |= wbit;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores the power-on priority state of every arbiter in the bank.
+    pub fn reset(&mut self) {
+        match self.kind {
+            ArbiterKind::FixedPriority => {}
+            ArbiterKind::RoundRobin => self.ptrs.fill(0),
+            ArbiterKind::Matrix => {
+                // Initial order 0 > 1 > ... > n-1: row i beats all j > i.
+                for a in 0..self.count {
+                    for i in 0..self.width {
+                        self.beats[a * self.width + i] =
+                            width_mask(self.width) & !(width_mask(i + 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A bank of two-level tree arbiters over `groups * group_size <= 64`
+/// inputs each — the struct-of-arrays counterpart of
+/// [`crate::TreeArbiter`], used for the wide `P*V:1` output arbiters of the
+/// VC allocators (§4.1). One root bank (width = group count) plus one leaf
+/// bank (width = group size, `count * groups` arbiters) hold the whole
+/// family's state in two contiguous allocations.
+#[derive(Clone, Debug)]
+pub struct TreeBank {
+    groups: usize,
+    group_size: usize,
+    root: ArbiterBank,
+    leaves: ArbiterBank,
+}
+
+impl TreeBank {
+    /// Creates a bank of `count` tree arbiters, each `groups x group_size`
+    /// wide. The total width must fit the 64-bit kernel word.
+    pub fn new(kind: ArbiterKind, count: usize, groups: usize, group_size: usize) -> Self {
+        assert!(groups > 0 && group_size > 0);
+        assert!(
+            groups * group_size <= 64,
+            "TreeBank width {} outside kernel range",
+            groups * group_size
+        );
+        TreeBank {
+            groups,
+            group_size,
+            root: ArbiterBank::new(kind, count, groups),
+            leaves: ArbiterBank::new(kind, count * groups, group_size),
+        }
+    }
+
+    /// Total inputs per tree arbiter.
+    pub fn width(&self) -> usize {
+        self.groups * self.group_size
+    }
+
+    /// Winner for tree arbiter `a` over the flat request word `requests`
+    /// (input `g * group_size + l` = leaf `l` of group `g`). Bit-identical
+    /// to [`crate::TreeArbiter`] of the same kind and shape.
+    #[inline]
+    pub fn arbitrate(&self, a: usize, requests: u64) -> Option<usize> {
+        if requests == 0 {
+            return None;
+        }
+        let leaf_mask = width_mask(self.group_size);
+        let mut active = 0u64;
+        for g in 0..self.groups {
+            if requests >> (g * self.group_size) & leaf_mask != 0 {
+                active |= 1 << g;
+            }
+        }
+        let g = self.root.arbitrate(a, active)?;
+        let local = self.leaves.arbitrate(
+            a * self.groups + g,
+            requests >> (g * self.group_size) & leaf_mask,
+        )?;
+        Some(g * self.group_size + local)
+    }
+
+    /// Commits a grant: the root advances on the winning group, the winning
+    /// group's leaf on the local index; other groups' leaves are untouched.
+    #[inline]
+    pub fn update(&mut self, a: usize, winner: usize) {
+        let g = winner / self.group_size;
+        self.root.update(a, g);
+        self.leaves
+            .update(a * self.groups + g, winner % self.group_size);
+    }
+
+    /// Restores power-on state for every tree in the bank.
+    pub fn reset(&mut self) {
+        self.root.reset();
+        self.leaves.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Arbiter, Bits, TreeArbiter};
+
+    fn kinds() -> [ArbiterKind; 3] {
+        [
+            ArbiterKind::FixedPriority,
+            ArbiterKind::RoundRobin,
+            ArbiterKind::Matrix,
+        ]
+    }
+
+    /// Deterministic request-pattern stream (no RNG dependency here).
+    fn patterns(width: usize, len: usize) -> Vec<u64> {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 7) & width_mask(width)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bank_matches_boxed_arbiters_on_committed_streams() {
+        for kind in kinds() {
+            for width in [1, 2, 3, 5, 7, 10, 16, 63, 64] {
+                let count = 3;
+                let mut bank = ArbiterBank::new(kind, count, width);
+                let mut boxed: Vec<_> = (0..count).map(|_| kind.build(width)).collect();
+                for (t, &p) in patterns(width, 200).iter().enumerate() {
+                    let a = t % count;
+                    let bits = Bits::from_indices(width, (0..width).filter(|i| p >> i & 1 != 0));
+                    let got = bank.arbitrate(a, p);
+                    let want = boxed[a].arbitrate(&bits);
+                    assert_eq!(got, want, "{kind:?} w={width} t={t} p={p:b}");
+                    if let Some(w) = got {
+                        // Commit every other grant so losing grants are
+                        // also exercised (the iSLIP no-update path).
+                        if t % 2 == 0 {
+                            bank.update(a, w);
+                            boxed[a].update(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_reset_restores_power_on_state() {
+        for kind in kinds() {
+            let mut bank = ArbiterBank::new(kind, 2, 5);
+            let fresh = ArbiterBank::new(kind, 2, 5);
+            for w in [3usize, 1, 4] {
+                bank.update(0, w);
+                bank.update(1, (w + 1) % 5);
+            }
+            bank.reset();
+            for p in 1u64..32 {
+                assert_eq!(bank.arbitrate(0, p), fresh.arbitrate(0, p), "{kind:?}");
+                assert_eq!(bank.arbitrate(1, p), fresh.arbitrate(1, p), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_bank_matches_tree_arbiter() {
+        for kind in kinds() {
+            for (groups, group_size) in [(2, 2), (3, 4), (5, 8), (8, 8), (10, 6)] {
+                let width = groups * group_size;
+                let mut bank = TreeBank::new(kind, 2, groups, group_size);
+                let mut boxed = [
+                    TreeArbiter::new(groups, group_size, kind),
+                    TreeArbiter::new(groups, group_size, kind),
+                ];
+                for (t, &p) in patterns(width, 150).iter().enumerate() {
+                    let a = t % 2;
+                    let bits = Bits::from_indices(width, (0..width).filter(|i| p >> i & 1 != 0));
+                    let got = bank.arbitrate(a, p);
+                    let want = boxed[a].arbitrate(&bits);
+                    assert_eq!(got, want, "{kind:?} {groups}x{group_size} t={t}");
+                    if let Some(w) = got {
+                        if t % 3 != 2 {
+                            bank.update(a, w);
+                            boxed[a].update(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_bank_is_least_recently_served() {
+        let mut bank = ArbiterBank::new(ArbiterKind::Matrix, 1, 4);
+        bank.update(0, 0);
+        bank.update(0, 2);
+        // LRS among {0, 2, 3}: 3 (never served) wins; then 0 beats 2.
+        assert_eq!(bank.arbitrate(0, 0b1101), Some(3));
+        assert_eq!(bank.arbitrate(0, 0b0101), Some(0));
+    }
+
+    #[test]
+    fn bank_arbiters_are_independent() {
+        let mut bank = ArbiterBank::new(ArbiterKind::RoundRobin, 3, 4);
+        bank.update(1, 2); // only arbiter 1 advances
+        assert_eq!(bank.arbitrate(0, 0b1111), Some(0));
+        assert_eq!(bank.arbitrate(1, 0b1111), Some(3));
+        assert_eq!(bank.arbitrate(2, 0b1111), Some(0));
+    }
+}

@@ -14,6 +14,166 @@
 /// the widest vector any paper design point builds (160).
 pub const INLINE_WORDS: usize = 3;
 
+// ---------------------------------------------------------------------------
+// u64 kernel primitives
+//
+// The bit-parallel allocator kernels treat a request vector of width
+// `n <= 64` as a single machine word. The primitives below are the whole
+// vocabulary those kernels need: a width mask, a rotate that wraps at the
+// *vector* width (not at 64 — the wavefront diagonal recurrence needs
+// wrap-around at non-power-of-two port counts), a mask-and-ctz round-robin
+// pick, and the AND-NOT speculative kill. Each is deliberately tiny so the
+// kernel-level unit tests can pin its semantics against a scalar oracle and
+// against a catalogue of off-by-one mutants.
+// ---------------------------------------------------------------------------
+
+/// The lowest `n` bits set, for `1 <= n <= 64`.
+#[inline]
+pub fn width_mask(n: usize) -> u64 {
+    debug_assert!((1..=64).contains(&n), "width {n} out of kernel range");
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Rotate-left of a width-`n` vector by `by` positions: bit `j` of `word`
+/// moves to position `(j + by) % n`. Bits at positions `>= n` must be (and
+/// stay) zero. `by` may be any value; it is reduced mod `n`.
+#[inline]
+pub fn rotl_width(word: u64, by: usize, n: usize) -> u64 {
+    debug_assert!((1..=64).contains(&n));
+    debug_assert_eq!(word & !width_mask(n), 0, "stray bits above width {n}");
+    let by = by % n;
+    if by == 0 {
+        word
+    } else {
+        ((word << by) | (word >> (n - by))) & width_mask(n)
+    }
+}
+
+/// Mask-and-ctz round-robin pick: the lowest set bit of `requests` at
+/// position `ptr` or above, wrapping to the lowest set bit overall when the
+/// masked pass comes up empty. Exactly the two-pass thermometer-mask
+/// structure of [`crate::RoundRobinArbiter`], collapsed to two word ops.
+///
+/// `requests` must have no bits set at or above the arbiter width, and
+/// `ptr` must be below it; under those preconditions the result is
+/// bit-identical to the pointer-walk arbiter.
+#[inline]
+pub fn rr_pick(requests: u64, ptr: usize) -> Option<usize> {
+    if requests == 0 {
+        return None;
+    }
+    debug_assert!(ptr < 64);
+    let masked = requests & (u64::MAX << ptr);
+    let w = if masked != 0 { masked } else { requests };
+    Some(w.trailing_zeros() as usize)
+}
+
+/// AND-NOT speculative kill: the speculative candidates of `spec` that do
+/// not collide with any bit of `blocked`. The masking stage of §5.2 is this
+/// single operation once port usage is expressed as a `u64` mask.
+#[inline]
+pub fn spec_kill(spec: u64, blocked: u64) -> u64 {
+    spec & !blocked
+}
+
+/// A request/grant matrix over at most 64 resource columns, one `u64` row
+/// word per requester — the kernel-side counterpart of `noc-core`'s
+/// `BitMatrix`, used as reusable scratch by the bit-parallel separable and
+/// wavefront kernels (row sweeps, transposes, diagonal scatters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix64 {
+    rows: usize,
+    cols: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix64 {
+    /// All-zero `rows x cols` matrix; `cols` must be `1..=64`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!((1..=64).contains(&cols), "BitMatrix64 cols {cols} > 64");
+        BitMatrix64 {
+            rows,
+            cols,
+            words: vec![0; rows],
+        }
+    }
+
+    /// Number of requester rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of resource columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a word (bit `c` = entry `(r, c)`).
+    #[inline]
+    pub fn row(&self, r: usize) -> u64 {
+        self.words[r]
+    }
+
+    /// Overwrites row `r`; bits at or above the column count are discarded.
+    #[inline]
+    pub fn set_row(&mut self, r: usize, word: u64) {
+        self.words[r] = word & width_mask(self.cols);
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(c < self.cols);
+        self.words[r] >> c & 1 != 0
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(c < self.cols);
+        if v {
+            self.words[r] |= 1 << c;
+        } else {
+            self.words[r] &= !(1 << c);
+        }
+    }
+
+    /// Clears every entry.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Total set entries.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Writes the transpose into `cols_out`: `cols_out[c]` gets bit `r` set
+    /// iff entry `(r, c)` is set. Requires `rows <= 64` and
+    /// `cols_out.len() >= cols`; entries beyond the column count are left
+    /// untouched. Runs in O(set entries), which is what makes the
+    /// output-first kernels cheap on sparse request matrices.
+    pub fn transpose_into(&self, cols_out: &mut [u64]) {
+        assert!(self.rows <= 64, "transpose needs <= 64 rows");
+        assert!(cols_out.len() >= self.cols);
+        cols_out[..self.cols].fill(0);
+        for (r, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let c = w.trailing_zeros() as usize;
+                w &= w - 1;
+                cols_out[c] |= 1 << r;
+            }
+        }
+    }
+}
+
 #[derive(Clone)]
 enum Words {
     Inline([u64; INLINE_WORDS]),
@@ -163,6 +323,15 @@ impl Bits {
             }
             w = words[wi];
         }
+    }
+
+    /// The vector as a single kernel word. Only meaningful for widths up to
+    /// 64 (asserted in debug builds); this is the bridge the bit-parallel
+    /// kernels use to lift a narrow `Bits` row into `u64` arithmetic.
+    #[inline]
+    pub fn low_word(&self) -> u64 {
+        debug_assert!(self.len <= 64, "low_word on {}-bit vector", self.len);
+        self.words()[0]
     }
 
     /// Iterator over the indices of set bits, in increasing order.
@@ -398,5 +567,261 @@ mod tests {
     #[should_panic]
     fn out_of_range_get_panics() {
         Bits::new(8).get(8);
+    }
+}
+
+/// Kernel-primitive pinning tests, in the style of the `crates/mc` mutant
+/// catalogue: every primitive is checked against a bit-at-a-time scalar
+/// oracle over an exhaustive input grid, and a catalogue of deliberately
+/// off-by-one mutants is then run over the *same* grid to prove the oracle
+/// check has teeth — a mutant that no input distinguishes would mean the
+/// pinning test could not catch that bug.
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod kernel_tests {
+    use super::*;
+
+    /// Widths covering non-powers-of-two (wrap-around is the hard case),
+    /// the paper's port counts (5, 10), and the word boundary.
+    const WIDTHS: [usize; 10] = [1, 2, 3, 5, 7, 8, 10, 16, 63, 64];
+
+    fn patterns_for(n: usize) -> Vec<u64> {
+        if n <= 10 {
+            // Exhaustive for small widths.
+            (0..(1u64 << n)).collect()
+        } else {
+            let mut x = 0x243f6a8885a308d3u64;
+            (0..512)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 3) & width_mask(n)
+                })
+                .collect()
+        }
+    }
+
+    /// Scalar oracle: move each set bit individually.
+    fn oracle_rotl(word: u64, by: usize, n: usize) -> u64 {
+        let mut out = 0;
+        for j in 0..n {
+            if word >> j & 1 != 0 {
+                out |= 1 << ((j + by) % n);
+            }
+        }
+        out
+    }
+
+    /// Scalar oracle: pointer walk, exactly `RoundRobinArbiter::arbitrate`.
+    fn oracle_rr(requests: u64, ptr: usize, n: usize) -> Option<usize> {
+        for k in 0..n {
+            let i = (ptr + k) % n;
+            if requests >> i & 1 != 0 {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Scalar oracle: per-bit speculative kill.
+    fn oracle_kill(spec: u64, blocked: u64, n: usize) -> u64 {
+        let mut out = 0;
+        for j in 0..n {
+            if spec >> j & 1 != 0 && blocked >> j & 1 == 0 {
+                out |= 1 << j;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rotl_width_matches_oracle_including_nonpow2_wraparound() {
+        for &n in &WIDTHS {
+            for by in 0..(2 * n).max(4) {
+                for &p in &patterns_for(n) {
+                    assert_eq!(
+                        rotl_width(p, by, n),
+                        oracle_rotl(p, by, n),
+                        "n={n} by={by} p={p:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rr_pick_matches_pointer_walk_for_all_states() {
+        for &n in &WIDTHS {
+            for ptr in 0..n {
+                for &p in &patterns_for(n) {
+                    assert_eq!(
+                        rr_pick(p, ptr),
+                        oracle_rr(p, ptr, n),
+                        "n={n} ptr={ptr} p={p:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_kill_matches_per_bit_oracle() {
+        for &n in &WIDTHS {
+            let pats = patterns_for(n.min(8));
+            for &s in &pats {
+                for &b in &pats {
+                    assert_eq!(spec_kill(s, b), oracle_kill(s, b, 64), "s={s:#x} b={b:#x}");
+                }
+            }
+        }
+    }
+
+    // --- the mutant catalogue -------------------------------------------
+    //
+    // Each mutant is an off-by-one (or operator-swap) variant of a kernel
+    // primitive. The assertion is *existential*: some input in the pinning
+    // grid must distinguish the mutant from the oracle. If a mutant ever
+    // becomes indistinguishable, the corresponding pinning test has lost
+    // its power and must be extended.
+
+    type NamedMutant<F> = (&'static str, F);
+
+    fn rotl_mutants() -> Vec<NamedMutant<fn(u64, usize, usize) -> u64>> {
+        vec![
+            // Wraps at the 64-bit word instead of the vector width.
+            ("rotl wraps at word not width", |w, by, n| {
+                let by = by % n;
+                if by == 0 {
+                    w
+                } else {
+                    w.rotate_left(by as u32) & width_mask(n)
+                }
+            }),
+            // Off-by-one in the wrap shift (n - by - 1).
+            ("rotl wrap shift off by one", |w, by, n| {
+                let by = by % n;
+                if by == 0 {
+                    w
+                } else {
+                    ((w << by) | (w >> (n - by).saturating_sub(1).max(1))) & width_mask(n)
+                }
+            }),
+            // Forgets to mask the tail after shifting.
+            ("rotl drops tail mask", |w, by, n| {
+                let by = by % n;
+                if by == 0 {
+                    w
+                } else {
+                    (w << by) | (w >> (n - by))
+                }
+            }),
+        ]
+    }
+
+    #[test]
+    fn rotl_mutant_catalogue_is_rejected() {
+        for (name, mutant) in rotl_mutants() {
+            let mut caught = false;
+            'search: for &n in &WIDTHS {
+                for by in 0..(2 * n).max(4) {
+                    for &p in &patterns_for(n) {
+                        if mutant(p, by, n) != oracle_rotl(p, by, n) {
+                            caught = true;
+                            break 'search;
+                        }
+                    }
+                }
+            }
+            assert!(caught, "mutant '{name}' survives the pinning grid");
+        }
+    }
+
+    #[test]
+    fn rr_pick_mutant_catalogue_is_rejected() {
+        let mutants: Vec<NamedMutant<fn(u64, usize) -> Option<usize>>> = vec![
+            // Thermometer mask starts one past the pointer, so the
+            // highest-priority input itself is skipped.
+            ("rr mask excludes the pointer", |r, ptr| {
+                if r == 0 {
+                    return None;
+                }
+                let masked = r & (u64::MAX << (ptr + 1).min(63));
+                let w = if masked != 0 { masked } else { r };
+                Some(w.trailing_zeros() as usize)
+            }),
+            // Takes the unmasked pass first, destroying rotation entirely.
+            ("rr prefers the unmasked pass", |r, _ptr| {
+                if r == 0 {
+                    None
+                } else {
+                    Some(r.trailing_zeros() as usize)
+                }
+            }),
+            // Uses leading_zeros: sweeps from the top instead of ctz order.
+            ("rr sweeps from the msb", |r, ptr| {
+                if r == 0 {
+                    return None;
+                }
+                let masked = r & (u64::MAX << ptr);
+                let w = if masked != 0 { masked } else { r };
+                Some(63 - w.leading_zeros() as usize)
+            }),
+        ];
+        for (name, mutant) in mutants {
+            let mut caught = false;
+            'search: for &n in &WIDTHS {
+                for ptr in 0..n {
+                    for &p in &patterns_for(n) {
+                        if mutant(p, ptr) != oracle_rr(p, ptr, n) {
+                            caught = true;
+                            break 'search;
+                        }
+                    }
+                }
+            }
+            assert!(caught, "mutant '{name}' survives the pinning grid");
+        }
+    }
+
+    #[test]
+    fn spec_kill_mutant_catalogue_is_rejected() {
+        let mutants: Vec<NamedMutant<fn(u64, u64) -> u64>> = vec![
+            // AND instead of AND-NOT: keeps exactly the colliding grants.
+            ("kill keeps collisions", |s, b| s & b),
+            // OR-NOT: resurrects grants that never existed.
+            ("kill resurrects non-grants", |s, b| s | !b),
+            // Kills against the mask shifted by one port.
+            ("kill mask off by one port", |s, b| s & !(b << 1)),
+        ];
+        let pats = patterns_for(8);
+        for (name, mutant) in mutants {
+            let caught = pats
+                .iter()
+                .any(|&s| pats.iter().any(|&b| mutant(s, b) != oracle_kill(s, b, 64)));
+            assert!(caught, "mutant '{name}' survives the pinning grid");
+        }
+    }
+
+    #[test]
+    fn bitmatrix64_roundtrip_and_transpose() {
+        let mut m = BitMatrix64::new(5, 7);
+        m.set(0, 6, true);
+        m.set(4, 0, true);
+        m.set(2, 3, true);
+        assert_eq!(m.count_ones(), 3);
+        assert!(m.get(0, 6) && m.get(4, 0) && m.get(2, 3) && !m.get(1, 1));
+        let mut cols = [u64::MAX; 8];
+        m.transpose_into(&mut cols);
+        assert_eq!(cols[6], 1 << 0);
+        assert_eq!(cols[0], 1 << 4);
+        assert_eq!(cols[3], 1 << 2);
+        assert_eq!(cols[1], 0);
+        // Slots past the column count are untouched.
+        assert_eq!(cols[7], u64::MAX);
+        m.set(2, 3, false);
+        assert_eq!(m.count_ones(), 2);
+        m.set_row(1, u64::MAX);
+        assert_eq!(m.row(1), width_mask(7));
+        m.clear();
+        assert_eq!(m.count_ones(), 0);
     }
 }

@@ -21,13 +21,15 @@
 //! paper (§2.1): "input priorities ... are only updated if the grant it
 //! produces is also successful in the second arbitration stage".
 
+pub mod bank;
 pub mod bits;
 mod fixed;
 mod matrix;
 mod round_robin;
 mod tree;
 
-pub use bits::Bits;
+pub use bank::{ArbiterBank, TreeBank};
+pub use bits::{BitMatrix64, Bits};
 pub use fixed::FixedPriorityArbiter;
 pub use matrix::MatrixArbiter;
 pub use round_robin::RoundRobinArbiter;

@@ -21,6 +21,15 @@ pub trait Allocator {
     /// Computes a matching for `requests` and updates priority state.
     fn allocate(&mut self, requests: &BitMatrix) -> BitMatrix;
 
+    /// [`Allocator::allocate`] into a caller-owned grant matrix, so a
+    /// per-cycle caller can reuse one scratch matrix and never allocate.
+    /// The matrix must match the allocator's dimensions; it is cleared
+    /// first. Implementations with a zero-alloc steady state override this;
+    /// the default falls back to `allocate`.
+    fn allocate_into(&mut self, requests: &BitMatrix, grants: &mut BitMatrix) {
+        *grants = self.allocate(requests);
+    }
+
     /// Restores power-on priority state.
     fn reset(&mut self);
 }
@@ -101,6 +110,43 @@ impl AllocatorKind {
             AllocatorKind::Wavefront => Box::new(crate::wavefront::WavefrontAllocator::new(
                 requesters, resources,
             )),
+            AllocatorKind::MaxSize => {
+                Box::new(crate::maxsize::MaxSizeAllocator::new(requesters, resources))
+            }
+        }
+    }
+
+    /// Instantiates the scalar-reference predecessor of this kind: the
+    /// element-wise implementation each bit kernel was derived from, kept
+    /// alive in the per-module `reference` submodules. The differential
+    /// test layer drives this against [`AllocatorKind::build`] and asserts
+    /// grant-identical behaviour; it is not a fast path.
+    pub fn build_reference(self, requesters: usize, resources: usize) -> Box<dyn Allocator + Send> {
+        use noc_arbiter::ArbiterKind::{Matrix, RoundRobin};
+        match self {
+            AllocatorKind::SepIfMatrix => {
+                Box::new(crate::separable::reference::SeparableInputFirst::new(
+                    requesters, resources, Matrix,
+                ))
+            }
+            AllocatorKind::SepIfRr => {
+                Box::new(crate::separable::reference::SeparableInputFirst::new(
+                    requesters, resources, RoundRobin,
+                ))
+            }
+            AllocatorKind::SepOfMatrix => {
+                Box::new(crate::separable::reference::SeparableOutputFirst::new(
+                    requesters, resources, Matrix,
+                ))
+            }
+            AllocatorKind::SepOfRr => {
+                Box::new(crate::separable::reference::SeparableOutputFirst::new(
+                    requesters, resources, RoundRobin,
+                ))
+            }
+            AllocatorKind::Wavefront => Box::new(
+                crate::wavefront::reference::WavefrontAllocator::new(requesters, resources),
+            ),
             AllocatorKind::MaxSize => {
                 Box::new(crate::maxsize::MaxSizeAllocator::new(requesters, resources))
             }

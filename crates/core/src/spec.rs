@@ -84,13 +84,18 @@ impl SpecAllocResult {
 }
 
 /// Dual-allocator speculative switch allocator (Figure 9).
+///
+/// The masking stage is the Figure 9 AND gate verbatim: blocked input and
+/// output ports are collected into two `u64` port masks and every
+/// speculative grant is killed by a single AND-NOT
+/// ([`noc_arbiter::bits::spec_kill`]) per side. The element-wise `Vec<bool>`
+/// predecessor is kept as [`reference::mask_speculative`] for the
+/// differential suite (and as the fallback for routers wider than 64
+/// ports).
 pub struct SpeculativeSwitchAllocator {
     nonspec: Box<dyn SwitchAllocator + Send>,
     spec: Box<dyn SwitchAllocator + Send>,
     mode: SpecMode,
-    /// Reusable masking scratch (per-port blocked flags).
-    in_blocked: Vec<bool>,
-    out_blocked: Vec<bool>,
 }
 
 impl SpeculativeSwitchAllocator {
@@ -100,8 +105,22 @@ impl SpeculativeSwitchAllocator {
             nonspec: kind.build(ports, vcs),
             spec: kind.build(ports, vcs),
             mode,
-            in_blocked: vec![false; ports],
-            out_blocked: vec![false; ports],
+        }
+    }
+
+    /// [`SpeculativeSwitchAllocator::new`] over the scalar-reference switch
+    /// allocators ([`SwitchAllocatorKind::build_reference`]) — the oracle
+    /// side of the differential tests.
+    pub fn new_reference(
+        kind: SwitchAllocatorKind,
+        ports: usize,
+        vcs: usize,
+        mode: SpecMode,
+    ) -> Self {
+        SpeculativeSwitchAllocator {
+            nonspec: kind.build_reference(ports, vcs),
+            spec: kind.build_reference(ports, vcs),
+            mode,
         }
     }
 
@@ -154,33 +173,45 @@ impl SpeculativeSwitchAllocator {
             return;
         }
         let ports = self.ports();
-        self.in_blocked.clear();
-        self.in_blocked.resize(ports, false);
-        self.out_blocked.clear();
-        self.out_blocked.resize(ports, false);
+        if ports > 64 {
+            reference::mask_speculative(self.mode, nonspec_reqs, out);
+            return;
+        }
+        // Collect blocked ports into two u64 masks. A speculative grant set
+        // is itself a matching, so projecting it onto port bit-vectors loses
+        // nothing — the kill is one AND-NOT per side.
+        let mut in_blocked = 0u64;
+        let mut out_blocked = 0u64;
         match self.mode {
             SpecMode::Conventional => {
                 for g in &out.nonspec {
-                    self.in_blocked[g.in_port] = true;
-                    self.out_blocked[g.out_port] = true;
+                    in_blocked |= 1 << g.in_port;
+                    out_blocked |= 1 << g.out_port;
                 }
             }
             SpecMode::Pessimistic => {
                 for p in 0..ports {
-                    self.in_blocked[p] = nonspec_reqs.input_active(p);
-                    self.out_blocked[p] = nonspec_reqs.output_requested(p);
+                    in_blocked |= (nonspec_reqs.input_active(p) as u64) << p;
+                    out_blocked |= (nonspec_reqs.output_requested(p) as u64) << p;
                 }
             }
             SpecMode::NonSpeculative => unreachable!(),
         }
+        let mut spec_in = 0u64;
+        let mut spec_out = 0u64;
+        for g in &out.spec {
+            spec_in |= 1 << g.in_port;
+            spec_out |= 1 << g.out_port;
+        }
+        let alive_in = noc_arbiter::bits::spec_kill(spec_in, in_blocked);
+        let alive_out = noc_arbiter::bits::spec_kill(spec_out, out_blocked);
         let SpecAllocResult { spec, masked, .. } = out;
-        let (in_blocked, out_blocked) = (&self.in_blocked, &self.out_blocked);
         spec.retain(|g| {
-            if in_blocked[g.in_port] || out_blocked[g.out_port] {
+            if alive_in >> g.in_port & 1 != 0 && alive_out >> g.out_port & 1 != 0 {
+                true
+            } else {
                 masked.push(*g);
                 false
-            } else {
-                true
             }
         });
     }
@@ -189,6 +220,50 @@ impl SpeculativeSwitchAllocator {
     pub fn reset(&mut self) {
         self.nonspec.reset();
         self.spec.reset();
+    }
+}
+
+/// Scalar predecessor of the AND-NOT masking kernel, kept as the
+/// differential-testing oracle and the wide-router fallback.
+pub mod reference {
+    use super::{SpecAllocResult, SpecMode, SwitchRequests};
+
+    /// Element-wise masking stage: per-port `Vec<bool>` blocked flags and a
+    /// per-grant retain sweep. Moves masked grants from `out.spec` to
+    /// `out.masked`, exactly like the `u64` kill in
+    /// [`super::SpeculativeSwitchAllocator::allocate_into`].
+    pub fn mask_speculative(
+        mode: SpecMode,
+        nonspec_reqs: &SwitchRequests,
+        out: &mut SpecAllocResult,
+    ) {
+        let ports = nonspec_reqs.ports();
+        let mut in_blocked = vec![false; ports];
+        let mut out_blocked = vec![false; ports];
+        match mode {
+            SpecMode::Conventional => {
+                for g in &out.nonspec {
+                    in_blocked[g.in_port] = true;
+                    out_blocked[g.out_port] = true;
+                }
+            }
+            SpecMode::Pessimistic => {
+                for p in 0..ports {
+                    in_blocked[p] = nonspec_reqs.input_active(p);
+                    out_blocked[p] = nonspec_reqs.output_requested(p);
+                }
+            }
+            SpecMode::NonSpeculative => return,
+        }
+        let SpecAllocResult { spec, masked, .. } = out;
+        spec.retain(|g| {
+            if in_blocked[g.in_port] || out_blocked[g.out_port] {
+                masked.push(*g);
+                false
+            } else {
+                true
+            }
+        });
     }
 }
 

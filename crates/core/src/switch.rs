@@ -7,10 +7,15 @@
 //! switch allocators differ from canonical `P*V`-input allocators, and is
 //! enforced structurally by all three implementations here, exactly as in
 //! Figure 8.
+//!
+//! Each allocator exists twice: a `u64` mask kernel over [`ArbiterBank`]
+//! state (used whenever `P <= 64` and `V <= 64`) and its scalar predecessor
+//! in [`reference`], kept alive as the differential oracle and as the
+//! fallback for wider configurations.
 
 use crate::wavefront::WavefrontAllocator;
 use crate::{Allocator, BitMatrix};
-use noc_arbiter::{Arbiter, ArbiterKind, Bits};
+use noc_arbiter::{Arbiter, ArbiterBank, ArbiterKind, Bits};
 
 /// Requests for one switch-allocation round: for every input VC, the output
 /// port it wants this cycle (or `None` when idle).
@@ -73,6 +78,19 @@ impl SwitchRequests {
         b
     }
 
+    /// [`SwitchRequests::active_vcs`] as a kernel word (`vcs <= 64`).
+    #[inline]
+    pub fn active_vcs_word(&self, in_port: usize) -> u64 {
+        debug_assert!(self.vcs <= 64);
+        let mut w = 0u64;
+        for v in 0..self.vcs {
+            if self.req[in_port * self.vcs + v].is_some() {
+                w |= 1 << v;
+            }
+        }
+        w
+    }
+
     /// Bit vector over VCs at `in_port` requesting `out_port` specifically.
     pub fn vcs_for_output(&self, in_port: usize, out_port: usize) -> Bits {
         let mut b = Bits::new(self.vcs);
@@ -82,6 +100,19 @@ impl SwitchRequests {
             }
         }
         b
+    }
+
+    /// [`SwitchRequests::vcs_for_output`] as a kernel word (`vcs <= 64`).
+    #[inline]
+    pub fn vcs_for_output_word(&self, in_port: usize, out_port: usize) -> u64 {
+        debug_assert!(self.vcs <= 64);
+        let mut w = 0u64;
+        for v in 0..self.vcs {
+            if self.req[in_port * self.vcs + v] == Some(out_port) {
+                w |= 1 << v;
+            }
+        }
+        w
     }
 
     /// The port-level request matrix: entry `(i, o)` set iff any VC at input
@@ -111,12 +142,12 @@ impl SwitchRequests {
     /// True if any VC at `in_port` has a request (used by the pessimistic
     /// speculation mask).
     pub fn input_active(&self, in_port: usize) -> bool {
-        !self.active_vcs(in_port).is_zero()
+        (0..self.vcs).any(|v| self.req[in_port * self.vcs + v].is_some())
     }
 
     /// True if any VC at any input requests `out_port`.
     pub fn output_requested(&self, out_port: usize) -> bool {
-        (0..self.ports).any(|i| !self.vcs_for_output(i, out_port).is_zero())
+        self.req.contains(&Some(out_port))
     }
 }
 
@@ -180,6 +211,23 @@ impl SwitchAllocatorKind {
         }
     }
 
+    /// Instantiates the scalar-reference predecessor (see [`reference`]);
+    /// driven against [`SwitchAllocatorKind::build`] by the differential
+    /// test layer.
+    pub fn build_reference(self, ports: usize, vcs: usize) -> Box<dyn SwitchAllocator + Send> {
+        match self {
+            SwitchAllocatorKind::SepIf(k) => {
+                Box::new(reference::SepIfSwitchAllocator::new(ports, vcs, k))
+            }
+            SwitchAllocatorKind::SepOf(k) => {
+                Box::new(reference::SepOfSwitchAllocator::new(ports, vcs, k))
+            }
+            SwitchAllocatorKind::Wavefront => {
+                Box::new(reference::WavefrontSwitchAllocator::new(ports, vcs))
+            }
+        }
+    }
+
     /// Figure-legend label (`sep_if/rr`, `wf/rr`, ...).
     pub fn label(self) -> String {
         match self {
@@ -188,6 +236,10 @@ impl SwitchAllocatorKind {
             SwitchAllocatorKind::Wavefront => "wf/rr".to_string(),
         }
     }
+}
+
+fn kernel_fits(ports: usize, vcs: usize) -> bool {
+    ports <= 64 && vcs <= 64
 }
 
 /// Separable input-first switch allocator (Figure 8(a)).
@@ -199,23 +251,40 @@ impl SwitchAllocatorKind {
 pub struct SepIfSwitchAllocator {
     ports: usize,
     vcs: usize,
-    input_arbs: Vec<Box<dyn Arbiter + Send>>,
-    output_arbs: Vec<Box<dyn Arbiter + Send>>,
-    /// Stage-1 scratch, `(vc, out_port)` per input port; kept across calls
-    /// so steady-state allocation stays at zero.
-    winners: Vec<Option<(usize, usize)>>,
+    inner: SepIfSwInner,
+}
+
+enum SepIfSwInner {
+    Kernel {
+        /// `V:1` arbiter per input port.
+        input: ArbiterBank,
+        /// `P:1` arbiter per output port.
+        output: ArbiterBank,
+        /// Stage-1 scratch, `(vc, out_port)` per input port; kept across
+        /// calls so steady-state allocation stays at zero.
+        winners: Vec<Option<(usize, usize)>>,
+        /// Forwarded-request accumulator: `incoming[o]` bit `i` set iff
+        /// input `i`'s stage-1 winner targets output `o`. All-zero between
+        /// calls (stage 2 clears exactly the slots stage 1 set).
+        incoming: Vec<u64>,
+    },
+    Reference(reference::SepIfSwitchAllocator),
 }
 
 impl SepIfSwitchAllocator {
     /// Builds the allocator with the given arbiter kind in both stages.
     pub fn new(ports: usize, vcs: usize, kind: ArbiterKind) -> Self {
-        SepIfSwitchAllocator {
-            ports,
-            vcs,
-            input_arbs: (0..ports).map(|_| kind.build(vcs)).collect(),
-            output_arbs: (0..ports).map(|_| kind.build(ports)).collect(),
-            winners: Vec::with_capacity(ports),
-        }
+        let inner = if kernel_fits(ports, vcs) {
+            SepIfSwInner::Kernel {
+                input: ArbiterBank::new(kind, ports, vcs),
+                output: ArbiterBank::new(kind, ports, ports),
+                winners: Vec::with_capacity(ports),
+                incoming: vec![0; ports],
+            }
+        } else {
+            SepIfSwInner::Reference(reference::SepIfSwitchAllocator::new(ports, vcs, kind))
+        };
+        SepIfSwitchAllocator { ports, vcs, inner }
     }
 }
 
@@ -241,41 +310,61 @@ impl SwitchAllocator for SepIfSwitchAllocator {
         if requests.is_empty() {
             return;
         }
-        // Stage 1: winning VC per input port.
-        self.winners.clear();
-        for i in 0..self.ports {
-            let w = self.input_arbs[i]
-                .arbitrate(&requests.active_vcs(i))
-                .and_then(|v| requests.get(i, v).map(|out| (v, out)));
-            self.winners.push(w);
-        }
-        let winners = &self.winners;
-        // Stage 2: arbitration among forwarded requests at each output.
-        for o in 0..self.ports {
-            let mut incoming = Bits::new(self.ports);
-            for (i, w) in winners.iter().enumerate() {
-                if matches!(w, Some((_, out)) if *out == o) {
-                    incoming.set(i, true);
+        match &mut self.inner {
+            SepIfSwInner::Reference(r) => r.allocate_into(requests, out),
+            SepIfSwInner::Kernel {
+                input,
+                output,
+                winners,
+                incoming,
+            } => {
+                // Stage 1: winning VC per input port.
+                winners.clear();
+                let mut pending = 0u64; // outputs with >= 1 forwarded request
+                for i in 0..self.ports {
+                    // An arbitration winner always comes from the active-VC
+                    // mask, so its request is present.
+                    let w = input
+                        .arbitrate(i, requests.active_vcs_word(i))
+                        .and_then(|v| requests.get(i, v).map(|o| (v, o)));
+                    if let Some((_, o)) = w {
+                        incoming[o] |= 1 << i;
+                        pending |= 1 << o;
+                    }
+                    winners.push(w);
                 }
-            }
-            if let Some(i) = self.output_arbs[o].arbitrate(&incoming) {
-                // `incoming` only carries inputs with a stage-1 winner.
-                let Some((v, _)) = winners[i] else { continue };
-                out.push(SwitchGrant {
-                    in_port: i,
-                    vc: v,
-                    out_port: o,
-                });
-                // Both stages succeeded: commit priority updates.
-                self.input_arbs[i].update(v);
-                self.output_arbs[o].update(i);
+                // Stage 2: arbitration among forwarded requests at each
+                // output, in the same ascending output order as the scalar
+                // reference (outputs with no contenders grant nothing
+                // there, so skipping them is equivalent).
+                while pending != 0 {
+                    let o = pending.trailing_zeros() as usize;
+                    pending &= pending - 1;
+                    let inc = incoming[o];
+                    incoming[o] = 0;
+                    if let Some(i) = output.arbitrate(o, inc) {
+                        let Some((v, _)) = winners[i] else { continue };
+                        out.push(SwitchGrant {
+                            in_port: i,
+                            vc: v,
+                            out_port: o,
+                        });
+                        // Both stages succeeded: commit priority updates.
+                        input.update(i, v);
+                        output.update(o, i);
+                    }
+                }
             }
         }
     }
 
     fn reset(&mut self) {
-        for a in self.input_arbs.iter_mut().chain(&mut self.output_arbs) {
-            a.reset();
+        match &mut self.inner {
+            SepIfSwInner::Kernel { input, output, .. } => {
+                input.reset();
+                output.reset();
+            }
+            SepIfSwInner::Reference(r) => r.reset(),
         }
     }
 }
@@ -291,26 +380,39 @@ impl SwitchAllocator for SepIfSwitchAllocator {
 pub struct SepOfSwitchAllocator {
     ports: usize,
     vcs: usize,
-    output_arbs: Vec<Box<dyn Arbiter + Send>>,
-    vc_arbs: Vec<Box<dyn Arbiter + Send>>,
-    /// Combined per-port request scratch, kept across calls so
-    /// steady-state allocation stays at zero.
-    port_reqs: BitMatrix,
-    /// Stage-1 scratch: winning input per output port.
-    stage1: Vec<Option<usize>>,
+    inner: SepOfSwInner,
+}
+
+enum SepOfSwInner {
+    Kernel {
+        /// `P:1` arbiter per output port.
+        output: ArbiterBank,
+        /// `V:1` arbiter per input port.
+        vc: ArbiterBank,
+        /// Combined request columns: `colw[o]` bit `i` set iff any VC at
+        /// input `i` requests output `o`. All-zero between calls.
+        colw: Vec<u64>,
+        /// Stage-1 wins per input: `won[i]` bit `o` set iff output `o`
+        /// chose input `i`. All-zero between calls.
+        won: Vec<u64>,
+    },
+    Reference(reference::SepOfSwitchAllocator),
 }
 
 impl SepOfSwitchAllocator {
     /// Builds the allocator with the given arbiter kind in both stages.
     pub fn new(ports: usize, vcs: usize, kind: ArbiterKind) -> Self {
-        SepOfSwitchAllocator {
-            ports,
-            vcs,
-            output_arbs: (0..ports).map(|_| kind.build(ports)).collect(),
-            vc_arbs: (0..ports).map(|_| kind.build(vcs)).collect(),
-            port_reqs: BitMatrix::new(ports, ports),
-            stage1: Vec::with_capacity(ports),
-        }
+        let inner = if kernel_fits(ports, vcs) {
+            SepOfSwInner::Kernel {
+                output: ArbiterBank::new(kind, ports, ports),
+                vc: ArbiterBank::new(kind, ports, vcs),
+                colw: vec![0; ports],
+                won: vec![0; ports],
+            }
+        } else {
+            SepOfSwInner::Reference(reference::SepOfSwitchAllocator::new(ports, vcs, kind))
+        };
+        SepOfSwitchAllocator { ports, vcs, inner }
     }
 }
 
@@ -336,45 +438,79 @@ impl SwitchAllocator for SepOfSwitchAllocator {
         if requests.is_empty() {
             return;
         }
-        requests.port_matrix_into(&mut self.port_reqs);
-        // Stage 1: each output arbitrates among all requesting inputs.
-        self.stage1.clear();
-        for o in 0..self.ports {
-            let w = self.output_arbs[o].arbitrate(&self.port_reqs.col(o));
-            self.stage1.push(w);
-        }
-        let stage1 = &self.stage1;
-        // Stage 2: each input picks a winning VC among those whose requested
-        // output was granted to it.
-        for i in 0..self.ports {
-            let mut candidates = Bits::new(self.vcs);
-            for v in 0..self.vcs {
-                if let Some(o) = requests.get(i, v) {
-                    if stage1[o] == Some(i) {
-                        candidates.set(v, true);
+        match &mut self.inner {
+            SepOfSwInner::Reference(r) => r.allocate_into(requests, out),
+            SepOfSwInner::Kernel {
+                output,
+                vc,
+                colw,
+                won,
+            } => {
+                // Combine per-VC requests into port-level columns.
+                let mut active = 0u64; // outputs with >= 1 requesting input
+                for i in 0..self.ports {
+                    for v in 0..self.vcs {
+                        if let Some(o) = requests.get(i, v) {
+                            colw[o] |= 1 << i;
+                            active |= 1 << o;
+                        }
                     }
                 }
-            }
-            if let Some(v) = self.vc_arbs[i].arbitrate(&candidates) {
-                // `candidates` only carries VCs with a live request.
-                let Some(o) = requests.get(i, v) else {
-                    continue;
-                };
-                out.push(SwitchGrant {
-                    in_port: i,
-                    vc: v,
-                    out_port: o,
-                });
-                self.vc_arbs[i].update(v);
-                // Only the output whose grant was actually consumed updates.
-                self.output_arbs[o].update(i);
+                // Stage 1: each output arbitrates among requesting inputs.
+                let mut pending = 0u64; // inputs chosen by >= 1 output
+                while active != 0 {
+                    let o = active.trailing_zeros() as usize;
+                    active &= active - 1;
+                    let inc = colw[o];
+                    colw[o] = 0;
+                    if let Some(i) = output.arbitrate(o, inc) {
+                        won[i] |= 1 << o;
+                        pending |= 1 << i;
+                    }
+                }
+                // Stage 2: each input picks a winning VC among those whose
+                // requested output was granted to it (ascending input
+                // order, like the scalar sweep over all inputs).
+                while pending != 0 {
+                    let i = pending.trailing_zeros() as usize;
+                    pending &= pending - 1;
+                    let wmask = won[i];
+                    won[i] = 0;
+                    let mut cand = 0u64;
+                    for v in 0..self.vcs {
+                        if let Some(o) = requests.get(i, v) {
+                            if wmask >> o & 1 != 0 {
+                                cand |= 1 << v;
+                            }
+                        }
+                    }
+                    // A winner always comes from the candidate mask, which
+                    // is built only from VCs with live requests.
+                    if let Some((v, o)) = vc
+                        .arbitrate(i, cand)
+                        .and_then(|v| requests.get(i, v).map(|o| (v, o)))
+                    {
+                        out.push(SwitchGrant {
+                            in_port: i,
+                            vc: v,
+                            out_port: o,
+                        });
+                        vc.update(i, v);
+                        // Only the output whose grant was consumed updates.
+                        output.update(o, i);
+                    }
+                }
             }
         }
     }
 
     fn reset(&mut self) {
-        for a in self.output_arbs.iter_mut().chain(&mut self.vc_arbs) {
-            a.reset();
+        match &mut self.inner {
+            SepOfSwInner::Kernel { output, vc, .. } => {
+                output.reset();
+                vc.reset();
+            }
+            SepOfSwInner::Reference(r) => r.reset(),
         }
     }
 }
@@ -391,27 +527,45 @@ impl SwitchAllocator for SepOfSwitchAllocator {
 pub struct WavefrontSwitchAllocator {
     ports: usize,
     vcs: usize,
+    /// The `P × P` port matcher (itself kernel-backed for `P <= 64`).
     wavefront: WavefrontAllocator,
-    /// `presel[i * P + o]`: V:1 round-robin arbiter choosing the VC at input
-    /// `i` that will use output `o` if granted.
-    presel: Vec<Box<dyn Arbiter + Send>>,
+    inner: WfSwInner,
     /// Combined-request and grant scratch matrices, kept across calls so
     /// steady-state allocation stays at zero.
     port_reqs: BitMatrix,
     port_grants: BitMatrix,
 }
 
+enum WfSwInner {
+    /// `presel[i * P + o]`: V:1 round-robin arbiter choosing the VC at
+    /// input `i` that will use output `o` if granted — one contiguous bank.
+    Kernel(ArbiterBank),
+    /// Boxed arbiters for `V > 64`.
+    Boxed(Vec<Box<dyn Arbiter + Send>>),
+}
+
 impl WavefrontSwitchAllocator {
     /// Builds the allocator (round-robin pre-selection, per the paper's
     /// `wf/rr` configuration).
     pub fn new(ports: usize, vcs: usize) -> Self {
+        let inner = if vcs <= 64 {
+            WfSwInner::Kernel(ArbiterBank::new(
+                ArbiterKind::RoundRobin,
+                ports * ports,
+                vcs,
+            ))
+        } else {
+            WfSwInner::Boxed(
+                (0..ports * ports)
+                    .map(|_| ArbiterKind::RoundRobin.build(vcs))
+                    .collect(),
+            )
+        };
         WavefrontSwitchAllocator {
             ports,
             vcs,
             wavefront: WavefrontAllocator::new(ports, ports),
-            presel: (0..ports * ports)
-                .map(|_| ArbiterKind::RoundRobin.build(vcs))
-                .collect(),
+            inner,
             port_reqs: BitMatrix::new(ports, ports),
             port_grants: BitMatrix::new(ports, ports),
         }
@@ -444,15 +598,29 @@ impl SwitchAllocator for WavefrontSwitchAllocator {
         self.wavefront
             .allocate_into(&self.port_reqs, &mut self.port_grants);
         let ports = self.ports;
-        let (port_grants, presel) = (&self.port_grants, &mut self.presel);
-        for (i, o) in port_grants.iter_set() {
-            let arb = &mut presel[i * ports + o];
+        for (i, o) in self.port_grants.iter_set() {
+            let v = match &mut self.inner {
+                WfSwInner::Kernel(bank) => {
+                    let v = bank.arbitrate(i * ports + o, requests.vcs_for_output_word(i, o));
+                    if let Some(v) = v {
+                        bank.update(i * ports + o, v);
+                    }
+                    v
+                }
+                WfSwInner::Boxed(presel) => {
+                    let arb = &mut presel[i * ports + o];
+                    let v = arb.arbitrate(&requests.vcs_for_output(i, o));
+                    if let Some(v) = v {
+                        arb.update(v);
+                    }
+                    v
+                }
+            };
             // The wavefront core only grants port pairs that requested.
-            let Some(v) = arb.arbitrate(&requests.vcs_for_output(i, o)) else {
+            let Some(v) = v else {
                 debug_assert!(false, "wavefront granted a port pair with no requesting VC");
                 continue;
             };
-            arb.update(v);
             out.push(SwitchGrant {
                 in_port: i,
                 vc: v,
@@ -463,8 +631,13 @@ impl SwitchAllocator for WavefrontSwitchAllocator {
 
     fn reset(&mut self) {
         self.wavefront.reset();
-        for a in &mut self.presel {
-            a.reset();
+        match &mut self.inner {
+            WfSwInner::Kernel(bank) => bank.reset(),
+            WfSwInner::Boxed(presel) => {
+                for a in presel {
+                    a.reset();
+                }
+            }
         }
     }
 }
@@ -493,6 +666,266 @@ pub fn validate_switch_grants(
         out_used.set(g.out_port, true);
     }
     Ok(())
+}
+
+/// Scalar predecessors of the switch-allocator kernels: boxed per-port
+/// arbiters and element-wise stage sweeps, kept alive as differential
+/// oracles and as the wide-configuration fallback.
+pub mod reference {
+    use super::{SwitchAllocator, SwitchGrant, SwitchRequests};
+    use crate::wavefront;
+    use crate::{Allocator, BitMatrix};
+    use noc_arbiter::{Arbiter, ArbiterKind, Bits};
+
+    /// Scalar separable input-first switch allocator.
+    pub struct SepIfSwitchAllocator {
+        ports: usize,
+        vcs: usize,
+        input_arbs: Vec<Box<dyn Arbiter + Send>>,
+        output_arbs: Vec<Box<dyn Arbiter + Send>>,
+        winners: Vec<Option<(usize, usize)>>,
+    }
+
+    impl SepIfSwitchAllocator {
+        /// Scalar counterpart of [`super::SepIfSwitchAllocator::new`].
+        pub fn new(ports: usize, vcs: usize, kind: ArbiterKind) -> Self {
+            SepIfSwitchAllocator {
+                ports,
+                vcs,
+                input_arbs: (0..ports).map(|_| kind.build(vcs)).collect(),
+                output_arbs: (0..ports).map(|_| kind.build(ports)).collect(),
+                winners: Vec::with_capacity(ports),
+            }
+        }
+    }
+
+    impl SwitchAllocator for SepIfSwitchAllocator {
+        fn ports(&self) -> usize {
+            self.ports
+        }
+
+        fn vcs(&self) -> usize {
+            self.vcs
+        }
+
+        fn allocate(&mut self, requests: &SwitchRequests) -> Vec<SwitchGrant> {
+            let mut grants = Vec::new();
+            self.allocate_into(requests, &mut grants);
+            grants
+        }
+
+        fn allocate_into(&mut self, requests: &SwitchRequests, out: &mut Vec<SwitchGrant>) {
+            assert_eq!(requests.ports(), self.ports);
+            assert_eq!(requests.vcs(), self.vcs);
+            out.clear();
+            if requests.is_empty() {
+                return;
+            }
+            // Stage 1: winning VC per input port.
+            self.winners.clear();
+            for i in 0..self.ports {
+                let w = self.input_arbs[i]
+                    .arbitrate(&requests.active_vcs(i))
+                    .and_then(|v| requests.get(i, v).map(|out| (v, out)));
+                self.winners.push(w);
+            }
+            let winners = &self.winners;
+            // Stage 2: arbitration among forwarded requests at each output.
+            for o in 0..self.ports {
+                let mut incoming = Bits::new(self.ports);
+                for (i, w) in winners.iter().enumerate() {
+                    if matches!(w, Some((_, out)) if *out == o) {
+                        incoming.set(i, true);
+                    }
+                }
+                if let Some(i) = self.output_arbs[o].arbitrate(&incoming) {
+                    // `incoming` only carries inputs with a stage-1 winner.
+                    let Some((v, _)) = winners[i] else { continue };
+                    out.push(SwitchGrant {
+                        in_port: i,
+                        vc: v,
+                        out_port: o,
+                    });
+                    // Both stages succeeded: commit priority updates.
+                    self.input_arbs[i].update(v);
+                    self.output_arbs[o].update(i);
+                }
+            }
+        }
+
+        fn reset(&mut self) {
+            for a in self.input_arbs.iter_mut().chain(&mut self.output_arbs) {
+                a.reset();
+            }
+        }
+    }
+
+    /// Scalar separable output-first switch allocator.
+    pub struct SepOfSwitchAllocator {
+        ports: usize,
+        vcs: usize,
+        output_arbs: Vec<Box<dyn Arbiter + Send>>,
+        vc_arbs: Vec<Box<dyn Arbiter + Send>>,
+        port_reqs: BitMatrix,
+        stage1: Vec<Option<usize>>,
+    }
+
+    impl SepOfSwitchAllocator {
+        /// Scalar counterpart of [`super::SepOfSwitchAllocator::new`].
+        pub fn new(ports: usize, vcs: usize, kind: ArbiterKind) -> Self {
+            SepOfSwitchAllocator {
+                ports,
+                vcs,
+                output_arbs: (0..ports).map(|_| kind.build(ports)).collect(),
+                vc_arbs: (0..ports).map(|_| kind.build(vcs)).collect(),
+                port_reqs: BitMatrix::new(ports, ports),
+                stage1: Vec::with_capacity(ports),
+            }
+        }
+    }
+
+    impl SwitchAllocator for SepOfSwitchAllocator {
+        fn ports(&self) -> usize {
+            self.ports
+        }
+
+        fn vcs(&self) -> usize {
+            self.vcs
+        }
+
+        fn allocate(&mut self, requests: &SwitchRequests) -> Vec<SwitchGrant> {
+            let mut grants = Vec::new();
+            self.allocate_into(requests, &mut grants);
+            grants
+        }
+
+        fn allocate_into(&mut self, requests: &SwitchRequests, out: &mut Vec<SwitchGrant>) {
+            assert_eq!(requests.ports(), self.ports);
+            assert_eq!(requests.vcs(), self.vcs);
+            out.clear();
+            if requests.is_empty() {
+                return;
+            }
+            requests.port_matrix_into(&mut self.port_reqs);
+            // Stage 1: each output arbitrates among all requesting inputs.
+            self.stage1.clear();
+            for o in 0..self.ports {
+                let w = self.output_arbs[o].arbitrate(&self.port_reqs.col(o));
+                self.stage1.push(w);
+            }
+            let stage1 = &self.stage1;
+            // Stage 2: each input picks a winning VC among those whose
+            // requested output was granted to it.
+            for i in 0..self.ports {
+                let mut candidates = Bits::new(self.vcs);
+                for v in 0..self.vcs {
+                    if let Some(o) = requests.get(i, v) {
+                        if stage1[o] == Some(i) {
+                            candidates.set(v, true);
+                        }
+                    }
+                }
+                if let Some(v) = self.vc_arbs[i].arbitrate(&candidates) {
+                    // `candidates` only carries VCs with a live request.
+                    let Some(o) = requests.get(i, v) else {
+                        continue;
+                    };
+                    out.push(SwitchGrant {
+                        in_port: i,
+                        vc: v,
+                        out_port: o,
+                    });
+                    self.vc_arbs[i].update(v);
+                    // Only the output whose grant was consumed updates.
+                    self.output_arbs[o].update(i);
+                }
+            }
+        }
+
+        fn reset(&mut self) {
+            for a in self.output_arbs.iter_mut().chain(&mut self.vc_arbs) {
+                a.reset();
+            }
+        }
+    }
+
+    /// Scalar wavefront switch allocator (scalar wavefront core + boxed
+    /// pre-selection arbiters).
+    pub struct WavefrontSwitchAllocator {
+        ports: usize,
+        vcs: usize,
+        wavefront: wavefront::reference::WavefrontAllocator,
+        presel: Vec<Box<dyn Arbiter + Send>>,
+        port_reqs: BitMatrix,
+        port_grants: BitMatrix,
+    }
+
+    impl WavefrontSwitchAllocator {
+        /// Scalar counterpart of [`super::WavefrontSwitchAllocator::new`].
+        pub fn new(ports: usize, vcs: usize) -> Self {
+            WavefrontSwitchAllocator {
+                ports,
+                vcs,
+                wavefront: wavefront::reference::WavefrontAllocator::new(ports, ports),
+                presel: (0..ports * ports)
+                    .map(|_| ArbiterKind::RoundRobin.build(vcs))
+                    .collect(),
+                port_reqs: BitMatrix::new(ports, ports),
+                port_grants: BitMatrix::new(ports, ports),
+            }
+        }
+    }
+
+    impl SwitchAllocator for WavefrontSwitchAllocator {
+        fn ports(&self) -> usize {
+            self.ports
+        }
+
+        fn vcs(&self) -> usize {
+            self.vcs
+        }
+
+        fn allocate(&mut self, requests: &SwitchRequests) -> Vec<SwitchGrant> {
+            let mut grants = Vec::new();
+            self.allocate_into(requests, &mut grants);
+            grants
+        }
+
+        fn allocate_into(&mut self, requests: &SwitchRequests, out: &mut Vec<SwitchGrant>) {
+            assert_eq!(requests.ports(), self.ports);
+            assert_eq!(requests.vcs(), self.vcs);
+            out.clear();
+            if requests.is_empty() {
+                return;
+            }
+            requests.port_matrix_into(&mut self.port_reqs);
+            self.wavefront
+                .allocate_into(&self.port_reqs, &mut self.port_grants);
+            let ports = self.ports;
+            let (port_grants, presel) = (&self.port_grants, &mut self.presel);
+            for (i, o) in port_grants.iter_set() {
+                let arb = &mut presel[i * ports + o];
+                // The wavefront core only grants port pairs that requested.
+                let Some(v) = arb.arbitrate(&requests.vcs_for_output(i, o)) else {
+                    debug_assert!(false, "wavefront granted a port pair with no requesting VC");
+                    continue;
+                };
+                arb.update(v);
+                out.push(SwitchGrant {
+                    in_port: i,
+                    vc: v,
+                    out_port: o,
+                });
+            }
+        }
+
+        fn reset(&mut self) {
+            self.wavefront.reset();
+            for a in &mut self.presel {
+                a.reset();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -646,5 +1079,8 @@ mod tests {
             r.vcs_for_output(0, 2).iter_set().collect::<Vec<_>>(),
             vec![1]
         );
+        assert_eq!(r.active_vcs_word(0), 0b11);
+        assert_eq!(r.vcs_for_output_word(0, 2), 0b10);
+        assert_eq!(r.vcs_for_output_word(1, 1), 0);
     }
 }

@@ -404,6 +404,22 @@ fn candidate_mask(
     mask
 }
 
+/// [`candidate_mask`] as a kernel word over VC indices at the destination
+/// port (`V <= 64`): free output VCs in the requested classes of the input
+/// VC's own message class.
+#[inline]
+fn candidate_word(spec: &VcAllocSpec, g: usize, req: &VcRequest, free_out: &BitMatrix) -> u64 {
+    let v = spec.total_vcs();
+    debug_assert!(v <= 64);
+    let (im, _, _) = spec.vc_class(g % v);
+    let class_ones = noc_arbiter::bits::width_mask(spec.vcs_per_class());
+    let mut class_bits = 0u64;
+    for &rc in &req.classes {
+        class_bits |= class_ones << spec.class_base(im, rc);
+    }
+    free_out.row(req.out_port).low_word() & class_bits
+}
+
 /// Separable VC allocator with the exact structure of Figures 3(a)/3(b).
 ///
 /// * **Input-first** (Figure 3(a)): each input VC's `V:1` *input arbiter*
@@ -420,21 +436,34 @@ fn candidate_mask(
 /// destination port* to use — which is what makes input-first allocation
 /// propagate more distinct requests into the wide second stage than
 /// output-first (§4.3.2).
+///
+/// Implemented as a `u64` kernel over contiguous [`noc_arbiter::ArbiterBank`]
+/// / [`noc_arbiter::TreeBank`] state whenever `P*V <= 64`; the boxed-arbiter
+/// scalar predecessor lives in [`reference`] and handles wider instances.
 pub struct SeparableVcAllocator {
     spec: VcAllocSpec,
     input_first: bool,
-    /// Per input VC (`P*V`): `V:1` arbiter over output-VC indices at the
-    /// destination port.
-    input_arbs: Vec<Box<dyn noc_arbiter::Arbiter + Send>>,
-    /// Per output VC (`P*V`): `P*V:1` *tree* arbiter over input VCs — `P`
-    /// `V`-input leaves plus a `P`-input root, the structure §4.1
-    /// prescribes for these wide arbiters.
-    output_arbs: Vec<Box<dyn noc_arbiter::Arbiter + Send>>,
-    /// Reusable stage-1 bid edge list `(out_flat, g)`.
-    bids: Vec<(usize, usize)>,
-    /// Reusable output-first stage-1 winner list and its per-input regroup.
-    stage1: Vec<(usize, usize)>,
-    by_input: Vec<(usize, usize)>,
+    inner: SepVcInner,
+}
+
+enum SepVcInner {
+    Kernel {
+        /// Per input VC (`P*V` of them): `V:1` arbiter over output-VC
+        /// indices at the destination port.
+        input: noc_arbiter::ArbiterBank,
+        /// Per output VC (`P*V` of them): `P*V:1` *tree* arbiter over input
+        /// VCs — `P` `V`-input leaves plus a `P`-input root, the structure
+        /// §4.1 prescribes for these wide arbiters.
+        output: noc_arbiter::TreeBank,
+        /// Bid accumulator: `incoming[out_flat]` bit `g` set iff input VC
+        /// `g` bids on output VC `out_flat`. All-zero between calls.
+        incoming: Vec<u64>,
+        /// Output-first stage-1 wins per input VC: `won[g]` bit `ov` set
+        /// iff output VC `ov` at `g`'s port chose `g`. All-zero between
+        /// calls.
+        won: Vec<u64>,
+    },
+    Reference(reference::SeparableVcAllocator),
 }
 
 impl SeparableVcAllocator {
@@ -442,22 +471,129 @@ impl SeparableVcAllocator {
     pub fn new(spec: VcAllocSpec, input_first: bool, kind: noc_arbiter::ArbiterKind) -> Self {
         let v = spec.total_vcs();
         let n = spec.ports() * v;
+        let inner = if n <= 64 {
+            SepVcInner::Kernel {
+                input: noc_arbiter::ArbiterBank::new(kind, n, v),
+                output: noc_arbiter::TreeBank::new(kind, n, spec.ports(), v),
+                incoming: vec![0; n],
+                won: vec![0; n],
+            }
+        } else {
+            SepVcInner::Reference(reference::SeparableVcAllocator::new(
+                spec.clone(),
+                input_first,
+                kind,
+            ))
+        };
         SeparableVcAllocator {
-            input_first,
-            input_arbs: (0..n).map(|_| kind.build(v)).collect(),
-            output_arbs: (0..n)
-                .map(|_| {
-                    Box::new(noc_arbiter::TreeArbiter::new(spec.ports(), v, kind))
-                        as Box<dyn noc_arbiter::Arbiter + Send>
-                })
-                .collect(),
             spec,
-            // One bid per input VC at most, so pre-sizing to `n` keeps the
-            // per-cycle scratch lists allocation-free.
-            bids: Vec::with_capacity(n),
-            stage1: Vec::with_capacity(n),
-            by_input: Vec::with_capacity(n),
+            input_first,
+            inner,
         }
+    }
+
+    fn kernel_allocate_into(
+        &mut self,
+        requests: &[Option<VcRequest>],
+        free_out: &BitMatrix,
+        results: &mut [Option<OutVc>],
+    ) {
+        let SepVcInner::Kernel {
+            input,
+            output,
+            incoming,
+            won,
+        } = &mut self.inner
+        else {
+            unreachable!()
+        };
+        let spec = &self.spec;
+        let v = spec.total_vcs();
+        let n = spec.ports() * v;
+
+        if self.input_first {
+            // Stage 1: each input VC picks one output VC at its port.
+            let mut pending = 0u64; // output VCs with >= 1 bid
+            for (g, req) in requests.iter().enumerate() {
+                let Some(req) = req else { continue };
+                validate_request(spec, g, req);
+                let mask = candidate_word(spec, g, req, free_out);
+                if let Some(ov) = input.arbitrate(g, mask) {
+                    let out_flat = req.out_port * v + ov;
+                    incoming[out_flat] |= 1 << g;
+                    pending |= 1 << out_flat;
+                }
+            }
+            // Stage 2: each bid-receiving output VC arbitrates, in the
+            // same ascending out_flat order as the scalar reference's
+            // sorted bid list.
+            while pending != 0 {
+                let out_flat = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let inc = incoming[out_flat];
+                incoming[out_flat] = 0;
+                if let Some(g) = output.arbitrate(out_flat, inc) {
+                    results[g] = Some(OutVc {
+                        port: out_flat / v,
+                        vc: out_flat % v,
+                    });
+                    input.update(g, out_flat % v);
+                    output.update(out_flat, g);
+                }
+            }
+        } else {
+            // Stage 1: each requested output VC arbitrates among all
+            // requesting input VCs.
+            let mut pending = 0u64; // output VCs with >= 1 bid
+            for (g, req) in requests.iter().enumerate() {
+                let Some(req) = req else { continue };
+                validate_request(spec, g, req);
+                let mut mask = candidate_word(spec, g, req, free_out);
+                while mask != 0 {
+                    let ov = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let out_flat = req.out_port * v + ov;
+                    incoming[out_flat] |= 1 << g;
+                    pending |= 1 << out_flat;
+                }
+            }
+            let mut chosen = 0u64; // input VCs chosen by >= 1 output VC
+            while pending != 0 {
+                let out_flat = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let inc = incoming[out_flat];
+                incoming[out_flat] = 0;
+                if let Some(g) = output.arbitrate(out_flat, inc) {
+                    // All of g's bids share its destination port, so the
+                    // local VC index suffices.
+                    won[g] |= 1 << (out_flat % v);
+                    chosen |= 1 << g;
+                }
+            }
+            // Stage 2: each chosen input VC picks among output VCs that
+            // chose it (ascending g, like the scalar regrouped sweep).
+            while chosen != 0 {
+                let g = chosen.trailing_zeros() as usize;
+                chosen &= chosen - 1;
+                let wmask = won[g];
+                won[g] = 0;
+                // Stage-1 winners can only come from live requests.
+                let Some(req) = requests[g].as_ref() else {
+                    continue;
+                };
+                if let Some(ov) = input.arbitrate(g, wmask) {
+                    let out_flat = req.out_port * v + ov;
+                    results[g] = Some(OutVc {
+                        port: req.out_port,
+                        vc: ov,
+                    });
+                    input.update(g, ov);
+                    output.update(out_flat, g);
+                }
+            }
+        }
+        debug_assert!(incoming.iter().all(|&w| w == 0) && won.iter().all(|&w| w == 0));
+        debug_assert_eq!(results.len(), n);
     }
 }
 
@@ -482,124 +618,23 @@ impl VcAllocator for SeparableVcAllocator {
         free_out: &BitMatrix,
         results: &mut Vec<Option<OutVc>>,
     ) {
-        // Split borrows so the arbiters can be driven mutably while the spec
-        // and scratch buffers are read — avoiding a per-cycle spec clone.
-        let SeparableVcAllocator {
-            spec,
-            input_first,
-            input_arbs,
-            output_arbs,
-            bids,
-            stage1,
-            by_input,
-        } = self;
-        let v = spec.total_vcs();
-        let n = spec.ports() * v;
+        let n = self.spec.ports() * self.spec.total_vcs();
         assert_eq!(requests.len(), n, "one request slot per input VC");
         results.clear();
         results.resize(n, None);
-
-        // Sparse edge list `(out_flat, g)` of stage-1 bids — iterating only
-        // requested outputs keeps allocation O(requests), which matters when
-        // this runs inside every router of a cycle-accurate simulation.
-        bids.clear();
-
-        if *input_first {
-            // Stage 1: each input VC picks one output VC at its port.
-            for (g, req) in requests.iter().enumerate() {
-                let Some(req) = req else { continue };
-                validate_request(spec, g, req);
-                let mask = candidate_mask(spec, g, req, free_out);
-                if let Some(ov) = input_arbs[g].arbitrate(&mask) {
-                    bids.push((req.out_port * v + ov, g));
-                }
-            }
-            // Stage 2: each bid-receiving output VC arbitrates.
-            bids.sort_unstable();
-            let mut i = 0;
-            while i < bids.len() {
-                let out_flat = bids[i].0;
-                let mut incoming = noc_arbiter::Bits::new(n);
-                let mut j = i;
-                while j < bids.len() && bids[j].0 == out_flat {
-                    incoming.set(bids[j].1, true);
-                    j += 1;
-                }
-                i = j;
-                if let Some(g) = output_arbs[out_flat].arbitrate(&incoming) {
-                    results[g] = Some(OutVc {
-                        port: out_flat / v,
-                        vc: out_flat % v,
-                    });
-                    input_arbs[g].update(out_flat % v);
-                    output_arbs[out_flat].update(g);
-                }
-            }
-        } else {
-            // Stage 1: each requested output VC arbitrates among all
-            // requesting input VCs.
-            for (g, req) in requests.iter().enumerate() {
-                let Some(req) = req else { continue };
-                validate_request(spec, g, req);
-                let mask = candidate_mask(spec, g, req, free_out);
-                for ov in mask.iter_set() {
-                    bids.push((req.out_port * v + ov, g));
-                }
-            }
-            bids.sort_unstable();
-            stage1.clear(); // (out_flat, winner g)
-            let mut i = 0;
-            while i < bids.len() {
-                let out_flat = bids[i].0;
-                let mut incoming = noc_arbiter::Bits::new(n);
-                let mut j = i;
-                while j < bids.len() && bids[j].0 == out_flat {
-                    incoming.set(bids[j].1, true);
-                    j += 1;
-                }
-                i = j;
-                if let Some(g) = output_arbs[out_flat].arbitrate(&incoming) {
-                    stage1.push((out_flat, g));
-                }
-            }
-            // Stage 2: each input VC picks among output VCs that chose it.
-            by_input.clear();
-            by_input.extend(stage1.iter().map(|&(out_flat, g)| (g, out_flat)));
-            by_input.sort_unstable();
-            let mut i = 0;
-            while i < by_input.len() {
-                let g = by_input[i].0;
-                let mut j = i;
-                while j < by_input.len() && by_input[j].0 == g {
-                    j += 1;
-                }
-                // Stage-1 winners can only come from live requests.
-                let Some(req) = requests[g].as_ref() else {
-                    i = j;
-                    continue;
-                };
-                let mut won = noc_arbiter::Bits::new(v);
-                for k in i..j {
-                    debug_assert_eq!(by_input[k].1 / v, req.out_port);
-                    won.set(by_input[k].1 % v, true);
-                }
-                i = j;
-                if let Some(ov) = input_arbs[g].arbitrate(&won) {
-                    let out_flat = req.out_port * v + ov;
-                    results[g] = Some(OutVc {
-                        port: req.out_port,
-                        vc: ov,
-                    });
-                    input_arbs[g].update(ov);
-                    output_arbs[out_flat].update(g);
-                }
-            }
+        match &mut self.inner {
+            SepVcInner::Kernel { .. } => self.kernel_allocate_into(requests, free_out, results),
+            SepVcInner::Reference(r) => r.allocate_into(requests, free_out, results),
         }
     }
 
     fn reset(&mut self) {
-        for a in self.input_arbs.iter_mut().chain(&mut self.output_arbs) {
-            a.reset();
+        match &mut self.inner {
+            SepVcInner::Kernel { input, output, .. } => {
+                input.reset();
+                output.reset();
+            }
+            SepVcInner::Reference(r) => r.reset(),
         }
     }
 }
@@ -612,6 +647,9 @@ pub struct MatrixVcAllocator {
     inner: Box<dyn Allocator + Send>,
     /// Reusable `P*V × P*V` request matrix.
     matrix: BitMatrix,
+    /// Reusable `P*V × P*V` grant matrix, filled via
+    /// [`Allocator::allocate_into`] so kernel-backed cores stay zero-alloc.
+    grants: BitMatrix,
 }
 
 impl MatrixVcAllocator {
@@ -623,6 +661,19 @@ impl MatrixVcAllocator {
             spec,
             inner: kind.build(n, n),
             matrix: BitMatrix::new(n, n),
+            grants: BitMatrix::new(n, n),
+        }
+    }
+
+    /// [`MatrixVcAllocator::new`] over the scalar-reference core allocator
+    /// ([`AllocatorKind::build_reference`]) — for the differential tests.
+    pub fn new_reference(spec: VcAllocSpec, kind: AllocatorKind) -> Self {
+        let n = spec.ports() * spec.total_vcs();
+        MatrixVcAllocator {
+            spec,
+            inner: kind.build_reference(n, n),
+            matrix: BitMatrix::new(n, n),
+            grants: BitMatrix::new(n, n),
         }
     }
 }
@@ -664,7 +715,8 @@ impl VcAllocator for MatrixVcAllocator {
                 self.matrix.set(g, req.out_port * v + ov, true);
             }
         }
-        let grants = self.inner.allocate(&self.matrix);
+        self.inner.allocate_into(&self.matrix, &mut self.grants);
+        let grants = &self.grants;
         results.clear();
         results.extend((0..n).map(|g| {
             grants.row(g).first_set().map(|col| OutVc {
@@ -699,6 +751,31 @@ impl DenseVcAllocator {
             AllocatorKind::SepOfRr => Box::new(SeparableVcAllocator::new(spec, false, RoundRobin)),
             AllocatorKind::Wavefront | AllocatorKind::MaxSize => {
                 Box::new(MatrixVcAllocator::new(spec, kind))
+            }
+        };
+        DenseVcAllocator { kind, inner }
+    }
+
+    /// [`DenseVcAllocator::new`] built entirely from scalar-reference
+    /// implementations (sort-based separable stages, element-wise cores) —
+    /// the oracle side of the differential test layer.
+    pub fn new_reference(spec: VcAllocSpec, kind: AllocatorKind) -> Self {
+        use noc_arbiter::ArbiterKind::{Matrix, RoundRobin};
+        let inner: Box<dyn VcAllocator + Send> = match kind {
+            AllocatorKind::SepIfMatrix => {
+                Box::new(reference::SeparableVcAllocator::new(spec, true, Matrix))
+            }
+            AllocatorKind::SepIfRr => {
+                Box::new(reference::SeparableVcAllocator::new(spec, true, RoundRobin))
+            }
+            AllocatorKind::SepOfMatrix => {
+                Box::new(reference::SeparableVcAllocator::new(spec, false, Matrix))
+            }
+            AllocatorKind::SepOfRr => Box::new(reference::SeparableVcAllocator::new(
+                spec, false, RoundRobin,
+            )),
+            AllocatorKind::Wavefront | AllocatorKind::MaxSize => {
+                Box::new(MatrixVcAllocator::new_reference(spec, kind))
             }
         };
         DenseVcAllocator { kind, inner }
@@ -966,6 +1043,205 @@ impl VcAllocator for SparseVcAllocator {
     fn reset(&mut self) {
         for s in &mut self.subs {
             s.reset();
+        }
+    }
+}
+
+/// Scalar predecessors of the bit-parallel VC-allocation kernels, kept
+/// alive as differential-testing oracles (and as the wide-instance
+/// fallback when `P*V > 64`). Element-wise `Bits` masks and sort-based
+/// bid grouping instead of `u64` words and ctz sweeps.
+pub mod reference {
+    use super::{
+        candidate_mask, validate_request, BitMatrix, OutVc, VcAllocSpec, VcAllocator, VcRequest,
+    };
+
+    /// Scalar separable VC allocator: boxed per-arbiter state and a sorted
+    /// `(out_flat, g)` bid edge list where the kernel uses
+    /// [`noc_arbiter::ArbiterBank`] words and a pending mask. Grant- and
+    /// priority-identical to the kernel by construction: the sorted group
+    /// sweep visits output VCs in ascending `out_flat` order, exactly the
+    /// kernel's ctz pop order over its pending mask.
+    pub struct SeparableVcAllocator {
+        spec: VcAllocSpec,
+        input_first: bool,
+        /// Per input VC (`P*V`): `V:1` arbiter over output-VC indices at the
+        /// destination port.
+        input_arbs: Vec<Box<dyn noc_arbiter::Arbiter + Send>>,
+        /// Per output VC (`P*V`): `P*V:1` *tree* arbiter over input VCs.
+        output_arbs: Vec<Box<dyn noc_arbiter::Arbiter + Send>>,
+        /// Reusable stage-1 bid edge list `(out_flat, g)`.
+        bids: Vec<(usize, usize)>,
+        /// Reusable output-first stage-1 winner list and its per-input
+        /// regroup.
+        stage1: Vec<(usize, usize)>,
+        by_input: Vec<(usize, usize)>,
+    }
+
+    impl SeparableVcAllocator {
+        /// Builds the Figure 3 structure with the given arbiter kind.
+        pub fn new(spec: VcAllocSpec, input_first: bool, kind: noc_arbiter::ArbiterKind) -> Self {
+            let v = spec.total_vcs();
+            let n = spec.ports() * v;
+            SeparableVcAllocator {
+                input_first,
+                input_arbs: (0..n).map(|_| kind.build(v)).collect(),
+                output_arbs: (0..n)
+                    .map(|_| {
+                        Box::new(noc_arbiter::TreeArbiter::new(spec.ports(), v, kind))
+                            as Box<dyn noc_arbiter::Arbiter + Send>
+                    })
+                    .collect(),
+                spec,
+                // One bid per input VC at most, so pre-sizing to `n` keeps
+                // the per-cycle scratch lists allocation-free.
+                bids: Vec::with_capacity(n),
+                stage1: Vec::with_capacity(n),
+                by_input: Vec::with_capacity(n),
+            }
+        }
+    }
+
+    impl VcAllocator for SeparableVcAllocator {
+        fn spec(&self) -> &VcAllocSpec {
+            &self.spec
+        }
+
+        fn allocate(
+            &mut self,
+            requests: &[Option<VcRequest>],
+            free_out: &BitMatrix,
+        ) -> Vec<Option<OutVc>> {
+            let mut results = Vec::new();
+            self.allocate_into(requests, free_out, &mut results);
+            results
+        }
+
+        fn allocate_into(
+            &mut self,
+            requests: &[Option<VcRequest>],
+            free_out: &BitMatrix,
+            results: &mut Vec<Option<OutVc>>,
+        ) {
+            // Split borrows so the arbiters can be driven mutably while the
+            // spec and scratch buffers are read.
+            let SeparableVcAllocator {
+                spec,
+                input_first,
+                input_arbs,
+                output_arbs,
+                bids,
+                stage1,
+                by_input,
+            } = self;
+            let v = spec.total_vcs();
+            let n = spec.ports() * v;
+            assert_eq!(requests.len(), n, "one request slot per input VC");
+            results.clear();
+            results.resize(n, None);
+
+            // Sparse edge list `(out_flat, g)` of stage-1 bids — iterating
+            // only requested outputs keeps work O(requests).
+            bids.clear();
+
+            if *input_first {
+                // Stage 1: each input VC picks one output VC at its port.
+                for (g, req) in requests.iter().enumerate() {
+                    let Some(req) = req else { continue };
+                    validate_request(spec, g, req);
+                    let mask = candidate_mask(spec, g, req, free_out);
+                    if let Some(ov) = input_arbs[g].arbitrate(&mask) {
+                        bids.push((req.out_port * v + ov, g));
+                    }
+                }
+                // Stage 2: each bid-receiving output VC arbitrates.
+                bids.sort_unstable();
+                let mut i = 0;
+                while i < bids.len() {
+                    let out_flat = bids[i].0;
+                    let mut incoming = noc_arbiter::Bits::new(n);
+                    let mut j = i;
+                    while j < bids.len() && bids[j].0 == out_flat {
+                        incoming.set(bids[j].1, true);
+                        j += 1;
+                    }
+                    i = j;
+                    if let Some(g) = output_arbs[out_flat].arbitrate(&incoming) {
+                        results[g] = Some(OutVc {
+                            port: out_flat / v,
+                            vc: out_flat % v,
+                        });
+                        input_arbs[g].update(out_flat % v);
+                        output_arbs[out_flat].update(g);
+                    }
+                }
+            } else {
+                // Stage 1: each requested output VC arbitrates among all
+                // requesting input VCs.
+                for (g, req) in requests.iter().enumerate() {
+                    let Some(req) = req else { continue };
+                    validate_request(spec, g, req);
+                    let mask = candidate_mask(spec, g, req, free_out);
+                    for ov in mask.iter_set() {
+                        bids.push((req.out_port * v + ov, g));
+                    }
+                }
+                bids.sort_unstable();
+                stage1.clear(); // (out_flat, winner g)
+                let mut i = 0;
+                while i < bids.len() {
+                    let out_flat = bids[i].0;
+                    let mut incoming = noc_arbiter::Bits::new(n);
+                    let mut j = i;
+                    while j < bids.len() && bids[j].0 == out_flat {
+                        incoming.set(bids[j].1, true);
+                        j += 1;
+                    }
+                    i = j;
+                    if let Some(g) = output_arbs[out_flat].arbitrate(&incoming) {
+                        stage1.push((out_flat, g));
+                    }
+                }
+                // Stage 2: each input VC picks among output VCs that chose
+                // it.
+                by_input.clear();
+                by_input.extend(stage1.iter().map(|&(out_flat, g)| (g, out_flat)));
+                by_input.sort_unstable();
+                let mut i = 0;
+                while i < by_input.len() {
+                    let g = by_input[i].0;
+                    let mut j = i;
+                    while j < by_input.len() && by_input[j].0 == g {
+                        j += 1;
+                    }
+                    // Stage-1 winners can only come from live requests.
+                    let Some(req) = requests[g].as_ref() else {
+                        i = j;
+                        continue;
+                    };
+                    let mut won = noc_arbiter::Bits::new(v);
+                    for k in i..j {
+                        debug_assert_eq!(by_input[k].1 / v, req.out_port);
+                        won.set(by_input[k].1 % v, true);
+                    }
+                    i = j;
+                    if let Some(ov) = input_arbs[g].arbitrate(&won) {
+                        let out_flat = req.out_port * v + ov;
+                        results[g] = Some(OutVc {
+                            port: req.out_port,
+                            vc: ov,
+                        });
+                        input_arbs[g].update(ov);
+                        output_arbs[out_flat].update(g);
+                    }
+                }
+            }
+        }
+
+        fn reset(&mut self) {
+            for a in self.input_arbs.iter_mut().chain(&mut self.output_arbs) {
+                a.reset();
+            }
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Wavefront allocator (§2.2).
 
 use crate::{Allocator, BitMatrix};
-use noc_arbiter::Bits;
+use noc_arbiter::bits::{rotl_width, width_mask};
 
 /// Wavefront allocator (`wf`), after Tamir & Chi's wrapped wavefront
 /// arbiter.
@@ -89,19 +89,67 @@ impl WavefrontAllocator {
         assert_eq!(requests.num_cols(), self.resources);
         assert_eq!(grants.num_rows(), self.requesters);
         assert_eq!(grants.num_cols(), self.resources);
-        let n = self.n;
         grants.clear();
-        let mut row_free = Bits::ones(n);
-        let mut col_free = Bits::ones(n);
+        if self.n <= 64 {
+            self.kernel_with_diagonal_into(requests, start, grants);
+        } else {
+            reference::wavefront_with_diagonal_into(
+                self.requesters,
+                self.resources,
+                requests,
+                start,
+                grants,
+            );
+        }
+    }
+
+    /// The `u64` diagonal-propagation kernel (`n <= 64`).
+    ///
+    /// Rotating row `i` of the request matrix left by `i` (mod `n`) moves
+    /// bit `j` to position `(i + j) mod n` — the index of the wrapped
+    /// diagonal through `(i, j)`. Scattering the rotated rows into per-
+    /// diagonal *row masks* (`diag[d]` bit `i` set iff requester `i` has a
+    /// request on diagonal `d`) turns the wavefront sweep into: for each
+    /// diagonal from `start`, take `diag[d] & row_free`, pop rows in ctz
+    /// order, and grant where the implied column is still free. Entries on
+    /// one diagonal touch each row and column at most once, so the pop
+    /// order within a diagonal cannot change the outcome — the grant set is
+    /// identical to the scalar reference sweep, which the differential
+    /// suite asserts exhaustively.
+    fn kernel_with_diagonal_into(
+        &self,
+        requests: &BitMatrix,
+        start: usize,
+        grants: &mut BitMatrix,
+    ) {
+        let n = self.n;
+        let mut diag = [0u64; 64];
+        for i in 0..self.requesters {
+            let mut r = rotl_width(requests.row(i).low_word(), i, n);
+            while r != 0 {
+                let d = r.trailing_zeros() as usize;
+                r &= r - 1;
+                diag[d] |= 1 << i;
+            }
+        }
+        let mut row_free = width_mask(self.requesters);
+        let mut col_free = width_mask(self.resources);
         for k in 0..n {
+            if row_free == 0 || col_free == 0 {
+                break;
+            }
             let d = (start + k) % n;
-            // Entries (i, j) with (i + j) mod n == d.
-            for i in 0..self.requesters {
-                let j = (d + n - i % n) % n;
-                if j < self.resources && row_free.get(i) && col_free.get(j) && requests.get(i, j) {
+            let mut cand = diag[d] & row_free;
+            while cand != 0 && col_free != 0 {
+                let i = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                // Bits in `diag` come only from real requests, so `j` is
+                // always a legal column (< resources).
+                let j = (d + n - i) % n;
+                if col_free >> j & 1 != 0 {
                     grants.set(i, j, true);
-                    row_free.set(i, false);
-                    col_free.set(j, false);
+                    row_free &= !(1u64 << i);
+                    col_free &= !(1u64 << j);
                 }
             }
         }
@@ -134,8 +182,114 @@ impl Allocator for WavefrontAllocator {
         g
     }
 
+    fn allocate_into(&mut self, requests: &BitMatrix, grants: &mut BitMatrix) {
+        WavefrontAllocator::allocate_into(self, requests, grants);
+    }
+
     fn reset(&mut self) {
         self.diagonal = 0;
+    }
+}
+
+/// The scalar predecessor of the bit kernel, kept alive so the two can be
+/// driven differentially (and as the only path for `n > 64` arrays, which
+/// exceed the kernel word).
+pub mod reference {
+    use crate::{Allocator, BitMatrix};
+    use noc_arbiter::Bits;
+
+    /// Scalar wavefront sweep: walk diagonals from `start`, visiting rows
+    /// in index order within each diagonal, granting where both the row and
+    /// the implied column are still free.
+    pub fn wavefront_with_diagonal_into(
+        requesters: usize,
+        resources: usize,
+        requests: &BitMatrix,
+        start: usize,
+        grants: &mut BitMatrix,
+    ) {
+        let n = requesters.max(resources);
+        let mut row_free = Bits::ones(n);
+        let mut col_free = Bits::ones(n);
+        for k in 0..n {
+            let d = (start + k) % n;
+            // Entries (i, j) with (i + j) mod n == d.
+            for i in 0..requesters {
+                let j = (d + n - i % n) % n;
+                if j < resources && row_free.get(i) && col_free.get(j) && requests.get(i, j) {
+                    grants.set(i, j, true);
+                    row_free.set(i, false);
+                    col_free.set(j, false);
+                }
+            }
+        }
+    }
+
+    /// Scalar wavefront allocator: identical rotating-diagonal state to the
+    /// kernel-backed [`super::WavefrontAllocator`], scalar sweep inside.
+    pub struct WavefrontAllocator {
+        requesters: usize,
+        resources: usize,
+        n: usize,
+        diagonal: usize,
+        policy: super::DiagonalPolicy,
+    }
+
+    impl WavefrontAllocator {
+        /// Scalar counterpart of [`super::WavefrontAllocator::new`].
+        pub fn new(requesters: usize, resources: usize) -> Self {
+            Self::with_policy(requesters, resources, super::DiagonalPolicy::Rotating)
+        }
+
+        /// Scalar counterpart of [`super::WavefrontAllocator::with_policy`].
+        pub fn with_policy(
+            requesters: usize,
+            resources: usize,
+            policy: super::DiagonalPolicy,
+        ) -> Self {
+            assert!(requesters > 0 && resources > 0);
+            WavefrontAllocator {
+                requesters,
+                resources,
+                n: requesters.max(resources),
+                diagonal: 0,
+                policy,
+            }
+        }
+    }
+
+    impl Allocator for WavefrontAllocator {
+        fn num_requesters(&self) -> usize {
+            self.requesters
+        }
+
+        fn num_resources(&self) -> usize {
+            self.resources
+        }
+
+        fn allocate(&mut self, requests: &BitMatrix) -> BitMatrix {
+            let mut grants = BitMatrix::new(self.requesters, self.resources);
+            self.allocate_into(requests, &mut grants);
+            grants
+        }
+
+        fn allocate_into(&mut self, requests: &BitMatrix, grants: &mut BitMatrix) {
+            grants.clear();
+            wavefront_with_diagonal_into(
+                self.requesters,
+                self.resources,
+                requests,
+                self.diagonal,
+                grants,
+            );
+            if self.policy == super::DiagonalPolicy::Rotating {
+                self.diagonal = (self.diagonal + 1) % self.n;
+            }
+        }
+
+        fn reset(&mut self) {
+            self.diagonal = 0;
+        }
     }
 }
 

@@ -1,0 +1,333 @@
+//! Differential test layer: bit-parallel allocator kernels vs their scalar
+//! reference predecessors.
+//!
+//! Every allocator in this crate exists twice — the `u64` kernel behind the
+//! public constructors and the element-wise scalar implementation preserved
+//! in the per-module `reference` submodules. This suite drives both sides
+//! with identical request streams and asserts grant-identical behaviour:
+//!
+//! * exhaustively, over **every** request matrix up to 4×4 for all five
+//!   paper allocator variants, across multi-round priority-rotation
+//!   sequences;
+//! * randomly (via the vendored proptest shim), over 5×5–16×16 matrices,
+//!   with matrix-case minimization on failure;
+//! * at the switch-allocation layer (per-VC request matrices, including the
+//!   wavefront pre-selection arbiters);
+//! * at the VC-allocation layer, with sparse free-VC masks and the class
+//!   legality structure;
+//! * at the speculation layer, where the AND-NOT masking kernel must agree
+//!   with the scalar `Vec<bool>` masking for every mode.
+//!
+//! Priority state is part of the contract: each comparison drives one
+//! allocator pair through a whole sequence of rounds, so a single divergent
+//! pointer update surfaces as a grant mismatch in a later round even if the
+//! grants of the divergent round happen to coincide.
+
+use noc_core::{
+    AllocatorKind, BitMatrix, DenseVcAllocator, SpecAllocResult, SpecMode,
+    SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchGrant, SwitchRequests, VcAllocSpec,
+    VcAllocator, VcRequest,
+};
+use proptest::prelude::*;
+
+/// Drives kernel and reference allocators of `kind` through `rounds`
+/// identical allocation rounds of `requests`, returning the first round
+/// whose grant matrices differ.
+fn first_mismatch(kind: AllocatorKind, requests: &BitMatrix, rounds: usize) -> Option<usize> {
+    let (r, c) = (requests.num_rows(), requests.num_cols());
+    let mut kernel = kind.build(r, c);
+    let mut reference = kind.build_reference(r, c);
+    (0..rounds).find(|_| kernel.allocate(requests) != reference.allocate(requests))
+}
+
+/// Exhaustive differential sweep: every request matrix with `r * c` entry
+/// bits, three rounds per matrix so rotated priorities are compared too.
+fn exhaustive_dims(kind: AllocatorKind, r: usize, c: usize) {
+    for pattern in 0u32..1 << (r * c) {
+        let requests = BitMatrix::from_entries(
+            r,
+            c,
+            (0..r * c)
+                .filter(|i| pattern >> i & 1 != 0)
+                .map(|i| (i / c, i % c)),
+        );
+        if let Some(round) = first_mismatch(kind, &requests, 3) {
+            panic!(
+                "{}: kernel and reference grants diverge at round {round} on {r}x{c} \
+                 pattern {pattern:#x}:\n{requests:?}",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_small_matrices_all_variants() {
+    for kind in AllocatorKind::COST_FIGURE_KINDS {
+        for r in 1..=4 {
+            for c in 1..=4 {
+                exhaustive_dims(kind, r, c);
+            }
+        }
+    }
+}
+
+/// A full multi-round sequence of *distinct* matrices: priority state
+/// carried across rounds must evolve identically on both sides.
+fn sequence_matches(kind: AllocatorKind, seq: &[BitMatrix]) -> bool {
+    let Some(first) = seq.first() else {
+        return true;
+    };
+    let (r, c) = (first.num_rows(), first.num_cols());
+    let mut kernel = kind.build(r, c);
+    let mut reference = kind.build_reference(r, c);
+    seq.iter()
+        .all(|m| kernel.allocate(m) == reference.allocate(m))
+}
+
+fn bits_to_matrix(bits: &[Vec<bool>]) -> BitMatrix {
+    let r = bits.len();
+    let c = bits.first().map_or(0, Vec::len);
+    BitMatrix::from_entries(
+        r,
+        c,
+        (0..r).flat_map(|i| (0..c).filter_map(move |j| bits[i][j].then_some((i, j)))),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Random larger matrices (5×5–16×16), one matrix repeated across
+    // rounds. On failure the matrix is minimized with the proptest shim's
+    // matrix minimizer before being reported.
+    #[test]
+    fn random_large_matrices_all_variants(
+        (r, c) in (5usize..=16, 5usize..=16),
+        density in 0.05f64..0.9,
+        seed in proptest::num::u64::ANY,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bits: Vec<Vec<bool>> =
+            (0..r).map(|_| (0..c).map(|_| rng.gen_bool(density)).collect()).collect();
+        for kind in AllocatorKind::COST_FIGURE_KINDS {
+            let fails = |b: &[Vec<bool>]| first_mismatch(kind, &bits_to_matrix(b), 5).is_some();
+            if fails(&bits) {
+                let min = proptest::minimize::matrix(bits.clone(), fails);
+                panic!(
+                    "{}: kernel and reference grants diverge on {r}x{c}; minimized \
+                     counterexample:\n{}",
+                    kind.label(),
+                    proptest::minimize::render(&min)
+                );
+            }
+        }
+    }
+
+    // Random multi-round sequences of *different* matrices, so divergent
+    // priority updates in early rounds surface later.
+    #[test]
+    fn random_round_sequences_all_variants(
+        (r, c) in (5usize..=12, 5usize..=12),
+        rounds in 2usize..=10,
+        density in 0.1f64..0.8,
+        seed in proptest::num::u64::ANY,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let seq: Vec<BitMatrix> = (0..rounds)
+            .map(|_| {
+                BitMatrix::from_entries(r, c, (0..r).flat_map(|i| {
+                    (0..c).filter(|_| rng.gen_bool(density)).map(move |j| (i, j)).collect::<Vec<_>>()
+                }))
+            })
+            .collect();
+        for kind in AllocatorKind::COST_FIGURE_KINDS {
+            prop_assert!(
+                sequence_matches(kind, &seq),
+                "{}: diverged on a {rounds}-round {r}x{c} sequence (seed {seed})",
+                kind.label()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Switch allocation
+// ---------------------------------------------------------------------------
+
+const SWITCH_KINDS: [SwitchAllocatorKind; 5] = [
+    SwitchAllocatorKind::SepIf(noc_arbiter::ArbiterKind::RoundRobin),
+    SwitchAllocatorKind::SepIf(noc_arbiter::ArbiterKind::Matrix),
+    SwitchAllocatorKind::SepOf(noc_arbiter::ArbiterKind::RoundRobin),
+    SwitchAllocatorKind::SepOf(noc_arbiter::ArbiterKind::Matrix),
+    SwitchAllocatorKind::Wavefront,
+];
+
+fn sorted(mut grants: Vec<SwitchGrant>) -> Vec<SwitchGrant> {
+    grants.sort_by_key(|g| (g.in_port, g.vc, g.out_port));
+    grants
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Switch allocators: kernel vs scalar reference over random per-VC
+    // request matrices, multi-round.
+    #[test]
+    fn switch_allocators_match_reference(
+        (ports, vcs) in (2usize..=8, 1usize..=6),
+        rounds in 1usize..=8,
+        density in 0.05f64..0.9,
+        seed in proptest::num::u64::ANY,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut streams: Vec<SwitchRequests> = Vec::new();
+        for _ in 0..rounds {
+            let mut reqs = SwitchRequests::new(ports, vcs);
+            for p in 0..ports {
+                for v in 0..vcs {
+                    if rng.gen_bool(density) {
+                        reqs.request(p, v, rng.gen_range(0..ports));
+                    }
+                }
+            }
+            streams.push(reqs);
+        }
+        for kind in SWITCH_KINDS {
+            let mut kernel = kind.build(ports, vcs);
+            let mut reference = kind.build_reference(ports, vcs);
+            for (round, reqs) in streams.iter().enumerate() {
+                let kg = sorted(kernel.allocate(reqs));
+                let rg = sorted(reference.allocate(reqs));
+                prop_assert_eq!(
+                    &kg, &rg,
+                    "{:?}: switch grants diverge at round {} ({}p, {}v, seed {})",
+                    kind, round, ports, vcs, seed
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VC allocation (sparse free-VC masks, class legality)
+// ---------------------------------------------------------------------------
+
+/// Random legal VC-allocation workload for `spec`: per input VC an optional
+/// request to a random port with a random legal successor class, plus a
+/// sparse random free-VC mask.
+fn random_vc_workload(
+    spec: &VcAllocSpec,
+    rng: &mut impl rand::Rng,
+    req_rate: f64,
+    free_rate: f64,
+) -> (Vec<Option<VcRequest>>, BitMatrix) {
+    let v = spec.total_vcs();
+    let n = spec.ports() * v;
+    let reqs: Vec<Option<VcRequest>> = (0..n)
+        .map(|g| {
+            rng.gen_bool(req_rate).then(|| {
+                let (_, ir, _) = spec.vc_class(g % v);
+                let succ = spec.rc_successors(ir);
+                let class = succ[rng.gen_range(0..succ.len())];
+                VcRequest::one_class(rng.gen_range(0..spec.ports()), class)
+            })
+        })
+        .collect();
+    let mut free = BitMatrix::new(spec.ports(), v);
+    for p in 0..spec.ports() {
+        for vc in 0..v {
+            if rng.gen_bool(free_rate) {
+                free.set(p, vc, true);
+            }
+        }
+    }
+    (reqs, free)
+}
+
+#[test]
+fn vc_allocators_match_reference_under_sparse_masks() {
+    use rand::SeedableRng;
+    let specs = [
+        VcAllocSpec::mesh(1),
+        VcAllocSpec::mesh(2),
+        VcAllocSpec::mesh(4),
+        VcAllocSpec::torus(2),
+        VcAllocSpec::fbfly(1),
+        // P*V = 80 > 64: both sides take the scalar path — kept in the
+        // sweep so the wide-instance fallback stays covered.
+        VcAllocSpec::fbfly(2),
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+    for spec in specs {
+        for kind in AllocatorKind::COST_FIGURE_KINDS {
+            let mut kernel = DenseVcAllocator::new(spec.clone(), kind);
+            let mut reference = DenseVcAllocator::new_reference(spec.clone(), kind);
+            // Sparse masks: sweep the free-VC density from nearly-empty to
+            // nearly-full while priority state carries across rounds.
+            for round in 0..40 {
+                let free_rate = 0.1 + 0.8 * (round as f64 / 39.0);
+                let (reqs, free) = random_vc_workload(&spec, &mut rng, 0.6, free_rate);
+                let kg = kernel.allocate(&reqs, &free);
+                let rg = reference.allocate(&reqs, &free);
+                assert_eq!(
+                    kg,
+                    rg,
+                    "{}: VC grants diverge at round {round} (spec {}p x {}v)",
+                    kind.label(),
+                    spec.ports(),
+                    spec.total_vcs()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Speculative / non-speculative interaction
+// ---------------------------------------------------------------------------
+
+fn sorted_result(mut r: SpecAllocResult) -> SpecAllocResult {
+    r.nonspec.sort_by_key(|g| (g.in_port, g.vc, g.out_port));
+    r.spec.sort_by_key(|g| (g.in_port, g.vc, g.out_port));
+    r.masked.sort_by_key(|g| (g.in_port, g.vc, g.out_port));
+    r
+}
+
+#[test]
+fn speculative_allocation_matches_reference_for_every_mode() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9c0de);
+    for mode in SpecMode::ALL {
+        for kind in SWITCH_KINDS {
+            let (ports, vcs) = (5, 4);
+            let mut kernel = SpeculativeSwitchAllocator::new(kind, ports, vcs, mode);
+            let mut reference = SpeculativeSwitchAllocator::new_reference(kind, ports, vcs, mode);
+            for round in 0..60 {
+                let mut draw = |rate: f64| {
+                    let mut reqs = SwitchRequests::new(ports, vcs);
+                    for p in 0..ports {
+                        for v in 0..vcs {
+                            if rng.gen_bool(rate) {
+                                reqs.request(p, v, rng.gen_range(0..ports));
+                            }
+                        }
+                    }
+                    reqs
+                };
+                let ns = draw(0.35);
+                let sp = draw(0.35);
+                let kr = sorted_result(kernel.allocate(&ns, &sp));
+                let rr = sorted_result(reference.allocate(&ns, &sp));
+                assert_eq!(
+                    (&kr.nonspec, &kr.spec, &kr.masked),
+                    (&rr.nonspec, &rr.spec, &rr.masked),
+                    "{mode:?}/{kind:?}: speculative allocation diverges at round {round}"
+                );
+            }
+        }
+    }
+}

@@ -314,6 +314,95 @@ pub mod option {
     }
 }
 
+pub mod minimize {
+    //! Minimal-input search for failing matrix cases.
+    //!
+    //! The shim's `proptest!` macro has no shrinking, which makes a failing
+    //! 16×16 request matrix nearly unreadable. Matrix-shaped properties can
+    //! instead minimize by hand: on failure, call [`matrix`] with a
+    //! predicate that re-runs the property, and report the stripped-down
+    //! counterexample. Dimensions are preserved (allocator priority state
+    //! depends on them); minimization clears entries, never resizes.
+
+    /// Greedily minimizes a failing boolean matrix under `still_fails`.
+    ///
+    /// Strips whole rows first, then whole columns, then individual set
+    /// bits, repeating to a fixpoint. The result still satisfies
+    /// `still_fails` and is 1-minimal: clearing any single remaining set
+    /// bit no longer reproduces the failure. The predicate must be pure
+    /// per call (construct fresh state inside it); it is called many times.
+    ///
+    /// `m` must be rectangular and must fail on entry — otherwise the
+    /// original matrix is returned unchanged.
+    pub fn matrix<F>(mut m: Vec<Vec<bool>>, mut still_fails: F) -> Vec<Vec<bool>>
+    where
+        F: FnMut(&[Vec<bool>]) -> bool,
+    {
+        if !still_fails(&m) {
+            return m;
+        }
+        let cols = m.first().map_or(0, Vec::len);
+        loop {
+            let mut changed = false;
+            // Whole rows: the biggest bite first.
+            for r in 0..m.len() {
+                if m[r].iter().any(|&b| b) {
+                    let saved = std::mem::replace(&mut m[r], vec![false; cols]);
+                    if still_fails(&m) {
+                        changed = true;
+                    } else {
+                        m[r] = saved;
+                    }
+                }
+            }
+            // Whole columns.
+            for c in 0..cols {
+                if m.iter().any(|row| row[c]) {
+                    let saved: Vec<bool> = m.iter().map(|row| row[c]).collect();
+                    for row in &mut m {
+                        row[c] = false;
+                    }
+                    if still_fails(&m) {
+                        changed = true;
+                    } else {
+                        for (row, &b) in m.iter_mut().zip(&saved) {
+                            row[c] = b;
+                        }
+                    }
+                }
+            }
+            // Individual bits.
+            for r in 0..m.len() {
+                for c in 0..cols {
+                    if m[r][c] {
+                        m[r][c] = false;
+                        if still_fails(&m) {
+                            changed = true;
+                        } else {
+                            m[r][c] = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return m;
+            }
+        }
+    }
+
+    /// Renders a minimized matrix for a failure message.
+    pub fn render(m: &[Vec<bool>]) -> String {
+        m.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&b| if b { '1' } else { '.' })
+                    .collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
 pub mod prelude {
     //! The common imports (stand-in for `proptest::prelude`).
 
@@ -427,6 +516,38 @@ mod tests {
             let (n, v) = s.gen(&mut rng);
             assert_eq!(v.len(), n);
         }
+    }
+
+    #[test]
+    fn minimizer_strips_seeded_failure_to_its_essential_bits() {
+        // Regression for the matrix minimizer on a seeded known-failure: a
+        // dense random 8x6 matrix whose "bug" only needs bits (2, 3) and
+        // (5, 0). The minimizer must strip every other row, column, and bit
+        // and return exactly the two essential entries.
+        use rand::Rng;
+        let mut rng = crate::test_rng("minimizer_seeded_failure");
+        let mut m: Vec<Vec<bool>> = (0..8)
+            .map(|_| (0..6).map(|_| rng.gen_bool(0.7)).collect())
+            .collect();
+        m[2][3] = true;
+        m[5][0] = true;
+        let fails = |m: &[Vec<bool>]| m[2][3] && m[5][0];
+        let min = crate::minimize::matrix(m, fails);
+        let expected: Vec<Vec<bool>> = (0..8)
+            .map(|r| {
+                (0..6)
+                    .map(|c| (r, c) == (2, 3) || (r, c) == (5, 0))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(min, expected, "\n{}", crate::minimize::render(&min));
+    }
+
+    #[test]
+    fn minimizer_returns_input_when_it_does_not_fail() {
+        let m = vec![vec![true, false], vec![false, true]];
+        let same = crate::minimize::matrix(m.clone(), |_| false);
+        assert_eq!(same, m);
     }
 
     proptest! {

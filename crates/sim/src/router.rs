@@ -11,6 +11,7 @@ use crate::packet::Flit;
 use crate::routing::{route_at, RoutingKind};
 use crate::topology::Topology;
 use crate::verify::InvariantChecker;
+use noc_arbiter::Bits;
 use noc_core::{
     AllocatorKind, BitMatrix, DenseVcAllocator, OutVc, SparseVcAllocator, SpecAllocResult,
     SpecMode, SpeculativeSwitchAllocator, SwitchAllocatorKind, SwitchRequests, VcAllocSpec,
@@ -59,14 +60,12 @@ impl RouterConfig {
     }
 }
 
-/// Per-output-VC state.
-#[derive(Clone, Debug)]
-struct OutVcState {
-    /// Input VC currently holding this output VC.
-    owner: Option<usize>,
-    /// Credits: free buffer slots in the downstream input VC.
-    credits: usize,
-}
+// Per-output-VC state is kept struct-of-arrays on [`Router`]
+// (`out_owner` / `out_credits` / `free_out`): the credit-gating sweep of
+// stage 1b touches only credits and the VC-allocation free map touches only
+// ownership, so splitting the former `{owner, credits}` array-of-structs
+// halves the bytes each hot loop pulls through the cache and lets the free
+// map live as a bit matrix the allocator kernels consume directly.
 
 /// A flit leaving the router this cycle.
 #[derive(Clone, Debug)]
@@ -124,24 +123,25 @@ impl RouterOutputs {
 /// free-VC map, switch request matrices and grant lists — lives here, so
 /// steady-state stepping performs no heap allocation.
 struct StepScratch {
-    /// Input VCs that pushed a flit into the switch this cycle.
-    moved: Vec<bool>,
+    /// Input VCs that pushed a flit into the switch this cycle. These six
+    /// per-input-VC flag sets are bit masks rather than `Vec<bool>`: one
+    /// `P*V`-wide [`Bits`] (inline words, no heap indirection) per flag
+    /// keeps the whole stall-attribution state in a couple of cache lines.
+    moved: Bits,
     /// Input VCs granted an output VC this cycle.
-    va_winner: Vec<bool>,
+    va_winner: Bits,
     /// Input VCs whose non-speculative bid was blocked on credits.
-    credit_blocked: Vec<bool>,
+    credit_blocked: Bits,
     /// Input VCs that issued a non-speculative switch request.
-    bid: Vec<bool>,
+    bid: Bits,
     /// Input VCs that issued a speculative switch request.
-    spec_bid: Vec<bool>,
+    spec_bid: Bits,
     /// Input VCs that won the switch for next cycle.
-    granted: Vec<bool>,
+    granted: Bits,
     /// VC-allocation request per input VC (live entries recycled through
     /// `spare_reqs` so their `classes` vectors keep their allocation).
     vca_reqs: Vec<Option<VcRequest>>,
     spare_reqs: Vec<VcRequest>,
-    /// Free output-VC map handed to the VC allocator.
-    free: BitMatrix,
     /// VC-allocation grants (filled by `allocate_into`).
     vca_grants: Vec<Option<OutVc>>,
     /// Non-speculative and speculative switch request matrices.
@@ -157,12 +157,12 @@ impl StepScratch {
     fn new(ports: usize, vcs: usize) -> Self {
         let n = ports * vcs;
         StepScratch {
-            moved: vec![false; n],
-            va_winner: vec![false; n],
-            credit_blocked: vec![false; n],
-            bid: vec![false; n],
-            spec_bid: vec![false; n],
-            granted: vec![false; n],
+            moved: Bits::new(n),
+            va_winner: Bits::new(n),
+            credit_blocked: Bits::new(n),
+            bid: Bits::new(n),
+            spec_bid: Bits::new(n),
+            granted: Bits::new(n),
             vca_reqs: vec![None; n],
             // Pre-primed pool: at most one live request per input VC, and
             // each request carries at most `vcs` candidate classes, so the
@@ -173,7 +173,6 @@ impl StepScratch {
                     classes: Vec::with_capacity(vcs),
                 })
                 .collect(),
-            free: BitMatrix::new(ports, vcs),
             vca_grants: Vec::new(),
             nonspec: SwitchRequests::new(ports, vcs),
             spec: SwitchRequests::new(ports, vcs),
@@ -267,8 +266,15 @@ pub struct Router {
     in_buf: Vec<VecDeque<Flit>>,
     /// Output VC held by each input VC (flat output id), if any.
     in_out_vc: Vec<Option<usize>>,
-    /// Output VC states, `[port * V + vc]`.
-    out_vc: Vec<OutVcState>,
+    /// Input VC currently holding each output VC, `[port * V + vc]`
+    /// (struct-of-arrays with `out_credits` / `free_out`).
+    out_owner: Vec<Option<u32>>,
+    /// Credits per output VC: free buffer slots in the downstream input VC.
+    out_credits: Vec<u32>,
+    /// Free output-VC map — bit `(p, vc)` set iff `out_owner[p * V + vc]`
+    /// is `None`. Maintained incrementally at grant and tail-release so VC
+    /// allocation reads it directly instead of rebuilding it every cycle.
+    free_out: BitMatrix,
     vca: Box<dyn VcAllocator + Send>,
     sa: SpeculativeSwitchAllocator,
     /// Switch grants issued last cycle, traversing this cycle:
@@ -327,12 +333,17 @@ impl Router {
                 .map(|_| VecDeque::with_capacity(cfg.buf_depth))
                 .collect(),
             in_out_vc: vec![None; n],
-            out_vc: (0..n)
-                .map(|_| OutVcState {
-                    owner: None,
-                    credits: cfg.buf_depth,
-                })
-                .collect(),
+            out_owner: vec![None; n],
+            out_credits: vec![cfg.buf_depth as u32; n],
+            free_out: {
+                let mut free = BitMatrix::new(ports, vcs);
+                for p in 0..ports {
+                    for vc in 0..vcs {
+                        free.set(p, vc, true);
+                    }
+                }
+                free
+            },
             vca,
             sa,
             // At most one traversal per output port per cycle.
@@ -391,14 +402,14 @@ impl Router {
     pub fn output_occupancy(&self, out_port: usize, msg_class: usize, rc: usize) -> usize {
         let base = self.cfg.spec.class_base(msg_class, rc);
         (base..base + self.cfg.spec.vcs_per_class())
-            .map(|v| self.cfg.buf_depth - self.out_vc[out_port * self.vcs + v].credits)
+            .map(|v| self.cfg.buf_depth - self.out_credits[out_port * self.vcs + v] as usize)
             .sum()
     }
 
     /// Credits currently available at output VC `(port, vc)` — free buffer
     /// slots in the downstream input VC.
     pub fn output_credits(&self, port: usize, vc: usize) -> usize {
-        self.out_vc[port * self.vcs + vc].credits
+        self.out_credits[port * self.vcs + vc] as usize
     }
 
     /// Accepts a flit delivered by a link into input VC `(port, vc)` at
@@ -421,10 +432,10 @@ impl Router {
 
     /// Accepts a credit for output VC `(port, vc)`.
     pub fn accept_credit(&mut self, port: usize, vc: usize) {
-        let s = &mut self.out_vc[port * self.vcs + vc];
-        s.credits += 1;
+        let c = &mut self.out_credits[port * self.vcs + vc];
+        *c += 1;
         assert!(
-            s.credits <= self.cfg.buf_depth,
+            *c as usize <= self.cfg.buf_depth,
             "router {} credit overflow at ({port},{vc})",
             self.id
         );
@@ -507,7 +518,7 @@ impl Router {
 
         // Input VCs that pushed a flit into the switch this cycle (for
         // stall attribution).
-        self.scratch.moved.fill(false);
+        self.scratch.moved.clear();
 
         // ---- Stage 2: switch traversal of last cycle's grants ----------
         let st_timer = P::ACTIVE.then(Instant::now);
@@ -524,15 +535,18 @@ impl Router {
             let Some(mut flit) = self.in_buf[in_flat].pop_front() else {
                 unreachable!("ST grant with empty buffer")
             };
-            let st = &mut self.out_vc[out_flat];
-            assert!(st.credits > 0, "ST without downstream credit");
-            st.credits -= 1;
+            assert!(
+                self.out_credits[out_flat] > 0,
+                "ST without downstream credit"
+            );
+            self.out_credits[out_flat] -= 1;
             out.credits.push((in_flat / v, in_flat % v));
             if flit.tail {
-                self.out_vc[out_flat].owner = None;
+                self.out_owner[out_flat] = None;
+                self.free_out.set(out_flat / v, out_flat % v, true);
                 self.in_out_vc[in_flat] = None;
             }
-            self.scratch.moved[in_flat] = true;
+            self.scratch.moved.set(in_flat, true);
             self.obs.out_flits[out_port] += 1;
             if flit.head {
                 if let Some(an) = &mut self.anatomy {
@@ -647,25 +661,17 @@ impl Router {
                 trace!(FlitEventKind::VcaRequest, in_flat / v, in_flat % v, f);
             }
         }
-        self.scratch.va_winner.fill(false);
+        self.scratch.va_winner.clear();
         if any_vca {
-            self.scratch.free.clear();
-            for p in 0..self.ports {
-                for vc in 0..v {
-                    if self.out_vc[p * v + vc].owner.is_none() {
-                        self.scratch.free.set(p, vc, true);
-                    }
-                }
-            }
             self.vca.allocate_into(
                 &self.scratch.vca_reqs,
-                &self.scratch.free,
+                &self.free_out,
                 &mut self.scratch.vca_grants,
             );
             debug_assert!(noc_core::validate_vc_grants(
                 &self.cfg.spec,
                 &self.scratch.vca_reqs,
-                &self.scratch.free,
+                &self.free_out,
                 &self.scratch.vca_grants
             )
             .is_ok());
@@ -673,8 +679,9 @@ impl Router {
                 if let Some(OutVc { port, vc }) = self.scratch.vca_grants[in_flat] {
                     let out_flat = port * v + vc;
                     self.in_out_vc[in_flat] = Some(out_flat);
-                    self.out_vc[out_flat].owner = Some(in_flat);
-                    self.scratch.va_winner[in_flat] = true;
+                    self.out_owner[out_flat] = Some(in_flat as u32);
+                    self.free_out.set(port, vc, false);
+                    self.scratch.va_winner.set(in_flat, true);
                     self.stats.vca_grants += 1;
                     if S::ACTIVE {
                         if let Some(f) = self.in_buf[in_flat].front() {
@@ -696,30 +703,30 @@ impl Router {
         self.scratch.spec.clear();
         let mut any_req = false;
         // Stall attribution inputs: why each input VC did (or could) bid.
-        self.scratch.credit_blocked.fill(false);
-        self.scratch.bid.fill(false);
-        self.scratch.spec_bid.fill(false);
+        self.scratch.credit_blocked.clear();
+        self.scratch.bid.clear();
+        self.scratch.spec_bid.clear();
         for in_flat in 0..n {
             if self.in_buf[in_flat].is_empty() {
                 continue;
             }
             match self.in_out_vc[in_flat] {
-                Some(out_flat) if !self.scratch.va_winner[in_flat] => {
+                Some(out_flat) if !self.scratch.va_winner.get(in_flat) => {
                     // Established packet: non-speculative request, gated on
                     // credit availability.
-                    if self.out_vc[out_flat].credits > 0 {
+                    if self.out_credits[out_flat] > 0 {
                         self.scratch
                             .nonspec
                             .request(in_flat / v, in_flat % v, out_flat / v);
                         any_req = true;
-                        self.scratch.bid[in_flat] = true;
+                        self.scratch.bid.set(in_flat, true);
                         if S::ACTIVE {
                             if let Some(f) = self.in_buf[in_flat].front() {
                                 trace!(FlitEventKind::SaRequest, in_flat / v, in_flat % v, f);
                             }
                         }
                     } else {
-                        self.scratch.credit_blocked[in_flat] = true;
+                        self.scratch.credit_blocked.set(in_flat, true);
                     }
                 }
                 _ => {
@@ -728,14 +735,14 @@ impl Router {
                     // parallel with VA so it cannot depend on its outcome.
                     if self.cfg.spec_mode != SpecMode::NonSpeculative {
                         if let Some(f) = self.in_buf[in_flat].front() {
-                            if f.head || self.scratch.va_winner[in_flat] {
+                            if f.head || self.scratch.va_winner.get(in_flat) {
                                 self.scratch.spec.request(
                                     in_flat / v,
                                     in_flat % v,
                                     f.lookahead.out_port,
                                 );
                                 any_req = true;
-                                self.scratch.spec_bid[in_flat] = true;
+                                self.scratch.spec_bid.set(in_flat, true);
                                 self.stats.spec_requests += 1;
                                 trace!(FlitEventKind::SaSpecRequest, in_flat / v, in_flat % v, f);
                             }
@@ -744,7 +751,7 @@ impl Router {
                 }
             }
         }
-        self.scratch.granted.fill(false);
+        self.scratch.granted.clear();
         if any_req {
             self.sa.allocate_into(
                 &self.scratch.nonspec,
@@ -764,7 +771,7 @@ impl Router {
             for g in &res.nonspec {
                 self.stats.nonspec_grants += 1;
                 let in_flat = g.in_port * v + g.vc;
-                self.scratch.granted[in_flat] = true;
+                self.scratch.granted.set(in_flat, true);
                 self.st_stage.push((in_flat, g.out_port));
                 if S::ACTIVE {
                     if let Some(f) = self.in_buf[in_flat].front() {
@@ -776,12 +783,12 @@ impl Router {
                 let in_flat = g.in_port * v + g.vc;
                 // Validate: the VC must have won VC allocation this very
                 // cycle for the same output port, with a credit available.
-                let valid = self.scratch.va_winner[in_flat]
+                let valid = self.scratch.va_winner.get(in_flat)
                     && self.in_out_vc[in_flat]
-                        .is_some_and(|of| of / v == g.out_port && self.out_vc[of].credits > 0);
+                        .is_some_and(|of| of / v == g.out_port && self.out_credits[of] > 0);
                 let kind = if valid {
                     self.stats.spec_grants += 1;
-                    self.scratch.granted[in_flat] = true;
+                    self.scratch.granted.set(in_flat, true);
                     self.st_stage.push((in_flat, g.out_port));
                     FlitEventKind::SaSpecGrant
                 } else {
@@ -796,13 +803,7 @@ impl Router {
             }
         }
         if let Some(t) = sa_timer {
-            let reqs = self
-                .scratch
-                .bid
-                .iter()
-                .chain(&self.scratch.spec_bid)
-                .filter(|&&b| b)
-                .count() as u64;
+            let reqs = (self.scratch.bid.count_ones() + self.scratch.spec_bid.count_ones()) as u64;
             prof.record(Phase::SwAlloc, t.elapsed().as_nanos() as u64, reqs);
         }
 
@@ -835,14 +836,14 @@ impl Router {
         // refused it this cycle.
         for in_flat in 0..n {
             let s = &mut self.obs.vc[in_flat];
-            if self.scratch.moved[in_flat] || self.scratch.granted[in_flat] {
+            if self.scratch.moved.get(in_flat) || self.scratch.granted.get(in_flat) {
                 s.active += 1;
             } else if self.in_buf[in_flat].is_empty() {
                 s.empty += 1;
-            } else if self.scratch.credit_blocked[in_flat] {
+            } else if self.scratch.credit_blocked.get(in_flat) {
                 s.credit_stall += 1;
-            } else if self.scratch.bid[in_flat]
-                || (self.scratch.spec_bid[in_flat] && self.scratch.va_winner[in_flat])
+            } else if self.scratch.bid.get(in_flat)
+                || (self.scratch.spec_bid.get(in_flat) && self.scratch.va_winner.get(in_flat))
             {
                 // Bid for the switch with all resources in hand, lost
                 // arbitration (or, for a fresh VA winner, lost / was masked
@@ -870,12 +871,12 @@ impl Router {
                     continue;
                 }
                 let a = &mut an.acc[in_flat];
-                if self.scratch.granted[in_flat] {
+                if self.scratch.granted.get(in_flat) {
                     a.active += 1;
-                } else if self.scratch.credit_blocked[in_flat] {
+                } else if self.scratch.credit_blocked.get(in_flat) {
                     a.credit += 1;
-                } else if self.scratch.bid[in_flat]
-                    || (self.scratch.spec_bid[in_flat] && self.scratch.va_winner[in_flat])
+                } else if self.scratch.bid.get(in_flat)
+                    || (self.scratch.spec_bid.get(in_flat) && self.scratch.va_winner.get(in_flat))
                 {
                     a.sa += 1;
                 } else {
@@ -1000,7 +1001,7 @@ impl Router {
                             of % v
                         ));
                     }
-                    if self.out_vc[of].credits == 0 {
+                    if self.out_credits[of] == 0 {
                         chk.violation(format!(
                             "router {}: switch grant for input ({}, {}) with zero \
                              downstream credits",
@@ -1009,7 +1010,7 @@ impl Router {
                             in_flat % v
                         ));
                     }
-                    if self.out_vc[of].owner != Some(in_flat) {
+                    if self.out_owner[of] != Some(in_flat as u32) {
                         chk.violation(format!(
                             "router {}: granted input ({}, {}) does not own its output VC",
                             self.id,
@@ -1034,7 +1035,7 @@ impl Router {
             checks += 2;
             match self.in_out_vc[in_flat] {
                 Some(of) => {
-                    if self.out_vc[of].owner != Some(in_flat) {
+                    if self.out_owner[of] != Some(in_flat as u32) {
                         chk.violation(format!(
                             "router {}: input ({}, {}) holds output VC ({}, {}) it \
                              does not own",
@@ -1070,20 +1071,19 @@ impl Router {
             }
         }
         for out_flat in 0..n {
-            checks += 2;
-            let s = &self.out_vc[out_flat];
-            if s.credits > depth {
+            checks += 3;
+            if self.out_credits[out_flat] as usize > depth {
                 chk.violation(format!(
                     "router {}: output VC ({}, {}) has {} credits, buffer depth {}",
                     self.id,
                     out_flat / v,
                     out_flat % v,
-                    s.credits,
+                    self.out_credits[out_flat],
                     depth
                 ));
             }
-            if let Some(owner) = s.owner {
-                if self.in_out_vc.get(owner).copied().flatten() != Some(out_flat) {
+            if let Some(owner) = self.out_owner[out_flat] {
+                if self.in_out_vc.get(owner as usize).copied().flatten() != Some(out_flat) {
                     chk.violation(format!(
                         "router {}: output VC ({}, {}) owned by input {} which does \
                          not hold it",
@@ -1093,6 +1093,16 @@ impl Router {
                         owner
                     ));
                 }
+            }
+            // The incrementally maintained free map must track ownership
+            // exactly — it is what the VC-allocation kernels consume.
+            if self.free_out.get(out_flat / v, out_flat % v) != self.out_owner[out_flat].is_none() {
+                chk.violation(format!(
+                    "router {}: free map out of sync at output VC ({}, {})",
+                    self.id,
+                    out_flat / v,
+                    out_flat % v
+                ));
             }
         }
         chk.add_checks(checks);
@@ -1241,16 +1251,13 @@ mod tests {
         for t in 0..12 {
             let out = r.step(&topo, t);
             sent += out.flits.len();
-            if sent > 0 && sent < 5 && r.out_vc[r.vcs].owner.is_none() {
+            if sent > 0 && sent < 5 && r.out_owner[r.vcs].is_none() {
                 vc_freed_before_tail = true;
             }
         }
         assert_eq!(sent, 5);
         assert!(!vc_freed_before_tail, "output VC released early");
-        assert!(
-            r.out_vc[r.vcs].owner.is_none(),
-            "VC not released after tail"
-        );
+        assert!(r.out_owner[r.vcs].is_none(), "VC not released after tail");
     }
 
     #[test]
@@ -1403,8 +1410,11 @@ mod tests {
     #[test]
     fn misspeculation_counted_when_vc_allocation_fails() {
         let (mut r, topo) = mesh_router(SpecMode::Pessimistic);
-        // Block the request-class output VC at port 1 by a fake owner.
-        r.out_vc[r.vcs].owner = Some(99);
+        // Block the request-class output VC at port 1 by a fake owner
+        // (keeping the free map in sync, as every real ownership change
+        // does).
+        r.out_owner[r.vcs] = Some(99);
+        r.free_out.set(1, 0, false);
         r.accept_flit(0, 0, head_flit(63, 1), 0);
         r.step(&topo, 0);
         assert_eq!(r.stats.vca_grants, 0);

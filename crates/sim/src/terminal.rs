@@ -127,8 +127,13 @@ impl Terminal {
             packets_received: 0,
             minimal_started: 0,
             nonminimal_started: 0,
+            // At most `v` packets interleave at the ejection port (one per
+            // VC), so sizing for several times that keeps the map's load
+            // below the in-place-rehash threshold forever: tombstone cleanup
+            // never takes the allocating resize path, and the debug tracking
+            // stays compatible with the steady-state zero-alloc audit.
             #[cfg(debug_assertions)]
-            receiving: std::collections::HashMap::new(),
+            receiving: std::collections::HashMap::with_capacity(4 * v),
         }
     }
 

@@ -13,6 +13,7 @@
 //! concurrently running test in this binary; other test binaries are
 //! separate processes and invisible to this allocator.
 
+use noc_core::{AllocatorKind, SpecMode, SwitchAllocatorKind};
 use noc_sim::{Network, SimConfig, TopologyKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,6 +96,57 @@ fn sequential_engine_steady_state_is_allocation_free() {
         assert_eq!(
             during, 0,
             "seq engine allocated {during} times in {MEASURED} steady-state cycles on {topo:?}"
+        );
+    }
+    drop(guard);
+}
+
+/// The bit-parallel kernels (banked arbiter sweeps, wavefront diagonal
+/// recurrence, the matrix allocator's `allocate_into` scratch, and the
+/// router's struct-of-arrays output-VC state) must preserve the zero-alloc
+/// steady state. Covers both separable kernels at C=2 (mesh 5-port, 4-VC
+/// routers: every VA/SA stage takes the u64 path) and the wavefront
+/// VC+switch pairing, whose grant scratch is the newest reuse surface.
+#[test]
+fn kernel_paths_steady_state_is_allocation_free() {
+    let guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    let rr = noc_arbiter::ArbiterKind::RoundRobin;
+    let configs: [(AllocatorKind, SwitchAllocatorKind, SpecMode); 3] = [
+        // Paper baseline kinds at C=2: separable input-first kernels.
+        (
+            AllocatorKind::SepIfRr,
+            SwitchAllocatorKind::SepIf(rr),
+            SpecMode::Pessimistic,
+        ),
+        // Output-first kernels plus conventional speculation masking.
+        (
+            AllocatorKind::SepOfRr,
+            SwitchAllocatorKind::SepOf(rr),
+            SpecMode::Conventional,
+        ),
+        // Wavefront VC allocation drives `MatrixVcAllocator`'s reused
+        // grant scratch through `Allocator::allocate_into`.
+        (
+            AllocatorKind::Wavefront,
+            SwitchAllocatorKind::Wavefront,
+            SpecMode::Pessimistic,
+        ),
+    ];
+    for (vca_kind, sa_kind, spec_mode) in configs {
+        let cfg = SimConfig {
+            injection_rate: 0.2,
+            vca_kind,
+            sa_kind,
+            spec_mode,
+            ..SimConfig::paper_baseline(TopologyKind::Mesh8x8, 2)
+        };
+        let mut n = Network::new(cfg);
+        n.run(WARMUP);
+        let during = allocs_during(|| n.run(MEASURED));
+        assert_eq!(
+            during, 0,
+            "kernel path {vca_kind:?}/{sa_kind:?}/{spec_mode:?} allocated \
+             {during} times in {MEASURED} steady-state cycles"
         );
     }
     drop(guard);
