@@ -12,7 +12,18 @@
 //! does not match the current spec is an error, not a silent partial
 //! reuse — results remain shareable through the content-addressed cache
 //! regardless, so nothing is lost by refusing.
+//!
+//! A journal is **single-writer by construction**: [`Journal::open`]
+//! takes an advisory `<journal>.lock` file naming the holder's pid, so a
+//! second `noc sweep run` (or a sweep racing the `noc serve` daemon)
+//! against the same journal fails fast with "already locked by pid N"
+//! instead of interleaving appends past the torn-tail tolerance. A lock
+//! left behind by `kill -9` is recovered automatically once its pid is
+//! gone. Durability is likewise explicit: the parent directory is
+//! fsynced after the journal file (and its lock) are created, so a crash
+//! cannot erase a journal whose records were already fsynced.
 
+use crate::sweep::cache::sync_dir;
 use crate::sweep::json_escape;
 use noc_obs::JsonValue;
 use std::collections::HashSet;
@@ -55,11 +66,123 @@ impl JournalHeader {
     }
 }
 
-/// An open, appendable sweep journal.
+/// An exclusive advisory lock on a journal file, held for the lifetime
+/// of the owning [`Journal`] and released (the lock file removed) on
+/// drop. The lock file sits next to the journal as `<journal>.lock` and
+/// holds the owner's pid, so the refusal message can name the writer
+/// that is in the way.
+#[derive(Debug)]
+pub struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    /// Takes the lock for `journal_path`, recovering locks whose owner
+    /// pid no longer exists (a `kill -9`'d sweep or daemon).
+    pub fn acquire(journal_path: &Path) -> Result<JournalLock, String> {
+        let mut name = journal_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        name.push_str(".lock");
+        let path = journal_path.with_file_name(name);
+        // Two attempts: the second runs only after a stale lock (dead
+        // owner) was removed, so a live competitor still refuses.
+        for _ in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.sync_data();
+                    if let Some(parent) = path.parent() {
+                        let _ = sync_dir(parent);
+                    }
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match lock_holder(&path) {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(format!(
+                                "journal: {} is already locked by pid {pid} — another sweep or \
+                                 serve daemon is writing it; wait for it to finish (or remove {} \
+                                 if that pid is not a noc process)",
+                                journal_path.display(),
+                                path.display()
+                            ));
+                        }
+                        Some(_) => {
+                            // Stale: the owner died without cleanup.
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        None => {
+                            // Unreadable or empty: either a writer in the
+                            // instant between create and pid write, or the
+                            // debris of a crash in that instant. Give the
+                            // writer time to identify itself; still-empty
+                            // means debris.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            match lock_holder(&path) {
+                                Some(pid) if pid_alive(pid) => {
+                                    return Err(format!(
+                                        "journal: {} is already locked by pid {pid}",
+                                        journal_path.display()
+                                    ));
+                                }
+                                _ => {
+                                    let _ = std::fs::remove_file(&path);
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "journal: cannot create lock {}: {e}",
+                        path.display()
+                    ))
+                }
+            }
+        }
+        Err(format!(
+            "journal: {} lock contended — retry once the competing writer exits",
+            journal_path.display()
+        ))
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The pid recorded in a lock file, if it parses.
+fn lock_holder(path: &Path) -> Option<u32> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+}
+
+/// Whether a pid currently names a live process. On non-Linux hosts this
+/// is conservatively `true` (locks are never stolen).
+fn pid_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
+/// An open, appendable sweep journal. Holds the advisory lock for its
+/// whole lifetime — dropping the journal releases it.
 #[derive(Debug)]
 pub struct Journal {
     writer: Mutex<BufWriter<File>>,
     path: PathBuf,
+    _lock: JournalLock,
 }
 
 impl Journal {
@@ -73,6 +196,7 @@ impl Journal {
             std::fs::create_dir_all(parent)
                 .map_err(|e| format!("journal: cannot create {}: {e}", parent.display()))?;
         }
+        let lock = JournalLock::acquire(path)?;
         let mut done = HashSet::new();
         let exists = path.exists();
         if exists {
@@ -118,11 +242,18 @@ impl Journal {
                 .map_err(|e| format!("journal: cannot write header: {e}"))?;
             file.sync_data()
                 .map_err(|e| format!("journal: cannot sync header: {e}"))?;
+            // The file data is durable; make its directory entry durable
+            // too, or a crash can erase the whole journal (and with it
+            // the record of freshly renamed cache entries).
+            if let Some(parent) = path.parent() {
+                sync_dir(parent)?;
+            }
         }
         Ok((
             Journal {
                 writer: Mutex::new(BufWriter::new(file)),
                 path: path.to_path_buf(),
+                _lock: lock,
             },
             done,
         ))
@@ -231,6 +362,48 @@ mod tests {
         drop(f);
         let (_, done) = Journal::open(&path, &header()).unwrap();
         assert_eq!(done.len(), 1, "torn record does not count as done");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression for concurrent-writer interleaving: nothing used to
+    /// stop two `noc sweep run` processes (or a sweep racing the serve
+    /// daemon) from appending to one journal. A second open while a
+    /// writer holds the journal must now fail fast, naming the holder.
+    #[test]
+    fn second_writer_is_refused_while_lock_is_held() {
+        let path = tmp_path("locked");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path, &header()).unwrap();
+        let err = Journal::open(&path, &header()).unwrap_err();
+        assert!(
+            err.contains(&format!("already locked by pid {}", std::process::id())),
+            "refusal names the holder: {err}"
+        );
+        // The refused open must not have damaged the held journal.
+        journal.append("aa", "point a", "computed", 1).unwrap();
+        drop(journal);
+        // Release unlocks: a fresh writer proceeds and sees the record.
+        let (_, done) = Journal::open(&path, &header()).unwrap();
+        assert_eq!(done.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A lock whose owner died (`kill -9`) is debris, not a writer: it
+    /// is recovered and the journal opens normally.
+    #[test]
+    fn stale_lock_from_a_dead_pid_is_recovered() {
+        let path = tmp_path("stale");
+        let _ = std::fs::remove_file(&path);
+        let mut name = path.file_name().unwrap().to_string_lossy().into_owned();
+        name.push_str(".lock");
+        let lock_path = path.with_file_name(name);
+        // No real process gets pid 0 on Linux (it is the idle/swapper
+        // slot), so this lock's owner is definitionally gone.
+        std::fs::write(&lock_path, "0").unwrap();
+        let (j, done) = Journal::open(&path, &header()).unwrap();
+        assert!(done.is_empty());
+        drop(j);
+        assert!(!lock_path.exists(), "lock released on drop");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -27,12 +27,16 @@
 //!   ablations, plus a CI-sized `smoke` preset.
 //! - [`render`]: exact stdout reproductions of the legacy figure
 //!   binaries, parameterized by runner.
+//! - [`serve`]: sweep-as-a-service — the `noc serve` daemon deduplicating
+//!   concurrent clients' overlapping grids against the same cache and
+//!   journal.
 
 pub mod cache;
 pub mod journal;
 pub mod presets;
 pub mod render;
 pub mod runner;
+pub mod serve;
 pub mod spec;
 
 pub use cache::ResultCache;

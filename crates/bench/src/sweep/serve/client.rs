@@ -1,0 +1,92 @@
+//! The `noc client` side: send one request line, stream the response.
+
+use noc_obs::serve::ServeEvent;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What a completed request looked like from the client side.
+#[derive(Clone, Debug, Default)]
+pub struct ClientOutcome {
+    /// Unique digests received.
+    pub unique: usize,
+    /// Points before dedup.
+    pub total: usize,
+    /// Points the daemon scheduled for this request.
+    pub scheduled: usize,
+    /// Points served from cache.
+    pub cache_hits: usize,
+    /// Points coalesced onto other requests' work.
+    pub coalesced: usize,
+    /// Daemon-side wall clock for the request, in milliseconds.
+    pub wall_ms: u64,
+    /// Digests in arrival order.
+    pub digests: Vec<String>,
+}
+
+/// Sends `request_line` to the daemon at `addr` and consumes the
+/// response stream, invoking `on_event` for every parsed line (with the
+/// raw line alongside, so a CLI can tee the wire verbatim). Returns on
+/// the terminal line: `done` yields the outcome, `status` yields a
+/// default outcome (counters come through `on_event`), `error` becomes
+/// this function's error.
+pub fn request(
+    addr: &str,
+    request_line: &str,
+    mut on_event: impl FnMut(&str, &ServeEvent),
+) -> Result<ClientOutcome, String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("client: cannot connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(600)));
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("client: cannot clone stream: {e}"))?;
+    writeln!(writer, "{}", request_line.trim())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("client: cannot send request: {e}"))?;
+    let mut outcome = ClientOutcome::default();
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("client: read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = ServeEvent::parse(&line)?;
+        on_event(&line, &event);
+        match &event {
+            ServeEvent::Accepted { total, unique, .. } => {
+                outcome.total = *total;
+                outcome.unique = *unique;
+            }
+            ServeEvent::Result { digest, .. } => outcome.digests.push(digest.clone()),
+            ServeEvent::Done {
+                unique,
+                total,
+                scheduled,
+                cache_hits,
+                coalesced,
+                wall_ms,
+                ..
+            } => {
+                outcome.unique = *unique;
+                outcome.total = *total;
+                outcome.scheduled = *scheduled;
+                outcome.cache_hits = *cache_hits;
+                outcome.coalesced = *coalesced;
+                outcome.wall_ms = *wall_ms;
+                if outcome.digests.len() != *unique {
+                    return Err(format!(
+                        "client: daemon promised {unique} results, delivered {}",
+                        outcome.digests.len()
+                    ));
+                }
+                return Ok(outcome);
+            }
+            ServeEvent::Status { .. } => return Ok(outcome),
+            ServeEvent::Error { message, .. } => {
+                return Err(format!("client: daemon refused: {message}"))
+            }
+        }
+    }
+    Err("client: connection closed before a terminal line".to_string())
+}

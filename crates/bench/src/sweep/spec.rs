@@ -211,6 +211,13 @@ impl SweepSpec {
     /// a typo can't silently shrink a sweep.
     pub fn from_json(s: &str) -> Result<SweepSpec, String> {
         let v = JsonValue::parse(s).map_err(|e| format!("sweep spec: {e}"))?;
+        SweepSpec::from_value(&v)
+    }
+
+    /// Parses a spec from an already-parsed JSON document — the entry
+    /// point the `noc serve` daemon uses for specs embedded inside a
+    /// request line (same grammar and validation as [`Self::from_json`]).
+    pub fn from_value(v: &JsonValue) -> Result<SweepSpec, String> {
         let name = v
             .get("name")
             .and_then(JsonValue::as_str)

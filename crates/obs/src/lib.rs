@@ -48,6 +48,9 @@
 //!   ([`AnatomyCollector`]) with exact reconciliation against end-to-end
 //!   latency, and the `noc-anatomy/v1` dump format with a replay-identical
 //!   blame report ([`AnatomySummary`]).
+//! - [`serve`]: the `noc-serve/v1` wire schema for the sweep-as-a-service
+//!   daemon — request/response/progress line builders and the
+//!   [`ServeEvent`] client-side parser.
 
 pub mod anatomy;
 pub mod digest;
@@ -59,6 +62,7 @@ pub mod metrics;
 pub mod profile;
 pub mod progress;
 pub mod record;
+pub mod serve;
 pub mod timeseries;
 pub mod top;
 
@@ -79,6 +83,11 @@ pub use profile::{NopProfiler, Phase, PhaseProfiler, Profiler, PHASES};
 pub use progress::ProgressMeter;
 pub use record::{
     window_jsonl, TelemetryDump, TelemetryHeader, TelemetrySummary, TELEMETRY_SCHEMA,
+};
+pub use serve::{
+    serve_accepted_line, serve_done_line, serve_error_line, serve_preset_request_line,
+    serve_result_line, serve_status_line, serve_status_request_line, serve_sweep_request_line,
+    ServeEvent, SERVE_SCHEMA,
 };
 pub use timeseries::{FlightRecorder, RouterCounters, WindowSnapshot};
 pub use top::render_top;

@@ -12,6 +12,8 @@
 //! * `noc quality` — measure open-loop matching quality
 //! * `noc verilog` — emit structural Verilog for a design point
 //! * `noc sweep`   — run/resume cached, journaled experiment sweeps
+//! * `noc serve`   — sweep-as-a-service daemon deduplicating concurrent clients
+//! * `noc client`  — send one sweep/preset/status request to a serve daemon
 //! * `noc top`     — live/offline congestion + matching-efficiency view
 //! * `noc replay`  — recompute a run summary from a telemetry dump
 //!
@@ -65,6 +67,10 @@ USAGE:
   noc sweep   (run|resume|status|clean) [--preset NAME | --spec FILE]
               [--out DIR] [--cache-dir DIR] [--engine seq|par|active|auto]
               [--threads N] [--quiet] [--no-render] [--telemetry] [--anatomy]
+  noc serve   [--addr HOST:PORT] [--cache-dir DIR] [--out DIR] [--workers N]
+              [--quiet] [--selftest N]
+  noc client  (--preset NAME | --spec FILE | --status) [--addr HOST:PORT]
+              [--engine seq|par|active|auto] [--id ID] [--quiet]
   noc top     DUMP [--once]
   noc replay  DUMP
   noc audit   [--root DIR] [--fixtures]
@@ -203,6 +209,31 @@ Experiment sweeps (noc sweep):
   --quiet                 suppress per-point progress lines on stderr
   --no-render             skip the figure render after a preset run
 
+Sweep service (noc serve / noc client):
+  a long-running daemon over the same cache + journal: clients send one
+  noc-serve/v1 JSON request line over local TCP and stream JSONL results
+  back; overlapping requests are normalized to SimConfig digests and
+  deduplicated, so across any number of concurrent clients every unique
+  point is simulated at most once — including across kill -9 + restart
+  (journaled points are served from cache, recomputing nothing)
+  noc serve               start the daemon (prints the bound address on
+                          stdout; runs until killed)
+  --addr HOST:PORT        listen/connect address (default 127.0.0.1:4009;
+                          port 0 picks a free port)
+  --workers N             concurrent simulations (default: cores, max 8)
+  --selftest N            run the built-in load driver instead: N
+                          concurrent overlapping clients against a fresh
+                          in-process daemon; asserts computed points ==
+                          unique digests, then restarts the daemon and
+                          asserts zero recomputation
+  noc client              send one request and print the response JSONL
+  --preset NAME           request an in-repo preset by name
+  --spec FILE             request the sweep spec in FILE (same grammar as
+                          noc sweep --spec)
+  --status                request daemon-lifetime counters instead
+  --id ID                 request id echoed on every response line
+  --quiet                 suppress the JSONL tee; keep the summary line
+
 Examples:
   noc sim --topology fbfly --vcs 4 --rate 0.3 --sa wf
   noc sim --rate 0.2 --verify
@@ -224,6 +255,10 @@ Examples:
   noc verilog swa --vcs 2 --alloc sep_if_rr > swa.v
   noc sweep run --preset fig13 --engine auto
   noc sweep status
+  noc serve --addr 127.0.0.1:4009 &
+  noc client --preset smoke
+  noc client --status
+  noc serve --selftest 4
 ";
 
 /// Default per-packet ledger row retention for `noc explain` and
@@ -263,6 +298,7 @@ impl Args {
                     || key == "telemetry"
                     || key == "anatomy"
                     || key == "fixtures"
+                    || key == "status"
                 {
                     flags.insert(key.to_string(), "true".to_string());
                     continue;
@@ -1201,6 +1237,132 @@ fn sweep_clean(out_dir: &std::path::Path, cache_dir: &std::path::Path) -> Result
     Ok(())
 }
 
+/// Default `noc serve` listen address, shared with `noc client`.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:4009";
+
+/// Default serve worker-pool width: one simulation per core, capped.
+fn default_serve_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(2)
+}
+
+/// `noc serve` — the sweep-as-a-service daemon (or, with `--selftest N`,
+/// its built-in concurrent-client load driver).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use noc_bench::sweep::serve::{run_selftest, start, ServeOptions};
+    use std::path::PathBuf;
+    let cache_dir = PathBuf::from(
+        args.flags
+            .get("cache-dir")
+            .cloned()
+            .unwrap_or_else(|| "results/cache".to_string()),
+    );
+    let out_dir = PathBuf::from(
+        args.flags
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "results/sweeps".to_string()),
+    );
+    let workers = args.get("workers", default_serve_workers())?;
+    if args.flags.contains_key("selftest") {
+        let clients: usize = args.get("selftest", 4)?;
+        return run_selftest(clients, &cache_dir, &out_dir, workers);
+    }
+    let opts = ServeOptions {
+        addr: args
+            .flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string()),
+        cache_dir,
+        out_dir,
+        workers,
+        quiet: args.flags.contains_key("quiet"),
+    };
+    let daemon = start(&opts)?;
+    // The resolved address goes to stdout so scripts binding port 0 can
+    // capture it; everything else the daemon prints is stderr.
+    println!("{}", daemon.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    daemon.wait();
+    Ok(())
+}
+
+/// `noc client` — send one request line to a serve daemon, tee the
+/// response JSONL to stdout, and summarize on stderr.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    use noc_bench::sweep::serve::request;
+    use noc_bench::sweep::SweepSpec;
+    use noc_obs::{
+        serve_preset_request_line, serve_status_request_line, serve_sweep_request_line, ServeEvent,
+    };
+    let addr = args
+        .flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string());
+    let id = args
+        .flags
+        .get("id")
+        .cloned()
+        .unwrap_or_else(|| format!("cli-{}", std::process::id()));
+    let engine = match args.flags.get("engine") {
+        Some(name) => {
+            // Validate locally for a pre-connection diagnostic; the
+            // daemon re-validates on its side.
+            Engine::parse(name).ok_or_else(|| format!("unknown engine '{name}'"))?;
+            Some(name.as_str())
+        }
+        None => None,
+    };
+    let status = args.flags.contains_key("status");
+    let line = match (status, args.flags.get("preset"), args.flags.get("spec")) {
+        (true, None, None) => serve_status_request_line(&id),
+        (false, Some(name), None) => serve_preset_request_line(&id, name, engine),
+        (false, None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec {path}: {e}"))?;
+            // Validate client-side so a typo fails with the spec
+            // grammar's diagnostics instead of a remote error line.
+            SweepSpec::from_json(&text)?;
+            serve_sweep_request_line(&id, &text, engine)
+        }
+        _ => {
+            return Err(
+                "client needs exactly one of --preset NAME, --spec FILE, --status".to_string(),
+            )
+        }
+    };
+    let quiet = args.flags.contains_key("quiet");
+    let mut status_counters = None;
+    let outcome = request(&addr, &line, |raw, event| {
+        if !quiet {
+            println!("{raw}");
+        }
+        if let ServeEvent::Status {
+            computed, clients, ..
+        } = event
+        {
+            status_counters = Some((*computed, *clients));
+        }
+    })?;
+    if let Some((computed, clients)) = status_counters {
+        eprintln!("client {id}: daemon has computed {computed} points for {clients} requests");
+    } else {
+        eprintln!(
+            "client {id}: {} points ({} scheduled, {} cache, {} coalesced) in {} ms",
+            outcome.unique,
+            outcome.scheduled,
+            outcome.cache_hits,
+            outcome.coalesced,
+            outcome.wall_ms
+        );
+    }
+    Ok(())
+}
+
 /// Writes a `noc-telemetry/v1` dump: the header line followed by one
 /// pre-rendered JSONL line per window.
 fn write_telemetry_dump(
@@ -1419,6 +1581,8 @@ fn main() -> ExitCode {
         "quality" => cmd_quality(&args),
         "verilog" => cmd_verilog(&args),
         "sweep" => cmd_sweep(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "top" => cmd_top(&args),
         "replay" => cmd_replay(&args),
         "audit" => cmd_audit(&args),
@@ -1588,6 +1752,26 @@ mod tests {
             a.flags.get("anatomy-out").map(String::as_str),
             Some("dump.jsonl")
         );
+    }
+
+    #[test]
+    fn serve_and_client_flags_parse() {
+        // --selftest takes a value (the client count).
+        let a = args("serve --selftest 4 --workers 2");
+        assert_eq!(a.positional, vec!["serve"]);
+        assert_eq!(a.get::<usize>("selftest", 0).unwrap(), 4);
+        assert_eq!(a.get::<usize>("workers", 8).unwrap(), 2);
+        let a = args("serve --addr 127.0.0.1:0 --quiet");
+        assert_eq!(a.flags.get("addr").map(String::as_str), Some("127.0.0.1:0"));
+        assert!(a.flags.contains_key("quiet"));
+        // --status is a bare flag on the client side.
+        let a = args("client --status --addr 127.0.0.1:4009");
+        assert!(a.flags.contains_key("status"));
+        assert_eq!(a.positional, vec!["client"]);
+        let a = args("client --preset smoke --engine par --id c1");
+        assert_eq!(a.flags.get("preset").map(String::as_str), Some("smoke"));
+        assert_eq!(a.flags.get("id").map(String::as_str), Some("c1"));
+        assert!(Engine::parse(a.flags.get("engine").unwrap()).is_some());
     }
 
     #[test]
